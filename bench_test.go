@@ -1,0 +1,494 @@
+// Repository-root benchmarks: one per table and figure of the paper's
+// evaluation (run them all with `go test -bench=. -benchmem`), plus
+// ablation benchmarks for the design choices called out in DESIGN.md §5.
+//
+// Each benchmark drives the full simulated platform; the reported
+// custom metrics are virtual-time results in the paper's units, while
+// ns/op measures the wall cost of the simulation itself.
+package biscuit_test
+
+import (
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/bench"
+	"biscuit/internal/db"
+	"biscuit/internal/db/planner"
+	"biscuit/internal/sim"
+	"biscuit/internal/tpch"
+	"biscuit/internal/weblog"
+)
+
+// BenchmarkTable2PortLatency regenerates Table II (port latencies).
+func BenchmarkTable2PortLatency(b *testing.B) {
+	var last bench.Table2
+	for i := 0; i < b.N; i++ {
+		last = bench.RunTable2()
+	}
+	b.ReportMetric(last.H2D.Micros(), "H2D-us")
+	b.ReportMetric(last.D2H.Micros(), "D2H-us")
+	b.ReportMetric(last.InterSSDlet.Micros(), "interSSDlet-us")
+	b.ReportMetric(last.InterApp.Micros(), "interApp-us")
+}
+
+// BenchmarkTable3ReadLatency regenerates Table III (4 KiB read latency).
+func BenchmarkTable3ReadLatency(b *testing.B) {
+	var last bench.Table3
+	for i := 0; i < b.N; i++ {
+		last = bench.RunTable3()
+	}
+	b.ReportMetric(last.Conv.Micros(), "conv-us")
+	b.ReportMetric(last.Biscuit.Micros(), "biscuit-us")
+}
+
+// BenchmarkFig7ReadBandwidth regenerates Fig. 7 (bandwidth curves),
+// reporting the asynchronous plateau of each path.
+func BenchmarkFig7ReadBandwidth(b *testing.B) {
+	var last bench.Fig7
+	for i := 0; i < b.N; i++ {
+		last = bench.RunFig7()
+	}
+	p := last.Async[len(last.Async)-1]
+	b.ReportMetric(p.Conv, "conv-GB/s")
+	b.ReportMetric(p.Biscuit, "internal-GB/s")
+	b.ReportMetric(p.Matcher, "matcher-GB/s")
+}
+
+// BenchmarkTable4PointerChasing regenerates Table IV.
+func BenchmarkTable4PointerChasing(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	var last bench.Table4
+	for i := 0; i < b.N; i++ {
+		last = bench.RunTable4(cfg)
+	}
+	first, lastRow := last.Rows[0], last.Rows[len(last.Rows)-1]
+	b.ReportMetric(first.Conv.Seconds(), "conv0-s")
+	b.ReportMetric(first.Biscuit.Seconds(), "biscuit0-s")
+	b.ReportMetric(lastRow.Conv.Seconds(), "conv24-s")
+	b.ReportMetric(lastRow.Biscuit.Seconds(), "biscuit24-s")
+}
+
+// BenchmarkTable5StringSearch regenerates Table V.
+func BenchmarkTable5StringSearch(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	var last bench.Table5
+	for i := 0; i < b.N; i++ {
+		last = bench.RunTable5(cfg)
+	}
+	first, lastRow := last.Rows[0], last.Rows[len(last.Rows)-1]
+	b.ReportMetric(float64(first.Conv)/float64(first.Biscuit), "gain0-x")
+	b.ReportMetric(float64(lastRow.Conv)/float64(lastRow.Biscuit), "gain24-x")
+}
+
+// BenchmarkFig8DBScan regenerates Fig. 8 (the two lineitem queries).
+func BenchmarkFig8DBScan(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	var last bench.Fig8
+	for i := 0; i < b.N; i++ {
+		last = bench.RunFig8(cfg)
+	}
+	b.ReportMetric(last.Q1Conv.MeanS/last.Q1Biscuit.MeanS, "q1-speedup-x")
+	b.ReportMetric(last.Q2Conv.MeanS/last.Q2Biscuit.MeanS, "q2-speedup-x")
+}
+
+// BenchmarkFig9PowerTrace regenerates Fig. 9 and Table VI.
+func BenchmarkFig9PowerTrace(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	var last bench.Fig9
+	for i := 0; i < b.N; i++ {
+		last = bench.RunFig9(cfg)
+	}
+	b.ReportMetric(last.Conv.AvgW, "conv-W")
+	b.ReportMetric(last.Biscuit.AvgW, "biscuit-W")
+	b.ReportMetric(last.Conv.EnergyJ/last.Biscuit.EnergyJ, "energy-ratio-x")
+}
+
+// BenchmarkFig10TPCH regenerates Fig. 10 (all 22 TPC-H queries).
+func BenchmarkFig10TPCH(b *testing.B) {
+	cfg := bench.DefaultConfig()
+	var last bench.Fig10
+	for i := 0; i < b.N; i++ {
+		last = bench.RunFig10(cfg)
+	}
+	b.ReportMetric(float64(last.OffloadedCount), "offloaded")
+	b.ReportMetric(last.GeoMeanOff, "geomean-x")
+	b.ReportMetric(last.TopFiveMean, "topfive-x")
+	b.ReportMetric(last.TotalSpeedup, "total-x")
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5).
+
+// tpchRig loads a TPC-H instance for ablation runs.
+func tpchRig(b *testing.B, sf float64) (*biscuit.System, *tpch.Data) {
+	b.Helper()
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 512
+	cfg.NAND.PagesPerBlock = 64
+	sys := biscuit.NewSystem(cfg)
+	d := db.Open(sys)
+	var data *tpch.Data
+	sys.Run(func(h *biscuit.Host) {
+		var err error
+		data, err = tpch.Gen{SF: sf, Seed: 1}.Load(h, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	return sys, data
+}
+
+// BenchmarkAblationJoinOrder isolates the NDP-first join-order heuristic
+// on Q14: offload with and without reordering. The paper attributes
+// Q14's outsized win to exactly this interaction (§V-C).
+func BenchmarkAblationJoinOrder(b *testing.B) {
+	sys, data := tpchRig(b, 0.01)
+	var withT, withoutT sim.Time
+	for i := 0; i < b.N; i++ {
+		sys.Run(func(h *biscuit.Host) {
+			q14 := tpch.ByID(14)
+			run := func(disable bool) sim.Time {
+				ex := db.NewExec(h, data.DB)
+				ex.JoinBufferRows = 512
+				qc := &tpch.QCtx{Ex: ex, D: data, Pl: planner.Default(), DisableReorder: disable}
+				start := h.Now()
+				if _, err := q14.Run(qc); err != nil {
+					b.Fatal(err)
+				}
+				ex.FlushCost()
+				return h.Now() - start
+			}
+			withT = run(false)
+			withoutT = run(true)
+		})
+	}
+	b.ReportMetric(withT.Seconds(), "ndp-first-s")
+	b.ReportMetric(withoutT.Seconds(), "mariadb-order-s")
+	b.ReportMetric(float64(withoutT)/float64(withT), "reorder-gain-x")
+}
+
+// BenchmarkAblationSoftwareDeviceScan compares the matcher-IP scan
+// against a software-only device scan and the Conv baseline on Fig. 8's
+// Query 1, reproducing the paper's claim that in-storage *software*
+// scanning loses on a modern SSD while the hardware IP wins (§I, §VI).
+func BenchmarkAblationSoftwareDeviceScan(b *testing.B) {
+	sys, data := tpchRig(b, 0.01)
+	var convT, hwT, swT sim.Time
+	for i := 0; i < b.N; i++ {
+		sys.Run(func(h *biscuit.Host) {
+			ls := data.Lineitem.Sch
+			pred := db.EqD(ls, "l_shipdate", "1995-01-17")
+			keys := []string{"1995-01-17"}
+			measure := func(mk func(ex *db.Exec) db.Iterator) sim.Time {
+				ex := db.NewExec(h, data.DB)
+				start := h.Now()
+				if _, err := db.Collect(mk(ex)); err != nil {
+					b.Fatal(err)
+				}
+				ex.FlushCost()
+				return h.Now() - start
+			}
+			convT = measure(func(ex *db.Exec) db.Iterator { return ex.NewConvScan(data.Lineitem, pred) })
+			hwT = measure(func(ex *db.Exec) db.Iterator { return ex.NewNDPScan(data.Lineitem, keys, pred) })
+			swT = measure(func(ex *db.Exec) db.Iterator {
+				s := ex.NewNDPScan(data.Lineitem, keys, pred)
+				s.Software = true
+				return s
+			})
+		})
+	}
+	b.ReportMetric(convT.Seconds(), "conv-s")
+	b.ReportMetric(hwT.Seconds(), "hw-matcher-s")
+	b.ReportMetric(swT.Seconds(), "sw-device-s")
+	b.ReportMetric(float64(convT)/float64(hwT), "hw-speedup-x")
+	b.ReportMetric(float64(convT)/float64(swT), "sw-speedup-x")
+}
+
+// BenchmarkAblationIndexJoin replaces block-nested-loop with B+tree
+// index-nested-loop joins on a Q14-shaped query (lineitem month filter
+// joined with part) and shows that indexes narrow Conv's gap but the NDP
+// plan still wins: the offloaded filter collapses the probe count
+// itself.
+func BenchmarkAblationIndexJoin(b *testing.B) {
+	sys, data := tpchRig(b, 0.01)
+	var bnlT, inlT, ndpT sim.Time
+	for i := 0; i < b.N; i++ {
+		sys.Run(func(h *biscuit.Host) {
+			ls := data.Lineitem.Sch
+			pred := db.RangeD(ls, "l_shipdate", "1995-09-01", "1995-10-01")
+			exIdx := db.NewExec(h, data.DB)
+			partIx, err := data.DB.BuildIndex(exIdx, data.Part, "p_partkey")
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			// Conv + BNL: MariaDB order, part outer, lineitem rescanned.
+			exA := db.NewExec(h, data.DB)
+			exA.JoinBufferRows = 512
+			sch := data.Part.Sch.Concat(ls)
+			bnl := &db.BNLJoin{Ex: exA,
+				Outer: exA.NewConvScan(data.Part, nil),
+				Inner: func() db.Iterator { return exA.NewConvScan(data.Lineitem, pred) },
+				On:    db.Cmp{Op: db.EQ, L: db.C(sch, "p_partkey"), R: db.C(sch, "l_partkey")}}
+			start := h.Now()
+			rowsA, err := db.Collect(bnl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exA.FlushCost()
+			bnlT = h.Now() - start
+
+			// Conv + INL: filtered lineitem scan probes the part index.
+			exB := db.NewExec(h, data.DB)
+			inl := &db.INLJoin{Ex: exB,
+				Outer:    exB.NewConvScan(data.Lineitem, pred),
+				Ix:       partIx,
+				OuterKey: db.C(ls, "l_partkey")}
+			start = h.Now()
+			rowsB, err := db.Collect(inl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exB.FlushCost()
+			inlT = h.Now() - start
+
+			// NDP + INL: the offloaded filter feeds the index probes.
+			exC := db.NewExec(h, data.DB)
+			ndp := &db.INLJoin{Ex: exC,
+				Outer:    exC.NewNDPScan(data.Lineitem, []string{"1995-09"}, pred),
+				Ix:       partIx,
+				OuterKey: db.C(ls, "l_partkey")}
+			start = h.Now()
+			rowsC, err := db.Collect(ndp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exC.FlushCost()
+			ndpT = h.Now() - start
+
+			if len(rowsA) != len(rowsB) || len(rowsB) != len(rowsC) {
+				b.Fatalf("join result mismatch: bnl=%d inl=%d ndp=%d", len(rowsA), len(rowsB), len(rowsC))
+			}
+		})
+	}
+	b.ReportMetric(bnlT.Seconds(), "conv-bnl-s")
+	b.ReportMetric(inlT.Seconds(), "conv-inl-s")
+	b.ReportMetric(ndpT.Seconds(), "ndp-inl-s")
+	b.ReportMetric(float64(bnlT)/float64(ndpT), "ndp-vs-bnl-x")
+	b.ReportMetric(float64(inlT)/float64(ndpT), "ndp-vs-inl-x")
+}
+
+// BenchmarkAblationSelectivityThreshold sweeps the planner's offload
+// threshold and reports how many TPC-H queries offload at each setting.
+func BenchmarkAblationSelectivityThreshold(b *testing.B) {
+	sys, data := tpchRig(b, 0.01)
+	counts := map[float64]int{}
+	thresholds := []float64{0.05, 0.25, 0.60}
+	for i := 0; i < b.N; i++ {
+		sys.Run(func(h *biscuit.Host) {
+			for _, th := range thresholds {
+				pl := planner.Default()
+				pl.Threshold = th
+				n := 0
+				for _, q := range tpch.All() {
+					qc := &tpch.QCtx{Ex: db.NewExec(h, data.DB), D: data, Pl: pl}
+					if _, err := q.Run(qc); err != nil {
+						b.Fatal(err)
+					}
+					if qc.Offloaded {
+						n++
+					}
+				}
+				counts[th] = n
+			}
+		})
+	}
+	b.ReportMetric(float64(counts[0.05]), "offloaded@0.05")
+	b.ReportMetric(float64(counts[0.25]), "offloaded@0.25")
+	b.ReportMetric(float64(counts[0.60]), "offloaded@0.60")
+}
+
+// BenchmarkAblationAggregatePushdown compares three placements of a
+// Q6-shaped filter+aggregate: host-only (Conv), filter offload with host
+// aggregation (the paper's design), and filter+aggregate offload (the
+// §VIII-style extension implemented as a loadable SSDlet).
+func BenchmarkAblationAggregatePushdown(b *testing.B) {
+	sys, data := tpchRig(b, 0.01)
+	var convT, filterT, aggT sim.Time
+	var convPages, filterPages, aggPages int64
+	for i := 0; i < b.N; i++ {
+		sys.Run(func(h *biscuit.Host) {
+			ls := data.Lineitem.Sch
+			pred := db.AndOf(
+				db.RangeD(ls, "l_shipdate", "1994-01-01", "1995-01-01"),
+				db.Between{X: db.C(ls, "l_discount"), Lo: db.Dec(5), Hi: db.Dec(7)},
+				db.Cmp{Op: db.LT, L: db.C(ls, "l_quantity"), R: db.Lit(db.Int(24))},
+			)
+			keys := []string{"1994-"}
+			rev := db.Arith{Op: db.Mul, L: db.C(ls, "l_extendedprice"), R: db.C(ls, "l_discount")}
+			aggs := []db.Agg{{F: db.Sum, Arg: rev, Name: "revenue"}}
+
+			exA := db.NewExec(h, data.DB)
+			start := h.Now()
+			rowsA, err := db.Collect(db.ScalarAgg(exA, exA.NewConvScan(data.Lineitem, pred), aggs...))
+			if err != nil {
+				b.Fatal(err)
+			}
+			exA.FlushCost()
+			convT, convPages = h.Now()-start, exA.St.PagesOverLink
+
+			exB := db.NewExec(h, data.DB)
+			start = h.Now()
+			rowsB, err := db.Collect(db.ScalarAgg(exB, exB.NewNDPScan(data.Lineitem, keys, pred), aggs...))
+			if err != nil {
+				b.Fatal(err)
+			}
+			exB.FlushCost()
+			filterT, filterPages = h.Now()-start, exB.St.PagesOverLink
+
+			exC := db.NewExec(h, data.DB)
+			start = h.Now()
+			rowsC, err := db.Collect(exC.NewNDPAggScan(data.Lineitem, keys, pred, nil, aggs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			exC.FlushCost()
+			aggT, aggPages = h.Now()-start, exC.St.PagesOverLink
+
+			if !db.Equal(rowsA[0][0], rowsB[0][0]) || !db.Equal(rowsB[0][0], rowsC[0][0]) {
+				b.Fatalf("aggregate mismatch: %v / %v / %v", rowsA[0][0], rowsB[0][0], rowsC[0][0])
+			}
+		})
+	}
+	b.ReportMetric(convT.Seconds(), "conv-s")
+	b.ReportMetric(filterT.Seconds(), "filter-offload-s")
+	b.ReportMetric(aggT.Seconds(), "agg-offload-s")
+	b.ReportMetric(float64(convPages), "conv-pages")
+	b.ReportMetric(float64(filterPages), "filter-pages")
+	b.ReportMetric(float64(aggPages), "agg-pages")
+}
+
+// BenchmarkAblationChannels sweeps the NAND channel count and reports
+// the Biscuit-internal bandwidth, locating where NDP's headroom over the
+// 3.2 GB/s link appears.
+func BenchmarkAblationChannels(b *testing.B) {
+	results := map[int]float64{}
+	chans := []int{4, 8, 16, 32}
+	for i := 0; i < b.N; i++ {
+		for _, nch := range chans {
+			cfg := biscuit.DefaultConfig()
+			cfg.NAND.Channels = nch
+			cfg.NAND.BlocksPerDie = 256
+			cfg.NAND.PagesPerBlock = 64
+			sys := biscuit.NewSystem(cfg)
+			sys.Run(func(h *biscuit.Host) {
+				const total = 16 << 20
+				plat := h.System().Plat
+				f, _ := h.SSD().CreateFile("x")
+				h.SSD().WriteFile(f, 0, make([]byte, total))
+				segs, _ := f.Segments(0, total)
+				start := h.Now()
+				plat.FTL.ReadRange(h.Proc(), segs[0].FTLOff, total)
+				el := h.Now() - start
+				results[nch] = float64(total) / el.Seconds() / 1e9
+			})
+		}
+	}
+	for _, nch := range chans {
+		b.ReportMetric(results[nch], "GB/s@"+itoa(nch)+"ch")
+	}
+}
+
+// BenchmarkAblationNetworked moves the SSD behind a 10 GbE storage node
+// (the paper's Fig. 1(c) organization) and re-runs the string search:
+// Conv now pays the network for every byte, while the in-storage scan is
+// untouched — NDP's advantage grows with distance from the data.
+func BenchmarkAblationNetworked(b *testing.B) {
+	run := func(netBW float64) (convS, ndpS float64) {
+		cfg := biscuit.DefaultConfig()
+		cfg.NAND.BlocksPerDie = 256
+		cfg.Host.NetBW = netBW
+		cfg.Host.NetLatency = 25 * sim.Microsecond
+		sys := biscuit.NewSystem(cfg)
+		sys.Run(func(h *biscuit.Host) {
+			const needle = "XNEEDLEX"
+			if _, _, err := weblog.Generate(h, 16<<20, needle, 1000, 1); err != nil {
+				b.Fatal(err)
+			}
+			start := h.Now()
+			cN, err := weblog.SearchConv(h, needle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			convS = (h.Now() - start).Seconds()
+			start = h.Now()
+			nN, err := weblog.SearchNDP(h, needle)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ndpS = (h.Now() - start).Seconds()
+			if cN != nN {
+				b.Fatalf("count mismatch %d vs %d", cN, nN)
+			}
+		})
+		return convS, ndpS
+	}
+	var dasC, dasN, netC, netN float64
+	for i := 0; i < b.N; i++ {
+		dasC, dasN = run(0)      // direct-attached
+		netC, netN = run(1.25e9) // 10 GbE storage node
+	}
+	b.ReportMetric(dasC/dasN, "das-gain-x")
+	b.ReportMetric(netC/netN, "networked-gain-x")
+	b.ReportMetric(netC, "networked-conv-s")
+	b.ReportMetric(netN, "networked-ndp-s")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var out []byte
+	for n > 0 {
+		out = append([]byte{byte('0' + n%10)}, out...)
+		n /= 10
+	}
+	return string(out)
+}
+
+// BenchmarkAblationAsyncFileAPI compares synchronous and asynchronous
+// SSDlet file reads (§III-D recommends async for high bandwidth).
+func BenchmarkAblationAsyncFileAPI(b *testing.B) {
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 256
+	cfg.NAND.PagesPerBlock = 64
+	sys := biscuit.NewSystem(cfg)
+	var syncT, asyncT sim.Time
+	for i := 0; i < b.N; i++ {
+		sys.Run(func(h *biscuit.Host) {
+			const total = 8 << 20
+			const chunk = 64 << 10
+			plat := h.System().Plat
+			f, _ := h.SSD().CreateFile("a" + itoa(i))
+			h.SSD().WriteFile(f, 0, make([]byte, total))
+			segs, _ := f.Segments(0, total)
+			base := segs[0].FTLOff
+			start := h.Now()
+			for off := 0; off < total; off += chunk {
+				plat.FTL.ReadRange(h.Proc(), base+int64(off), chunk)
+			}
+			syncT = h.Now() - start
+			start = h.Now()
+			evs := make([]*sim.Event, 0, total/chunk)
+			buf := make([]byte, chunk)
+			for off := 0; off < total; off += chunk {
+				evs = append(evs, plat.FTL.ReadRangeAsyncInto(h.Proc(), base+int64(off), buf))
+			}
+			h.Proc().WaitAll(evs...)
+			asyncT = h.Now() - start
+		})
+	}
+	b.ReportMetric(syncT.Seconds(), "sync-s")
+	b.ReportMetric(asyncT.Seconds(), "async-s")
+	b.ReportMetric(float64(syncT)/float64(asyncT), "async-gain-x")
+}

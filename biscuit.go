@@ -1,0 +1,162 @@
+// Package biscuit is a Go reproduction of Biscuit, the near-data
+// processing framework for fast solid-state drives described in
+//
+//	Gu et al., "Biscuit: A Framework for Near-Data Processing of Big
+//	Data Workloads", ISCA 2016.
+//
+// A Biscuit application is a data-flow graph of tasks ("SSDlets")
+// connected by typed, bounded, data-ordered ports. Tasks run inside the
+// SSD next to the data; a host program loads task modules dynamically,
+// wires ports, starts the application and exchanges Packets with it.
+// Because real SSD firmware cannot be targeted from Go, the SSD itself —
+// NAND channels, FTL, NVMe link, embedded cores, per-channel pattern
+// matcher — is a deterministic discrete-event simulation (see DESIGN.md),
+// while the runtime, ports, file system and applications are real code.
+//
+// The API mirrors the paper's host-side library (libsisc) and device-side
+// library (libslet): SSD, Application, SSDLet proxies, File, Packet, and
+// RegisterSSDLet for module authors.
+package biscuit
+
+import (
+	"fmt"
+
+	"biscuit/internal/core"
+	"biscuit/internal/device"
+	"biscuit/internal/isfs"
+	"biscuit/internal/ports"
+	"biscuit/internal/sim"
+)
+
+// Re-exported device-side types for SSDlet authors (the libslet view).
+type (
+	// SSDlet is device-resident user code; implement Spec and Run.
+	SSDlet = core.SSDlet
+	// Context is passed to SSDlet.Run: ports, args, files, memory.
+	Context = core.Context
+	// Spec declares an SSDlet's port types.
+	Spec = core.Spec
+	// SpecType names a port element type inside a Spec.
+	SpecType = core.SpecType
+	// Module is a loaded module handle.
+	Module = core.Module
+	// ModuleImage is an installable .slet binary image.
+	ModuleImage = core.ModuleImage
+	// Packet is the serialized wire type of host and inter-app ports.
+	Packet = ports.Packet
+	// File is an open file on the in-storage file system.
+	File = isfs.File
+	// Config aggregates the full platform configuration.
+	Config = device.Config
+)
+
+// NewModule creates a module image to register SSDlet classes on,
+// mirroring the paper's module container (Code 2's RegisterSSDLet).
+func NewModule(name string, size int) *ModuleImage { return core.NewModuleImage(name, size) }
+
+// NewPacket wraps raw bytes in a Packet.
+func NewPacket(b []byte) Packet { return ports.NewPacket(b) }
+
+// Encode serializes a value into a Packet (explicit serialization per
+// paper §III-C).
+func Encode[T any](v T) (Packet, error) { return ports.Encode(v) }
+
+// Decode deserializes a Packet produced by Encode.
+func Decode[T any](p Packet) (T, error) { return ports.Decode[T](p) }
+
+// PortOf declares a port element type in a Spec.
+func PortOf[T any]() core.SpecType { return core.PortType[T]() }
+
+// PacketPort is the declared type of Packet-carrying ports.
+var PacketPort = core.PacketType
+
+// In binds a typed input port inside a running SSDlet.
+func In[T any](c *Context, i int) (*core.InPort[T], error) { return core.In[T](c, i) }
+
+// Out binds a typed output port inside a running SSDlet.
+func Out[T any](c *Context, i int) (*core.OutPort[T], error) { return core.Out[T](c, i) }
+
+// DefaultConfig returns the calibrated configuration of the paper's
+// evaluation platform (Table I, §V-A).
+func DefaultConfig() Config { return device.DefaultConfig() }
+
+// System is one simulated host + SSD pair with a mounted file system and
+// the Biscuit runtime installed.
+type System struct {
+	Env  *sim.Env
+	Plat *device.Platform
+	RT   *core.Runtime
+}
+
+// NewSystem builds a system with the given configuration and formats the
+// in-storage file system.
+func NewSystem(cfg Config) *System {
+	env := sim.NewEnv()
+	plat := device.New(env, cfg)
+	s := &System{Env: env, Plat: plat}
+	env.Spawn("mkfs", func(p *sim.Proc) {
+		fs := isfs.Format(p, plat.FTL)
+		s.RT = core.NewRuntime(plat, fs)
+		s.RT.InstallImage(builtinImage())
+	})
+	env.Run()
+	return s
+}
+
+// Install registers a module image with the device, like dropping a
+// .slet file into /var/isc/slets.
+func (s *System) Install(img *ModuleImage) { s.RT.InstallImage(img) }
+
+// Run executes a host program against the system and drives the
+// simulation to completion, returning the virtual time the program took.
+func (s *System) Run(program func(h *Host)) sim.Time {
+	var took sim.Time
+	s.Env.Spawn("host-main", func(p *sim.Proc) {
+		start := p.Now()
+		program(&Host{sys: s, p: p})
+		took = p.Now() - start
+	})
+	s.Env.Run()
+	return took
+}
+
+// RunConcurrent executes several host programs as concurrent sessions
+// against the same SSD — the multi-user support the paper lists as
+// ongoing work (§VIII). Each session gets its own simulated host thread;
+// the runtime's applications, modules and ports are shared
+// infrastructure with per-session handles. It returns when every
+// session has finished.
+func (s *System) RunConcurrent(programs ...func(h *Host)) sim.Time {
+	var latest sim.Time
+	for i, program := range programs {
+		program := program
+		s.Env.Spawn(fmt.Sprintf("session-%d", i), func(p *sim.Proc) {
+			program(&Host{sys: s, p: p})
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+		})
+	}
+	s.Env.Run()
+	return latest
+}
+
+// Host is the execution context of a host program: it wraps the host's
+// simulated thread so application code reads like the paper's Code 3.
+type Host struct {
+	sys *System
+	p   *sim.Proc
+}
+
+// Proc exposes the underlying simulated host thread.
+func (h *Host) Proc() *sim.Proc { return h.p }
+
+// Now returns the current virtual time.
+func (h *Host) Now() sim.Time { return h.p.Now() }
+
+// System returns the host's system.
+func (h *Host) System() *System { return h.sys }
+
+// SSD returns a handle to the (single) SSD, mirroring
+// `SSD ssd("/dev/nvme0n1")`.
+func (h *Host) SSD() *SSD { return &SSD{h: h} }

@@ -1,0 +1,152 @@
+// Command biscuitbench regenerates the paper's tables and figures on the
+// simulated platform and prints them in the paper's layout.
+//
+// Usage:
+//
+//	biscuitbench -exp all
+//	biscuitbench -exp table2,table3
+//	biscuitbench -exp fig10 -sf 0.02 -joinbuf 512
+//	biscuitbench -exp fig9 -csv fig9.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"biscuit/internal/bench"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiments: table2,table3,fig7,table4,table5,fig8,fig9,fig10")
+		sf      = flag.Float64("sf", 0, "TPC-H scale factor override for fig8/fig9/fig10")
+		joinbuf = flag.Int("joinbuf", 0, "join buffer rows override for fig10")
+		quick   = flag.Bool("quick", false, "use reduced experiment sizes")
+		csv     = flag.String("csv", "", "write fig7/fig9/fig10 series as CSV to this file")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *sf > 0 {
+		cfg.Fig8SF = *sf
+		cfg.Fig10SF = *sf
+	}
+	if *joinbuf > 0 {
+		cfg.JoinBufferRows = *joinbuf
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	var csvOut strings.Builder
+
+	if all || want["table2"] {
+		t2 := bench.RunTable2()
+		fmt.Println("Table II — measured latency for different I/O port types")
+		fmt.Printf("  %-18s %-10s %-14s %-12s\n", "Host-to-device", "", "Inter-SSDlet", "Inter-app.")
+		fmt.Printf("  %-8s %-9s\n", "H2D", "D2H")
+		fmt.Printf("  %-8.1f %-9.1f %-14.1f %-12.1f  (us; paper: 301.6 / 130.1 / 31.0 / 10.7)\n\n",
+			t2.H2D.Micros(), t2.D2H.Micros(), t2.InterSSDlet.Micros(), t2.InterApp.Micros())
+	}
+	if all || want["table3"] {
+		t3 := bench.RunTable3()
+		fmt.Println("Table III — measured data read latency (4 KiB)")
+		fmt.Printf("  Conv %.1f us   Biscuit %.1f us   (paper: 90.0 / 75.9)\n\n", t3.Conv.Micros(), t3.Biscuit.Micros())
+	}
+	if all || want["fig7"] {
+		f7 := bench.RunFig7()
+		fmt.Println("Fig. 7 — read bandwidth vs request size (GB/s)")
+		fmt.Printf("  %-10s | %-26s | %-26s\n", "", "synchronous", "asynchronous (QD 32)")
+		fmt.Printf("  %-10s | %8s %8s %8s | %8s %8s %8s\n", "req size", "Conv", "Biscuit", "w/ PM", "Conv", "Biscuit", "w/ PM")
+		for i := range f7.Sync {
+			s, a := f7.Sync[i], f7.Async[i]
+			fmt.Printf("  %7dKiB | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f\n",
+				s.ReqSize>>10, s.Conv, s.Biscuit, s.Matcher, a.Conv, a.Biscuit, a.Matcher)
+			csvOut.WriteString(fmt.Sprintf("fig7,%d,%f,%f,%f,%f,%f,%f\n", s.ReqSize, s.Conv, s.Biscuit, s.Matcher, a.Conv, a.Biscuit, a.Matcher))
+		}
+		fmt.Println()
+	}
+	if all || want["table4"] {
+		t4 := bench.RunTable4(cfg)
+		fmt.Println("Table IV — execution time for pointer chasing (s)")
+		printSweep(t4.Rows)
+	}
+	if all || want["table5"] {
+		t5 := bench.RunTable5(cfg)
+		fmt.Printf("Table V — execution time for string matching (s), %d matches\n", t5.Matches)
+		printSweep(t5.Rows)
+	}
+	if all || want["fig8"] {
+		f8 := bench.RunFig8(cfg)
+		fmt.Printf("Fig. 8 — SQL queries on lineitem (SF %.3f, %d reps, mean ± 95%% CI)\n", cfg.Fig8SF, cfg.Fig8Reps)
+		pr := func(name string, s bench.Fig8Series) {
+			fmt.Printf("  %-12s %10.4fs ± %.4f (%d rows)\n", name, s.MeanS, s.CI95S, s.RowsOut)
+		}
+		pr("Q1 Conv", f8.Q1Conv)
+		pr("Q1 Biscuit", f8.Q1Biscuit)
+		fmt.Printf("  Q1 speed-up  %9.1fx (paper: ~11x)\n", f8.Q1Conv.MeanS/f8.Q1Biscuit.MeanS)
+		pr("Q2 Conv", f8.Q2Conv)
+		pr("Q2 Biscuit", f8.Q2Biscuit)
+		fmt.Printf("  Q2 speed-up  %9.1fx (paper: ~10x)\n\n", f8.Q2Conv.MeanS/f8.Q2Biscuit.MeanS)
+	}
+	if all || want["fig9"] || want["table6"] {
+		f9 := bench.RunFig9(cfg)
+		fmt.Println("Fig. 9 / Table VI — system power during Query 1")
+		fmt.Printf("  idle %.0f W\n", f9.IdleW)
+		fmt.Printf("  Conv:    exec %.4fs  avg %.1f W  energy %.3f J\n", f9.Conv.ExecS, f9.Conv.AvgW, f9.Conv.EnergyJ)
+		fmt.Printf("  Biscuit: exec %.4fs  avg %.1f W  energy %.3f J\n", f9.Biscuit.ExecS, f9.Biscuit.AvgW, f9.Biscuit.EnergyJ)
+		fmt.Printf("  energy ratio %.1fx (paper: ~5x)\n\n", f9.Conv.EnergyJ/f9.Biscuit.EnergyJ)
+		for i := range f9.Conv.Times {
+			csvOut.WriteString(fmt.Sprintf("fig9conv,%f,%f\n", f9.Conv.Times[i].Seconds(), f9.Conv.Watts[i]))
+		}
+		for i := range f9.Biscuit.Times {
+			csvOut.WriteString(fmt.Sprintf("fig9biscuit,%f,%f\n", f9.Biscuit.Times[i].Seconds(), f9.Biscuit.Watts[i]))
+		}
+	}
+	if all || want["fig10"] {
+		f10 := bench.RunFig10(cfg)
+		fmt.Printf("Fig. 10 — TPC-H relative performance (SF %.3f, join buffer %d rows)\n", cfg.Fig10SF, cfg.JoinBufferRows)
+		fmt.Printf("  %-4s %-36s %12s %12s %9s %8s  %s\n", "Q", "title", "Conv", "Biscuit", "speedup", "I/O red.", "decision")
+		for _, r := range f10.Rows {
+			fmt.Printf("  Q%-3d %-36s %12v %12v %8.1fx %7.1fx  %s\n",
+				r.Query, r.Title, r.ConvTime, r.BiscTime, r.Speedup, r.IOReduction, r.Reason)
+			csvOut.WriteString(fmt.Sprintf("fig10,%d,%f,%f,%f,%f,%v\n",
+				r.Query, r.ConvTime.Seconds(), r.BiscTime.Seconds(), r.Speedup, r.IOReduction, r.Offloaded))
+		}
+		fmt.Printf("  offloaded %d of 22 | geomean(offloaded) %.1fx | top-five mean %.1fx | total %.2fs vs %.2fs = %.1fx\n",
+			f10.OffloadedCount, f10.GeoMeanOff, f10.TopFiveMean, f10.TotalConvS, f10.TotalBiscS, f10.TotalSpeedup)
+		fmt.Println("  (paper: 8 offloaded, geomean 6.1x, top-five 15.4x, total 3.6x)")
+	}
+
+	if *csv != "" && csvOut.Len() > 0 {
+		if err := os.WriteFile(*csv, []byte(csvOut.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csv)
+	}
+}
+
+func printSweep(rows []bench.LoadSweepRow) {
+	fmt.Printf("  %-10s", "#threads")
+	for _, r := range rows {
+		fmt.Printf(" %9d", r.Threads)
+	}
+	fmt.Printf("\n  %-10s", "Conv")
+	for _, r := range rows {
+		fmt.Printf(" %9.4f", r.Conv.Seconds())
+	}
+	fmt.Printf("\n  %-10s", "Biscuit")
+	for _, r := range rows {
+		fmt.Printf(" %9.4f", r.Biscuit.Seconds())
+	}
+	fmt.Print("\n\n")
+}

@@ -1,0 +1,118 @@
+// Command sqlssd runs SQL queries against a TPC-H dataset on the
+// simulated Biscuit SSD, printing results plus the offload planner's
+// decision and the Conv-vs-Biscuit timing of each query.
+//
+//	sqlssd -sf 0.01 -q "SELECT l_orderkey FROM lineitem WHERE l_shipdate = '1995-1-17'"
+//	echo "SELECT ... ; SELECT ..." | sqlssd    # one query per ';'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"biscuit"
+	"biscuit/internal/db"
+	"biscuit/internal/db/planner"
+	"biscuit/internal/sql"
+	"biscuit/internal/tpch"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		q       = flag.String("q", "", "query to run (default: read from stdin, ';'-separated)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		maxRows = flag.Int("rows", 20, "max rows to print per query")
+	)
+	flag.Parse()
+
+	var queries []string
+	if *q != "" {
+		queries = []string{*q}
+	} else {
+		in := bufio.NewReader(os.Stdin)
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := in.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		for _, part := range strings.Split(sb.String(), ";") {
+			if s := strings.TrimSpace(part); s != "" {
+				queries = append(queries, s)
+			}
+		}
+	}
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "sqlssd: no queries (use -q or stdin)")
+		os.Exit(2)
+	}
+
+	sys := biscuit.NewSystem(biscuit.DefaultConfig())
+	d := db.Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		if _, err := (tpch.Gen{SF: *sf, Seed: *seed}).Load(h, d); err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+	})
+	fmt.Printf("TPC-H SF %.3f loaded.\n\n", *sf)
+
+	sys.Run(func(h *biscuit.Host) {
+		for _, query := range queries {
+			fmt.Printf("sql> %s\n", query)
+
+			exC := db.NewExec(h, d)
+			start := h.Now()
+			conv, err := sql.Run(exC, d, nil, query)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			convT := h.Now() - start
+
+			exB := db.NewExec(h, d)
+			start = h.Now()
+			bisc, err := sql.Run(exB, d, planner.Default(), query)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			biscT := h.Now() - start
+
+			printRows(bisc, *maxRows)
+			if bisc.Decision != nil {
+				fmt.Printf("-- planner: %s\n", bisc.Decision.Reason)
+			} else {
+				fmt.Println("-- planner: no offload candidate")
+			}
+			fmt.Printf("-- Conv %v (%d link pages) | Biscuit %v (%d link pages) | speed-up %.1fx\n\n",
+				convT, exC.St.PagesOverLink, biscT, exB.St.PagesOverLink, float64(convT)/float64(biscT))
+			if len(conv.Rows) != len(bisc.Rows) {
+				fmt.Fprintln(os.Stderr, "WARNING: Conv and Biscuit row counts differ")
+			}
+		}
+	})
+}
+
+func printRows(res *sql.Result, maxRows int) {
+	fmt.Println(strings.Join(res.Cols, "\t"))
+	for i, r := range res.Rows {
+		if i >= maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		parts := make([]string, len(r))
+		for c, v := range r {
+			parts[c] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

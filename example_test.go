@@ -1,0 +1,81 @@
+package biscuit_test
+
+import (
+	"fmt"
+
+	"biscuit"
+	"biscuit/internal/isfs"
+)
+
+// counter is a minimal SSDlet: it counts the bytes of a file on the
+// device and ships the count to the host.
+type counter struct{}
+
+func (counter) Spec() biscuit.Spec {
+	return biscuit.Spec{Out: []biscuit.SpecType{biscuit.PacketPort}}
+}
+
+func (counter) Run(c *biscuit.Context) error {
+	f, err := c.OpenFile(c.Arg(0).(string), isfs.ReadOnly)
+	if err != nil {
+		return err
+	}
+	out, err := biscuit.Out[biscuit.Packet](c, 0)
+	if err != nil {
+		return err
+	}
+	pkt, err := biscuit.Encode(f.Size())
+	if err != nil {
+		return err
+	}
+	out.Put(pkt)
+	return nil
+}
+
+// Example shows the complete lifecycle of a Biscuit application: store a
+// file, load a module, wire a device-to-host port, start, receive.
+func Example() {
+	sys := biscuit.NewSystem(biscuit.DefaultConfig())
+	sys.Install(biscuit.NewModule("count.slet", 0).
+		RegisterSSDLet("idCounter", func() biscuit.SSDlet { return counter{} }))
+
+	sys.Run(func(h *biscuit.Host) {
+		ssd := h.SSD()
+		f, _ := ssd.CreateFile("hello.txt")
+		ssd.WriteFile(f, 0, []byte("hello, near-data processing"))
+
+		mod, _ := ssd.LoadModule("count.slet")
+		app := ssd.NewApplication()
+		let, _ := app.NewSSDLet(mod, "idCounter", "hello.txt")
+		port, _ := biscuit.ConnectTo[int64](app, let.Out(0))
+		app.Start()
+		if n, ok := port.Get(); ok {
+			fmt.Printf("device counted %d bytes\n", n)
+		}
+		app.Wait()
+		ssd.UnloadModule(mod)
+	})
+	// Output: device counted 27 bytes
+}
+
+// ExampleScanArgs runs the built-in hardware pattern-matcher scanner.
+func ExampleScanArgs() {
+	sys := biscuit.NewSystem(biscuit.DefaultConfig())
+	sys.Run(func(h *biscuit.Host) {
+		ssd := h.SSD()
+		f, _ := ssd.CreateFile("log")
+		ssd.WriteFile(f, 0, []byte("alpha NEEDLE beta NEEDLE gamma"))
+
+		mod, _ := ssd.LoadModule(biscuit.BuiltinModule)
+		app := ssd.NewApplication()
+		let, _ := app.NewSSDLet(mod, biscuit.ScannerID,
+			biscuit.ScanArgs{File: "log", Keys: []string{"NEEDLE"}, Mode: biscuit.ScanCount})
+		port, _ := biscuit.ConnectTo[biscuit.ScanResult](app, let.Out(0))
+		app.Start()
+		if res, ok := port.Get(); ok {
+			fmt.Printf("%d matches in %d bytes\n", res.Matches, res.Bytes)
+		}
+		app.Wait()
+	})
+	// Output: 2 matches in 30 bytes
+}

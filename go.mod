@@ -1,0 +1,3 @@
+module biscuit
+
+go 1.22

@@ -1,0 +1,84 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§V): each RunXxx function builds a fresh simulated
+// platform, executes the corresponding experiment and returns typed rows
+// that cmd/biscuitbench prints and the repository-root benchmarks
+// report. Calibration tests in this package pin the headline numbers
+// (Tables II and III) to the paper's measurements.
+package bench
+
+import (
+	"biscuit"
+	"biscuit/internal/sim"
+)
+
+// Config sizes the experiments. The paper's datasets (160 GiB TPC-H,
+// 7.8 GiB logs, 20 GiB graph) are scaled down so that discrete-event
+// simulation finishes in seconds; EXPERIMENTS.md records the scales and
+// why ratios survive scaling.
+type Config struct {
+	// TPC-H scale factor for Fig. 8/9 and Fig. 10.
+	Fig8SF  float64
+	Fig10SF float64
+	// JoinBufferRows is the MariaDB join-buffer size in rows for Fig. 10
+	// block-nested-loop joins.
+	JoinBufferRows int
+	// Fig8Reps is the repetition count behind Fig. 8's error bars.
+	Fig8Reps int
+	// WeblogBytes sizes the Table V corpus.
+	WeblogBytes int64
+	// GraphNodes / Walks / Hops size the Table IV traversal.
+	GraphNodes, Walks, Hops int
+	// Loads is the background-thread sweep of Tables IV and V.
+	Loads []int
+	// Seed drives all generators.
+	Seed int64
+}
+
+// DefaultConfig returns sizes that keep each experiment under roughly a
+// minute of wall time while leaving every table big enough to exercise
+// all 16 channels.
+func DefaultConfig() Config {
+	return Config{
+		Fig8SF:         0.02,
+		Fig10SF:        0.02,
+		JoinBufferRows: 512,
+		Fig8Reps:       10,
+		WeblogBytes:    24 << 20,
+		GraphNodes:     20000,
+		Walks:          50,
+		Hops:           60,
+		Loads:          []int{0, 6, 12, 18, 24},
+		Seed:           1,
+	}
+}
+
+// QuickConfig returns much smaller sizes for unit tests.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Fig8SF = 0.004
+	c.Fig10SF = 0.004
+	c.Fig8Reps = 3
+	c.WeblogBytes = 4 << 20
+	c.GraphNodes = 2000
+	c.Walks = 10
+	c.Hops = 20
+	c.Loads = []int{0, 24}
+	return c
+}
+
+// newSystem builds the paper-calibrated platform with media geometry
+// scaled to the experiment's footprint (full 16-channel parallelism,
+// fewer blocks so simulation memory stays modest).
+func newSystem() *biscuit.System {
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 512
+	cfg.NAND.PagesPerBlock = 64
+	return biscuit.NewSystem(cfg)
+}
+
+// timeIt measures a host-program step in virtual time.
+func timeIt(h *biscuit.Host, fn func()) sim.Time {
+	start := h.Now()
+	fn()
+	return h.Now() - start
+}

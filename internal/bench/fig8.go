@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"math/rand"
+
+	"biscuit"
+	"biscuit/internal/db"
+	"biscuit/internal/db/planner"
+	"biscuit/internal/sim"
+	"biscuit/internal/stats"
+	"biscuit/internal/tpch"
+)
+
+// Fig. 8's two illustration queries over lineitem (taken by the paper
+// from the Ibex work):
+//
+//	Query 1: SELECT l_orderkey, l_shipdate, l_linenumber FROM lineitem
+//	         WHERE l_shipdate = '1995-01-17'
+//	Query 2: ... WHERE (l_shipdate = '1995-01-17' OR l_shipdate =
+//	         '1995-01-18') AND (l_linenumber = 1 OR l_linenumber = 2)
+
+func fig8Pred(ls *db.Schema, query int) db.Expr {
+	switch query {
+	case 1:
+		return db.EqD(ls, "l_shipdate", "1995-01-17")
+	case 2:
+		return db.AndOf(
+			db.OrOf(db.EqD(ls, "l_shipdate", "1995-01-17"), db.EqD(ls, "l_shipdate", "1995-01-18")),
+			db.OrOf(
+				db.Cmp{Op: db.EQ, L: db.C(ls, "l_linenumber"), R: db.Lit(db.Int(1))},
+				db.Cmp{Op: db.EQ, L: db.C(ls, "l_linenumber"), R: db.Lit(db.Int(2))},
+			),
+		)
+	}
+	panic("bench: fig8 query must be 1 or 2")
+}
+
+// runFig8Query executes one repetition and returns its virtual time and
+// result cardinality.
+func runFig8Query(h *biscuit.Host, data *tpch.Data, query int, offload bool) (sim.Time, int) {
+	ls := data.Lineitem.Sch
+	pred := fig8Pred(ls, query)
+	ex := db.NewExec(h, data.DB)
+	var scan db.Iterator
+	if offload {
+		it, dec := planner.Default().PlanScan(ex, data.Lineitem, pred)
+		if !dec.Offloaded {
+			panic("bench: fig8 scan must offload: " + dec.Reason)
+		}
+		scan = it
+	} else {
+		scan = ex.NewConvScan(data.Lineitem, pred)
+	}
+	proj := &db.ProjectOp{Ex: ex, In: scan,
+		Exprs: []db.Expr{db.C(ls, "l_orderkey"), db.C(ls, "l_shipdate"), db.C(ls, "l_linenumber")},
+		Names: []string{"l_orderkey", "l_shipdate", "l_linenumber"}}
+	var n int
+	took := timeIt(h, func() {
+		rows, err := db.Collect(proj)
+		if err != nil {
+			panic(err)
+		}
+		ex.FlushCost()
+		n = len(rows)
+	})
+	return took, n
+}
+
+// Fig8Series holds the repetitions for one (query, mode) pair.
+type Fig8Series struct {
+	Times   []sim.Time
+	MeanS   float64
+	CI95S   float64
+	RowsOut int
+}
+
+func series(ts []sim.Time, rows int) Fig8Series {
+	xs := make([]float64, len(ts))
+	for i, t := range ts {
+		xs[i] = t.Seconds()
+	}
+	return Fig8Series{Times: ts, MeanS: stats.Mean(xs), CI95S: stats.CI95(xs), RowsOut: rows}
+}
+
+// Fig8 reproduces Fig. 8: repeated executions of both queries under
+// both systems, with 95% confidence intervals.
+type Fig8 struct {
+	Q1Conv, Q1Biscuit Fig8Series
+	Q2Conv, Q2Biscuit Fig8Series
+}
+
+// RunFig8 loads TPC-H once and repeats each query cfg.Fig8Reps times.
+// Between repetitions a small random ambient load (0-3 background
+// threads) models the OS activity that made the paper's Conv runs "vary
+// significantly ... depending on CPU and cache utilization" while
+// Biscuit runs stayed consistent.
+func RunFig8(cfg Config) Fig8 {
+	var out Fig8
+	sys := newSystem()
+	d := db.Open(sys)
+	var data *tpch.Data
+	sys.Run(func(h *biscuit.Host) {
+		var err error
+		data, err = tpch.Gen{SF: cfg.Fig8SF, Seed: cfg.Seed}.Load(h, d)
+		if err != nil {
+			panic(err)
+		}
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sys.Run(func(h *biscuit.Host) {
+		plat := h.System().Plat
+		run := func(query int, offload bool) Fig8Series {
+			// Warmup: loads the NDP module and touches the catalog so
+			// measured repetitions see steady state.
+			runFig8Query(h, data, query, offload)
+			var ts []sim.Time
+			rows := 0
+			for rep := 0; rep < cfg.Fig8Reps; rep++ {
+				plat.SetHostLoad(rng.Intn(4)) // ambient system noise
+				t, n := runFig8Query(h, data, query, offload)
+				ts = append(ts, t)
+				rows = n
+			}
+			plat.SetHostLoad(0)
+			return series(ts, rows)
+		}
+		out.Q1Conv = run(1, false)
+		out.Q1Biscuit = run(1, true)
+		out.Q2Conv = run(2, false)
+		out.Q2Biscuit = run(2, true)
+		if out.Q1Conv.RowsOut != out.Q1Biscuit.RowsOut || out.Q2Conv.RowsOut != out.Q2Biscuit.RowsOut {
+			panic("bench: fig8 result cardinality mismatch between Conv and Biscuit")
+		}
+	})
+	return out
+}

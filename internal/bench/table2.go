@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"biscuit"
+	"biscuit/internal/sim"
+)
+
+// Table2 reproduces Table II: one-way communication latency for the
+// three I/O port types (host-to-device split into both directions).
+type Table2 struct {
+	H2D, D2H, InterSSDlet, InterApp sim.Time
+}
+
+// latency SSDlets: each Get records the virtual receive time into a
+// shared slice so the host can pair it with the matching send time.
+
+type pingArgs struct {
+	n    int
+	recv *[]sim.Time // receive timestamps, appended by the SSDlet
+	ackT *[]sim.Time // device-side send timestamps for the D2H leg
+}
+
+// echoLet receives n packets, timestamping each, and sends each straight
+// back, timestamping the send (for H2D / D2H measurement).
+type echoLet struct{}
+
+func (echoLet) Spec() biscuit.Spec {
+	return biscuit.Spec{In: []biscuit.SpecType{biscuit.PacketPort}, Out: []biscuit.SpecType{biscuit.PacketPort}}
+}
+
+func (echoLet) Run(c *biscuit.Context) error {
+	args := c.Arg(0).(pingArgs)
+	in, err := biscuit.In[biscuit.Packet](c, 0)
+	if err != nil {
+		return err
+	}
+	out, err := biscuit.Out[biscuit.Packet](c, 0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < args.n; i++ {
+		pkt, ok := in.Get()
+		if !ok {
+			break
+		}
+		*args.recv = append(*args.recv, c.Now())
+		*args.ackT = append(*args.ackT, c.Now())
+		out.Put(pkt)
+	}
+	return nil
+}
+
+// sendLet emits n typed values (string ports: the inter-SSDlet flavour),
+// recording each send time.
+type sendLet struct{}
+
+type sendArgs struct {
+	n     int
+	sendT *[]sim.Time
+}
+
+func (sendLet) Spec() biscuit.Spec {
+	return biscuit.Spec{In: []biscuit.SpecType{biscuit.PortOf[string]()}, Out: []biscuit.SpecType{biscuit.PortOf[string]()}}
+}
+
+func (sendLet) Run(c *biscuit.Context) error {
+	args := c.Arg(0).(sendArgs)
+	out, err := biscuit.Out[string](c, 0)
+	if err != nil {
+		return err
+	}
+	in, err := biscuit.In[string](c, 0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < args.n; i++ {
+		*args.sendT = append(*args.sendT, c.Now())
+		out.Put("x")
+		// Wait for the ack so exactly one item is ever in flight —
+		// we are measuring latency, not throughput.
+		if _, ok := in.Get(); !ok {
+			break
+		}
+	}
+	return nil
+}
+
+// recvLet receives n typed values, timestamping, and acks each.
+type recvLet struct{}
+
+type recvArgs struct {
+	n     int
+	recvT *[]sim.Time
+}
+
+func (recvLet) Spec() biscuit.Spec {
+	return biscuit.Spec{In: []biscuit.SpecType{biscuit.PortOf[string]()}, Out: []biscuit.SpecType{biscuit.PortOf[string]()}}
+}
+
+func (recvLet) Run(c *biscuit.Context) error {
+	args := c.Arg(0).(recvArgs)
+	in, err := biscuit.In[string](c, 0)
+	if err != nil {
+		return err
+	}
+	out, err := biscuit.Out[string](c, 0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < args.n; i++ {
+		v, ok := in.Get()
+		if !ok {
+			break
+		}
+		*args.recvT = append(*args.recvT, c.Now())
+		out.Put(v)
+	}
+	return nil
+}
+
+// Packet flavours of send/recv for the inter-application port.
+type pktSendLet struct{}
+
+func (pktSendLet) Spec() biscuit.Spec {
+	return biscuit.Spec{In: []biscuit.SpecType{biscuit.PacketPort}, Out: []biscuit.SpecType{biscuit.PacketPort}}
+}
+
+func (pktSendLet) Run(c *biscuit.Context) error {
+	args := c.Arg(0).(sendArgs)
+	out, err := biscuit.Out[biscuit.Packet](c, 0)
+	if err != nil {
+		return err
+	}
+	in, err := biscuit.In[biscuit.Packet](c, 0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < args.n; i++ {
+		*args.sendT = append(*args.sendT, c.Now())
+		out.Put(biscuit.NewPacket([]byte{1}))
+		if _, ok := in.Get(); !ok {
+			break
+		}
+	}
+	return nil
+}
+
+type pktRecvLet struct{}
+
+func (pktRecvLet) Spec() biscuit.Spec {
+	return biscuit.Spec{In: []biscuit.SpecType{biscuit.PacketPort}, Out: []biscuit.SpecType{biscuit.PacketPort}}
+}
+
+func (pktRecvLet) Run(c *biscuit.Context) error {
+	args := c.Arg(0).(recvArgs)
+	in, err := biscuit.In[biscuit.Packet](c, 0)
+	if err != nil {
+		return err
+	}
+	out, err := biscuit.Out[biscuit.Packet](c, 0)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < args.n; i++ {
+		v, ok := in.Get()
+		if !ok {
+			break
+		}
+		*args.recvT = append(*args.recvT, c.Now())
+		out.Put(v)
+	}
+	return nil
+}
+
+func latModule() *biscuit.ModuleImage {
+	return biscuit.NewModule("latency.slet", 32<<10).
+		RegisterSSDLet("idEcho", func() biscuit.SSDlet { return echoLet{} }).
+		RegisterSSDLet("idSend", func() biscuit.SSDlet { return sendLet{} }).
+		RegisterSSDLet("idRecv", func() biscuit.SSDlet { return recvLet{} }).
+		RegisterSSDLet("idPktSend", func() biscuit.SSDlet { return pktSendLet{} }).
+		RegisterSSDLet("idPktRecv", func() biscuit.SSDlet { return pktRecvLet{} })
+}
+
+func meanGap(send, recv []sim.Time) sim.Time {
+	n := len(send)
+	if len(recv) < n {
+		n = len(recv)
+	}
+	if n == 0 {
+		return 0
+	}
+	var total sim.Time
+	for i := 0; i < n; i++ {
+		total += recv[i] - send[i]
+	}
+	return total / sim.Time(n)
+}
+
+// RunTable2 measures the port latencies with one item in flight.
+func RunTable2() Table2 {
+	const iters = 24
+	var out Table2
+
+	// Host-to-device / device-to-host via the channel manager.
+	sys := newSystem()
+	sys.Install(latModule())
+	sys.Run(func(h *biscuit.Host) {
+		ssd := h.SSD()
+		m, err := ssd.LoadModule("latency.slet")
+		if err != nil {
+			panic(err)
+		}
+		app := ssd.NewApplication()
+		var devRecv, devSend []sim.Time
+		let, err := app.NewSSDLet(m, "idEcho", pingArgs{n: iters, recv: &devRecv, ackT: &devSend})
+		if err != nil {
+			panic(err)
+		}
+		down, err := biscuit.ConnectFrom[biscuit.Packet](app, let.In(0))
+		if err != nil {
+			panic(err)
+		}
+		up, err := biscuit.ConnectTo[biscuit.Packet](app, let.Out(0))
+		if err != nil {
+			panic(err)
+		}
+		app.Start()
+		var hostSend, hostRecv []sim.Time
+		for i := 0; i < iters; i++ {
+			hostSend = append(hostSend, h.Now())
+			down.Put(biscuit.NewPacket([]byte{1}))
+			if _, ok := up.GetPacket(); !ok {
+				break
+			}
+			hostRecv = append(hostRecv, h.Now())
+		}
+		down.Close()
+		app.Wait()
+		out.H2D = meanGap(hostSend, devRecv)
+		out.D2H = meanGap(devSend, hostRecv)
+	})
+
+	// Inter-SSDlet (typed ports, same application).
+	sys2 := newSystem()
+	sys2.Install(latModule())
+	sys2.Run(func(h *biscuit.Host) {
+		ssd := h.SSD()
+		m, _ := ssd.LoadModule("latency.slet")
+		app := ssd.NewApplication()
+		var sendT, recvT []sim.Time
+		s, _ := app.NewSSDLet(m, "idSend", sendArgs{n: iters, sendT: &sendT})
+		r, _ := app.NewSSDLet(m, "idRecv", recvArgs{n: iters, recvT: &recvT})
+		if err := app.Connect(s.Out(0), r.In(0)); err != nil {
+			panic(err)
+		}
+		if err := app.Connect(r.Out(0), s.In(0)); err != nil {
+			panic(err)
+		}
+		app.Start()
+		app.Wait()
+		out.InterSSDlet = meanGap(sendT, recvT)
+	})
+
+	// Inter-application (Packet ports, two applications on different
+	// cores).
+	sys3 := newSystem()
+	sys3.Install(latModule())
+	sys3.Run(func(h *biscuit.Host) {
+		ssd := h.SSD()
+		m, _ := ssd.LoadModule("latency.slet")
+		a1, a2 := ssd.NewApplication(), ssd.NewApplication()
+		var sendT, recvT []sim.Time
+		s, _ := a1.NewSSDLet(m, "idPktSend", sendArgs{n: iters, sendT: &sendT})
+		r, _ := a2.NewSSDLet(m, "idPktRecv", recvArgs{n: iters, recvT: &recvT})
+		if err := a1.ConnectApps(s.Out(0), a2, r.In(0)); err != nil {
+			panic(err)
+		}
+		if err := a2.ConnectApps(r.Out(0), a1, s.In(0)); err != nil {
+			panic(err)
+		}
+		a1.Start()
+		a2.Start()
+		a1.Wait()
+		a2.Wait()
+		out.InterApp = meanGap(sendT, recvT)
+	})
+	return out
+}

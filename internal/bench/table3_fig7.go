@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"biscuit"
+	"biscuit/internal/sim"
+)
+
+// Table3 reproduces Table III: latency of one 4 KiB read, conventional
+// host path vs Biscuit-internal path.
+type Table3 struct {
+	Conv, Biscuit sim.Time
+}
+
+// RunTable3 measures single 4 KiB reads on an otherwise idle system.
+func RunTable3() Table3 {
+	const iters = 32
+	var out Table3
+	sys := newSystem()
+	sys.Run(func(h *biscuit.Host) {
+		plat := h.System().Plat
+		// Preload one region.
+		f, err := h.SSD().CreateFile("t3.bin")
+		if err != nil {
+			panic(err)
+		}
+		h.SSD().WriteFile(f, 0, make([]byte, 1<<20))
+		segs, _ := f.Segments(0, 1<<20)
+		base := segs[0].FTLOff
+
+		var conv, internal sim.Time
+		buf := make([]byte, 4096)
+		for i := 0; i < iters; i++ {
+			off := base + int64(i)*4096
+			conv += timeIt(h, func() { plat.HostIF.Read(h.Proc(), off, buf) })
+		}
+		for i := 0; i < iters; i++ {
+			off := base + int64(iters+i)*4096
+			internal += timeIt(h, func() { plat.InternalRead(h.Proc(), off, 4096) })
+		}
+		out.Conv = conv / iters
+		out.Biscuit = internal / iters
+	})
+	return out
+}
+
+// Fig7Point is one bandwidth sample: request size vs achieved GB/s.
+type Fig7Point struct {
+	ReqSize int
+	Conv    float64 // host path, GB/s
+	Biscuit float64 // internal path
+	Matcher float64 // internal path through the pattern-matcher IPs
+}
+
+// Fig7 reproduces Fig. 7's two panels.
+type Fig7 struct {
+	Sync  []Fig7Point // one request at a time
+	Async []Fig7Point // queue depth 32
+}
+
+// RunFig7 sweeps request sizes for synchronous and asynchronous (QD 32)
+// reads over all three paths.
+func RunFig7() Fig7 {
+	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	const span = 32 << 20 // preloaded region
+	var out Fig7
+	sys := newSystem()
+	sys.Run(func(h *biscuit.Host) {
+		plat := h.System().Plat
+		f, err := h.SSD().CreateFile("f7.bin")
+		if err != nil {
+			panic(err)
+		}
+		h.SSD().WriteFile(f, 0, make([]byte, span))
+		segs, _ := f.Segments(0, span)
+		base := segs[0].FTLOff
+
+		for _, size := range sizes {
+			reqs := span / size
+			if reqs > 64 {
+				reqs = 64
+			}
+			if reqs < 1 {
+				reqs = 1
+			}
+			total := int64(reqs * size)
+			buf := make([]byte, size)
+
+			// Synchronous: one outstanding request.
+			pt := Fig7Point{ReqSize: size}
+			el := timeIt(h, func() {
+				for i := 0; i < reqs; i++ {
+					plat.HostIF.Read(h.Proc(), base+int64(i*size), buf)
+				}
+			})
+			pt.Conv = float64(total) / el.Seconds() / 1e9
+			el = timeIt(h, func() {
+				for i := 0; i < reqs; i++ {
+					plat.FTL.ReadRange(h.Proc(), base+int64(i*size), size)
+				}
+			})
+			pt.Biscuit = float64(total) / el.Seconds() / 1e9
+			el = timeIt(h, func() {
+				for i := 0; i < reqs; i++ {
+					plat.FTL.ReadRangeThrough(h.Proc(), base+int64(i*size), size,
+						plat.Cfg.PatternMatcherOverhead, func(int64, []byte) {})
+				}
+			})
+			pt.Matcher = float64(total) / el.Seconds() / 1e9
+			out.Sync = append(out.Sync, pt)
+
+			// Asynchronous: up to 32 outstanding requests.
+			const qd = 32
+			apt := Fig7Point{ReqSize: size}
+			el = timeIt(h, func() {
+				inflight := make([]*sim.Event, 0, qd)
+				for i := 0; i < reqs; i++ {
+					if len(inflight) >= qd {
+						h.Proc().Wait(inflight[0])
+						inflight = inflight[1:]
+					}
+					inflight = append(inflight, plat.HostIF.ReadAsync(h.Proc(), base+int64(i*size), buf))
+				}
+				for _, ev := range inflight {
+					h.Proc().Wait(ev)
+				}
+			})
+			apt.Conv = float64(total) / el.Seconds() / 1e9
+			el = timeIt(h, func() {
+				inflight := make([]*sim.Event, 0, qd)
+				dst := make([]byte, size)
+				for i := 0; i < reqs; i++ {
+					if len(inflight) >= qd {
+						h.Proc().Wait(inflight[0])
+						inflight = inflight[1:]
+					}
+					inflight = append(inflight, plat.FTL.ReadRangeAsyncInto(h.Proc(), base+int64(i*size), dst))
+				}
+				for _, ev := range inflight {
+					h.Proc().Wait(ev)
+				}
+			})
+			apt.Biscuit = float64(total) / el.Seconds() / 1e9
+			// Matcher path with overlapped commands: issue each request
+			// on its own process.
+			el = timeIt(h, func() {
+				done := make([]*sim.Event, reqs)
+				for i := 0; i < reqs; i++ {
+					i := i
+					ev := h.System().Env.NewEvent()
+					done[i] = ev
+					h.System().Env.Spawn("f7-pm", func(p *sim.Proc) {
+						plat.FTL.ReadRangeThrough(p, base+int64(i*size), size,
+							plat.Cfg.PatternMatcherOverhead, func(int64, []byte) {})
+						ev.Fire()
+					})
+				}
+				for _, ev := range done {
+					h.Proc().Wait(ev)
+				}
+			})
+			apt.Matcher = float64(total) / el.Seconds() / 1e9
+			out.Async = append(out.Async, apt)
+		}
+	})
+	return out
+}

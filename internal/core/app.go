@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"biscuit/internal/fibers"
+	"biscuit/internal/sim"
+)
+
+// App is an Application: a group of SSDlets started and coordinated
+// together (paper §III-B). All of an application's fibers run on the
+// same device core (§IV-B), so its inter-SSDlet queues need no locks.
+type App struct {
+	ID int
+	rt *Runtime
+
+	group   *fibers.Group
+	lets    []*letInstance
+	started bool
+	failed  []error
+}
+
+// LetRef is an opaque host-side handle to an SSDlet instance; higher
+// layers (the biscuit facade) hold these without seeing internals.
+type LetRef = *letInstance
+
+// letInstance is one SSDlet instance (and, on the host side, its proxy).
+type letInstance struct {
+	app    *App
+	name   string
+	module *Module
+	let    SSDlet
+	spec   Spec
+	args   []any
+
+	in        []*conn
+	out       []*conn
+	closedOut map[*conn]bool
+	done      *sim.Event
+	err       error
+}
+
+func (li *letInstance) boundIn(i int) (*conn, error) {
+	if i < 0 || i >= len(li.in) {
+		return nil, fmt.Errorf("%w: in(%d) of %s", ErrBadPort, i, li.name)
+	}
+	if li.in[i] == nil {
+		return nil, fmt.Errorf("%w: in(%d) of %s", ErrPortUnbound, i, li.name)
+	}
+	return li.in[i], nil
+}
+
+func (li *letInstance) boundOut(i int) (*conn, error) {
+	if i < 0 || i >= len(li.out) {
+		return nil, fmt.Errorf("%w: out(%d) of %s", ErrBadPort, i, li.name)
+	}
+	if li.out[i] == nil {
+		return nil, fmt.Errorf("%w: out(%d) of %s", ErrPortUnbound, i, li.name)
+	}
+	return li.out[i], nil
+}
+
+// NewApp creates an application on the device (one control round trip).
+func (r *Runtime) NewApp(p *sim.Proc) *App {
+	r.control(p, 0)
+	a := &App{ID: r.nextApp, rt: r, group: r.Plat.DevRT.NewGroup()}
+	r.nextApp++
+	r.apps[a.ID] = a
+	return a
+}
+
+// Lets returns the application's SSDlet instances in creation order.
+func (a *App) Lets() []*letInstance { return a.lets }
+
+// Failed returns errors from SSDlets whose Run returned or panicked with
+// an error; the runtime contains failures rather than crashing (§II-B
+// safety).
+func (a *App) Failed() []error { return a.failed }
+
+// CreateLet instantiates SSDlet class id from module m with initial
+// args, returning the host-side proxy. The runtime charges symbol
+// relocation and instantiation work on the device cores.
+func (r *Runtime) CreateLet(p *sim.Proc, a *App, m *Module, id string, args ...any) (*letInstance, error) {
+	if a.started {
+		return nil, ErrAppStarted
+	}
+	f, ok := m.img.factories[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in module %q", ErrNoSuchSSDlet, id, m.img.Name)
+	}
+	r.control(p, r.Costs.SpawnDevCycles)
+	let := f()
+	spec := let.Spec()
+	li := &letInstance{
+		app:       a,
+		name:      fmt.Sprintf("%s#%d", id, len(a.lets)),
+		module:    m,
+		let:       let,
+		spec:      spec,
+		args:      args,
+		in:        make([]*conn, len(spec.In)),
+		out:       make([]*conn, len(spec.Out)),
+		closedOut: make(map[*conn]bool),
+		done:      r.Env().NewEvent(),
+	}
+	m.refs++
+	a.lets = append(a.lets, li)
+	return li, nil
+}
+
+// Name returns the instance name.
+func (li *letInstance) Name() string { return li.name }
+
+// Done returns the instance's termination event.
+func (li *letInstance) Done() *sim.Event { return li.done }
+
+// Err returns the error Run returned, once done.
+func (li *letInstance) Err() error { return li.err }
+
+// defaultQueueCap bounds port queues; the paper implements every port as
+// a bounded queue (§IV-B).
+const defaultQueueCap = 64
+
+// Connect links producer's out(oi) to consumer's in(ii): an inter-SSDlet
+// port. Fan-in (MPSC) and fan-out (SPMC) are allowed by sharing the
+// queue; element types must match exactly — no implicit conversion
+// (§III-C).
+func (r *Runtime) Connect(p *sim.Proc, prod *letInstance, oi int, cons *letInstance, ii int) error {
+	if prod.app != cons.app {
+		return ErrCrossApp
+	}
+	if prod.app.started {
+		return ErrAppStarted
+	}
+	if oi < 0 || oi >= len(prod.out) || ii < 0 || ii >= len(cons.in) {
+		return ErrBadPort
+	}
+	ot, it := prod.spec.Out[oi], cons.spec.In[ii]
+	if ot != it {
+		return fmt.Errorf("%w: %s.out(%d) is %v, %s.in(%d) is %v", ErrTypeMismatch, prod.name, oi, ot, cons.name, ii, it)
+	}
+	r.control(p, 0)
+
+	switch {
+	case prod.out[oi] == nil && cons.in[ii] == nil:
+		cn := &conn{kind: interSSDlet, elem: ot, q: newAnyQueue(r.Env())}
+		prod.out[oi] = cn
+		cn.producers++
+		cons.in[ii] = cn
+		cn.consumers++
+	case prod.out[oi] != nil && cons.in[ii] == nil:
+		// Fan-out: SPMC via the shared queue.
+		cn := prod.out[oi]
+		if cn.kind != interSSDlet {
+			return fmt.Errorf("%w: out port already bound to a %v port", ErrPortBound, cn.kind)
+		}
+		cons.in[ii] = cn
+		cn.consumers++
+	case prod.out[oi] == nil && cons.in[ii] != nil:
+		// Fan-in: MPSC via the shared queue.
+		cn := cons.in[ii]
+		if cn.kind != interSSDlet {
+			return fmt.Errorf("%w: in port already bound to a %v port", ErrPortBound, cn.kind)
+		}
+		if cn.elem != ot {
+			return fmt.Errorf("%w: existing connection carries %v", ErrTypeMismatch, cn.elem)
+		}
+		prod.out[oi] = cn
+		cn.producers++
+	default:
+		return fmt.Errorf("%w: both endpoints already connected", ErrPortBound)
+	}
+	return nil
+}
+
+// ConnectApps links an out port of one application's SSDlet to an in
+// port of another application's SSDlet: an inter-application port. Only
+// Packet flows, and only SPSC (§III-C).
+func (r *Runtime) ConnectApps(p *sim.Proc, prod *letInstance, oi int, cons *letInstance, ii int) error {
+	if prod.app == cons.app {
+		return fmt.Errorf("core: use Connect for SSDlets of the same application")
+	}
+	if prod.app.started || cons.app.started {
+		return ErrAppStarted
+	}
+	if oi < 0 || oi >= len(prod.out) || ii < 0 || ii >= len(cons.in) {
+		return ErrBadPort
+	}
+	if prod.spec.Out[oi] != PacketType || cons.spec.In[ii] != PacketType {
+		return ErrNotPacket
+	}
+	if prod.out[oi] != nil || cons.in[ii] != nil {
+		return ErrPortBound
+	}
+	r.control(p, 0)
+	cn := &conn{kind: interApp, elem: PacketType, q: newAnyQueue(r.Env()), producers: 1, consumers: 1}
+	prod.out[oi] = cn
+	cons.in[ii] = cn
+	return nil
+}
+
+// Start begins execution of every SSDlet in the application after all
+// communication channels are set up (Code 3's Application::start). Ports
+// left unconnected are an error surfaced through Failed.
+func (r *Runtime) Start(p *sim.Proc, a *App) error {
+	if a.started {
+		return ErrAppStarted
+	}
+	a.started = true
+	r.control(p, float64(len(a.lets))*r.Costs.SpawnDevCycles/4)
+	for _, li := range a.lets {
+		li := li
+		a.group.Go(li.name, func(f *fibers.Fiber) {
+			ctx := &Context{rt: r, app: a, inst: li, fiber: f}
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						li.err = fmt.Errorf("core: SSDlet %s panicked: %v", li.name, v)
+					}
+				}()
+				li.err = li.let.Run(ctx)
+			}()
+			if li.err != nil {
+				a.failed = append(a.failed, li.err)
+			}
+			// Run returned: close all of this instance's producer
+			// endpoints so downstream consumers see end-of-stream.
+			for _, cn := range li.out {
+				if cn != nil && !li.closedOut[cn] {
+					li.closedOut[cn] = true
+					cn.producerDone()
+				}
+			}
+			li.module.refs--
+			li.done.Fire()
+		})
+	}
+	return nil
+}
+
+// Wait blocks until every SSDlet of the application has terminated.
+func (r *Runtime) Wait(p *sim.Proc, a *App) error {
+	if !a.started {
+		return ErrAppNotStarted
+	}
+	a.group.WaitIdle(p)
+	return nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"biscuit/internal/fibers"
+	"biscuit/internal/ports"
+	"biscuit/internal/sim"
+)
+
+// ChannelManager mediates host<->device data transfer (paper §IV-B/C):
+// it maintains one implicit control channel plus a bounded pool of data
+// channels created on demand and recycled, each encapsulating the
+// bounded queues behind a host-to-device port.
+type ChannelManager struct {
+	rt      *Runtime
+	maxData int
+	inUse   int
+	waiters []*sim.Event
+
+	created, reused, transfers int64
+	bytesUp, bytesDown         int64
+}
+
+// ErrChannels signals data-channel pool exhaustion handling problems.
+var ErrChannels = errors.New("core: channel pool")
+
+const defaultMaxDataChannels = 32
+
+func newChannelManager(rt *Runtime) *ChannelManager {
+	return &ChannelManager{rt: rt, maxData: defaultMaxDataChannels}
+}
+
+// Stats reports channel pool and traffic counters.
+func (cm *ChannelManager) Stats() (created, reused, transfers, bytesUp, bytesDown int64) {
+	return cm.created, cm.reused, cm.transfers, cm.bytesUp, cm.bytesDown
+}
+
+// InUse returns the number of data channels currently held by ports.
+func (cm *ChannelManager) InUse() int { return cm.inUse }
+
+// acquire takes a data channel from the pool, blocking p if the pool is
+// exhausted — "to limit the total number of channels simultaneously
+// used" (§IV-B).
+func (cm *ChannelManager) acquire(p *sim.Proc) {
+	for cm.inUse >= cm.maxData {
+		ev := cm.rt.Env().NewEvent()
+		cm.waiters = append(cm.waiters, ev)
+		p.Wait(ev)
+	}
+	cm.inUse++
+	if cm.created < int64(cm.inUse) {
+		cm.created++
+	} else {
+		cm.reused++
+	}
+}
+
+func (cm *ChannelManager) release() {
+	cm.inUse--
+	if len(cm.waiters) > 0 {
+		cm.waiters[0].Fire()
+		cm.waiters = cm.waiters[1:]
+	}
+}
+
+// hostChannel is the device-facing half of a host port: the transport
+// fiber pumping packets between the device-side queue and the host-side
+// queue, charging the asymmetric channel-manager costs measured in
+// Table II.
+type hostChannel struct {
+	cm      *ChannelManager
+	hostQ   *ports.Queue[ports.Packet]
+	up      bool // device-to-host direction
+	closedH bool
+}
+
+// HostIn is the host-side receive endpoint of a device-to-host port
+// (what Application::connectTo returns in Code 3).
+type HostIn struct {
+	rt *Runtime
+	ch *hostChannel
+}
+
+// HostOut is the host-side send endpoint of a host-to-device port.
+type HostOut struct {
+	rt *Runtime
+	ch *hostChannel
+}
+
+// ConnectToHost binds producer's out(oi) to a fresh device-to-host port
+// and returns the host endpoint. The port carries only Packet and is
+// strictly SPSC (§III-C).
+func (r *Runtime) ConnectToHost(p *sim.Proc, prod *letInstance, oi int) (*HostIn, error) {
+	if prod.app.started {
+		return nil, ErrAppStarted
+	}
+	if oi < 0 || oi >= len(prod.out) {
+		return nil, ErrBadPort
+	}
+	if prod.spec.Out[oi] != PacketType {
+		return nil, fmt.Errorf("%w: out(%d) of %s is %v", ErrNotPacket, oi, prod.name, prod.spec.Out[oi])
+	}
+	if prod.out[oi] != nil {
+		return nil, ErrPortBound
+	}
+	r.control(p, 0)
+	r.chanMgr.acquire(p)
+	ch := &hostChannel{cm: r.chanMgr, hostQ: ports.NewQueue[ports.Packet](r.Env(), defaultQueueCap), up: true}
+	cn := &conn{kind: hostPort, elem: PacketType, q: newAnyQueue(r.Env()), producers: 1, consumers: 1, hostSide: ch}
+	prod.out[oi] = cn
+
+	// Transport: device fiber in the app's group moves packets up.
+	prod.app.group.Go(prod.name+"/d2h", func(f *fibers.Fiber) {
+		cfg := r.Plat.Cfg
+		for {
+			v, ok := cn.q.Get(f)
+			if !ok {
+				break
+			}
+			pkt := v.(ports.Packet)
+			f.Compute(cfg.ChanMgrDevSendCycles)
+			f.Block(func(tp *sim.Proc) {
+				r.Plat.HostIF.Message(tp, true, int64(pkt.Len()))
+				r.Plat.HostCPU.Exec(tp, cfg.ChanMgrHostRecvCycles)
+			})
+			r.chanMgr.transfers++
+			r.chanMgr.bytesUp += int64(pkt.Len())
+			ch.hostQ.Put(f, pkt)
+		}
+		ch.hostQ.Close()
+		r.chanMgr.release()
+	})
+	return &HostIn{rt: r, ch: ch}, nil
+}
+
+// ConnectFromHost binds consumer's in(ii) to a fresh host-to-device port
+// and returns the host endpoint.
+func (r *Runtime) ConnectFromHost(p *sim.Proc, cons *letInstance, ii int) (*HostOut, error) {
+	if cons.app.started {
+		return nil, ErrAppStarted
+	}
+	if ii < 0 || ii >= len(cons.in) {
+		return nil, ErrBadPort
+	}
+	if cons.spec.In[ii] != PacketType {
+		return nil, fmt.Errorf("%w: in(%d) of %s is %v", ErrNotPacket, ii, cons.name, cons.spec.In[ii])
+	}
+	if cons.in[ii] != nil {
+		return nil, ErrPortBound
+	}
+	r.control(p, 0)
+	r.chanMgr.acquire(p)
+	ch := &hostChannel{cm: r.chanMgr, hostQ: ports.NewQueue[ports.Packet](r.Env(), defaultQueueCap)}
+	cn := &conn{kind: hostPort, elem: PacketType, q: newAnyQueue(r.Env()), producers: 1, consumers: 1, hostSide: ch}
+	cons.in[ii] = cn
+
+	// Transport: device fiber pulls packets down from the host queue.
+	cons.app.group.Go(cons.name+"/h2d", func(f *fibers.Fiber) {
+		cfg := r.Plat.Cfg
+		for {
+			pkt, ok := ch.hostQ.Get(f)
+			if !ok {
+				break
+			}
+			f.Block(func(tp *sim.Proc) {
+				r.Plat.HostIF.Message(tp, false, int64(pkt.Len()))
+			})
+			f.Compute(cfg.ChanMgrDevRecvCycles)
+			r.chanMgr.transfers++
+			r.chanMgr.bytesDown += int64(pkt.Len())
+			cn.q.Put(f, pkt)
+		}
+		cn.q.Close()
+		r.chanMgr.release()
+	})
+	return &HostOut{rt: r, ch: ch}, nil
+}
+
+// Get receives the next packet from the device, blocking the host
+// process; ok is false at end of stream.
+func (h *HostIn) Get(p *sim.Proc) (ports.Packet, bool) {
+	return h.ch.hostQ.Get(ports.ProcBlocker{P: p})
+}
+
+// TryGet receives a packet only if one has already arrived.
+func (h *HostIn) TryGet() (ports.Packet, bool) { return h.ch.hostQ.TryGet() }
+
+// Put sends a packet to the device, charging the host-side channel
+// manager send work; it reports false if the port has been closed.
+func (h *HostOut) Put(p *sim.Proc, pkt ports.Packet) bool {
+	h.rt.Plat.HostCPU.Exec(p, h.rt.Plat.Cfg.ChanMgrHostSendCycles)
+	return h.ch.hostQ.Put(ports.ProcBlocker{P: p}, pkt)
+}
+
+// Close ends the host-to-device stream; the device-side consumer sees
+// end-of-stream after draining.
+func (h *HostOut) Close() {
+	if !h.ch.closedH {
+		h.ch.closedH = true
+		h.ch.hostQ.Close()
+	}
+}

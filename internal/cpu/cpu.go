@@ -1,0 +1,70 @@
+// Package cpu models processors as timed simulation resources.
+//
+// Two kinds of processors appear in a Biscuit system (paper §IV-A, §V-A):
+// the SSD's embedded cores (two ARM Cortex-R7 @ 750 MHz, no cache
+// coherence) and the host's Xeon sockets (24 hardware threads @ 2.5 GHz).
+// Both are represented as a CPU: a bank of hardware threads with a clock
+// rate. Work is charged in cycles and converted to virtual time while one
+// hardware thread is held, so compute contention emerges from queueing.
+package cpu
+
+import "biscuit/internal/sim"
+
+// CPU is a bank of identical hardware threads at a fixed clock rate.
+type CPU struct {
+	name string
+	res  *sim.Resource
+	hz   float64
+}
+
+// New creates a CPU with the given number of hardware threads and clock
+// rate in Hz.
+func New(env *sim.Env, name string, threads int, hz float64) *CPU {
+	if hz <= 0 {
+		panic("cpu: clock rate must be positive")
+	}
+	return &CPU{name: name, res: env.NewResource(name, threads), hz: hz}
+}
+
+// Name returns the CPU name.
+func (c *CPU) Name() string { return c.name }
+
+// Hz returns the clock rate.
+func (c *CPU) Hz() float64 { return c.hz }
+
+// Threads returns the number of hardware threads.
+func (c *CPU) Threads() int { return c.res.Capacity() }
+
+// Resource exposes the underlying occupancy resource (for utilization
+// accounting by the power model).
+func (c *CPU) Resource() *sim.Resource { return c.res }
+
+// Time converts a cycle count to virtual time at this CPU's clock.
+func (c *CPU) Time(cycles float64) sim.Time {
+	if cycles <= 0 {
+		return 0
+	}
+	return sim.Time(cycles / c.hz * float64(sim.Second))
+}
+
+// Exec charges cycles of work: the process holds one hardware thread for
+// the corresponding virtual time.
+func (c *CPU) Exec(p *sim.Proc, cycles float64) {
+	c.ExecTime(p, c.Time(cycles))
+}
+
+// ExecTime charges a fixed duration of work on one hardware thread.
+func (c *CPU) ExecTime(p *sim.Proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	c.res.Use(p, d)
+}
+
+// Acquire pins one hardware thread to the caller until Release. Used by
+// the fiber scheduler, which multiplexes many fibers onto one device core
+// and therefore manages occupancy itself.
+func (c *CPU) Acquire(p *sim.Proc) { c.res.Acquire(p) }
+
+// Release returns a hardware thread taken with Acquire.
+func (c *CPU) Release() { c.res.Release() }

@@ -1,0 +1,79 @@
+package cpu
+
+import (
+	"testing"
+
+	"biscuit/internal/sim"
+)
+
+func TestExecChargesCycleTime(t *testing.T) {
+	e := sim.NewEnv()
+	c := New(e, "arm", 1, 750e6) // 750 MHz
+	var end sim.Time
+	e.Spawn("w", func(p *sim.Proc) {
+		c.Exec(p, 750) // 750 cycles at 750MHz = 1us
+		end = p.Now()
+	})
+	e.Run()
+	if end != sim.Microsecond {
+		t.Fatalf("end=%v, want 1us", end)
+	}
+}
+
+func TestSingleCoreSerializesWork(t *testing.T) {
+	e := sim.NewEnv()
+	c := New(e, "arm", 1, 1e9)
+	var ends []sim.Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *sim.Proc) {
+			c.Exec(p, 1000) // 1us each
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	want := []sim.Time{1000, 2000, 3000}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends=%v want %v", ends, want)
+		}
+	}
+}
+
+func TestMultiThreadOverlap(t *testing.T) {
+	e := sim.NewEnv()
+	c := New(e, "xeon", 4, 1e9)
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("w", func(p *sim.Proc) {
+			c.Exec(p, 1000)
+			last = p.Now()
+		})
+	}
+	e.Run()
+	if last != 1000 {
+		t.Fatalf("4 threads on 4-way CPU should overlap fully, last=%v", last)
+	}
+}
+
+func TestZeroWorkFree(t *testing.T) {
+	e := sim.NewEnv()
+	c := New(e, "arm", 1, 1e9)
+	e.Spawn("w", func(p *sim.Proc) {
+		c.Exec(p, 0)
+		if p.Now() != 0 {
+			t.Error("zero cycles must be free")
+		}
+	})
+	e.Run()
+}
+
+func TestTimeConversion(t *testing.T) {
+	e := sim.NewEnv()
+	c := New(e, "arm", 2, 750e6)
+	if got := c.Time(750e6); got != sim.Second {
+		t.Fatalf("750e6 cycles @750MHz = %v, want 1s", got)
+	}
+	if c.Threads() != 2 || c.Hz() != 750e6 || c.Name() != "arm" {
+		t.Fatal("accessor mismatch")
+	}
+}

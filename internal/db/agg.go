@@ -1,0 +1,243 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Sum AggFunc = iota
+	CountAgg
+	Avg
+	Min
+	Max
+	CountDistinct
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"sum", "count", "avg", "min", "max", "count_distinct"}[f]
+}
+
+// Agg is one aggregate column: f(arg). For CountAgg, Arg may be nil
+// (COUNT(*)).
+type Agg struct {
+	F    AggFunc
+	Arg  Expr
+	Name string
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count    int64
+	sumI     int64 // cents or int accumulation
+	sumT     Type
+	min      Value
+	max      Value
+	seen     bool
+	distinct map[string]struct{}
+}
+
+func (st *aggState) add(f AggFunc, v Value) {
+	st.count++
+	switch f {
+	case Sum, Avg:
+		st.sumI += v.I
+		st.sumT = v.T
+	case Min:
+		if !st.seen || Compare(v, st.min) < 0 {
+			st.min = v
+		}
+	case Max:
+		if !st.seen || Compare(v, st.max) > 0 {
+			st.max = v
+		}
+	case CountDistinct:
+		if st.distinct == nil {
+			st.distinct = make(map[string]struct{})
+		}
+		st.distinct[keyString(v)] = struct{}{}
+	}
+	st.seen = true
+}
+
+func (st *aggState) result(f AggFunc) Value {
+	switch f {
+	case Sum:
+		return Value{T: st.sumT, I: st.sumI}
+	case CountAgg:
+		return Int(st.count)
+	case Avg:
+		if st.count == 0 {
+			return Dec(0)
+		}
+		if st.sumT == TDecimal {
+			return Dec(st.sumI / st.count)
+		}
+		return DecF(float64(st.sumI) / float64(st.count))
+	case Min:
+		return st.min
+	case Max:
+		return st.max
+	case CountDistinct:
+		return Int(int64(len(st.distinct)))
+	}
+	panic("db: unknown aggregate")
+}
+
+// HashAggOp groups by key expressions and computes aggregates. Output
+// rows are ordered by group key for determinism.
+type HashAggOp struct {
+	Ex       *Exec
+	In       Iterator
+	GroupBy  []Expr
+	GroupNms []string
+	Aggs     []Agg
+
+	sch  *Schema
+	rows []Row
+	at   int
+}
+
+// Schema returns [group columns..., aggregate columns...]. Before Open
+// the column types are provisional (groups default to string, aggregates
+// to decimal); names — which is what plan construction needs — are
+// always exact.
+func (h *HashAggOp) Schema() *Schema {
+	if h.sch != nil {
+		return h.sch
+	}
+	cols := make([]Column, 0, len(h.GroupBy)+len(h.Aggs))
+	for i := range h.GroupBy {
+		name := fmt.Sprintf("g%d", i)
+		if i < len(h.GroupNms) {
+			name = h.GroupNms[i]
+		}
+		cols = append(cols, Column{Name: name, T: TString})
+	}
+	for i, a := range h.Aggs {
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("%s%d", a.F, i)
+		}
+		cols = append(cols, Column{Name: name, T: TDecimal})
+	}
+	return NewSchema(cols...)
+}
+
+type aggGroup struct {
+	key    string
+	keyRow Row
+	states []aggState
+}
+
+// Open drains the input, grouping and aggregating.
+func (h *HashAggOp) Open() error {
+	if err := h.In.Open(); err != nil {
+		return err
+	}
+	defer h.In.Close()
+	groups := make(map[string]*aggGroup)
+	var order []string
+	for {
+		r, ok, err := h.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h.Ex.chargeHost(h.Ex.Cost.HostAggCPR)
+		var sb strings.Builder
+		keyRow := make(Row, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			v := g.Eval(r)
+			keyRow[i] = v
+			sb.WriteString(keyString(v))
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &aggGroup{key: k, keyRow: keyRow, states: make([]aggState, len(h.Aggs))}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, a := range h.Aggs {
+			v := Int(1)
+			if a.Arg != nil {
+				v = a.Arg.Eval(r)
+			}
+			grp.states[i].add(a.F, v)
+		}
+	}
+	if len(h.GroupBy) == 0 && len(order) == 0 {
+		// SQL scalar aggregates yield one row even over empty input.
+		groups[""] = &aggGroup{states: make([]aggState, len(h.Aggs))}
+		order = append(order, "")
+	}
+	sort.Strings(order)
+	h.rows = make([]Row, 0, len(order))
+	for _, k := range order {
+		grp := groups[k]
+		row := make(Row, 0, len(grp.keyRow)+len(h.Aggs))
+		row = append(row, grp.keyRow...)
+		for i, a := range h.Aggs {
+			row = append(row, grp.states[i].result(a.F))
+		}
+		h.rows = append(h.rows, row)
+	}
+	h.at = 0
+	// Build output schema from the first group (or a placeholder).
+	cols := make([]Column, 0, len(h.GroupBy)+len(h.Aggs))
+	for i := range h.GroupBy {
+		name := fmt.Sprintf("g%d", i)
+		if i < len(h.GroupNms) {
+			name = h.GroupNms[i]
+		}
+		t := TString
+		if len(h.rows) > 0 {
+			t = h.rows[0][i].T
+		}
+		cols = append(cols, Column{Name: name, T: t})
+	}
+	for i, a := range h.Aggs {
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("%s%d", a.F, i)
+		}
+		t := TDecimal
+		if len(h.rows) > 0 {
+			t = h.rows[0][len(h.GroupBy)+i].T
+		}
+		cols = append(cols, Column{Name: name, T: t})
+	}
+	h.sch = NewSchema(cols...)
+	return nil
+}
+
+// Next emits grouped rows in key order.
+func (h *HashAggOp) Next() (Row, bool, error) {
+	if h.at >= len(h.rows) {
+		return nil, false, nil
+	}
+	r := h.rows[h.at]
+	h.at++
+	return r, true, nil
+}
+
+// Close releases group state.
+func (h *HashAggOp) Close() error {
+	h.rows = nil
+	return nil
+}
+
+// ScalarAgg computes aggregates over the whole input (no grouping),
+// always emitting exactly one row.
+func ScalarAgg(ex *Exec, in Iterator, aggs ...Agg) *HashAggOp {
+	return &HashAggOp{Ex: ex, In: in, Aggs: aggs}
+}

@@ -1,0 +1,194 @@
+package db
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Page format (PageSize bytes, matching the device page so one DB page
+// is one media page, like InnoDB's 16 KiB pages on the paper's system):
+//
+//	[0:2]  uint16 row count
+//	[2:4]  uint16 used bytes (including header)
+//	[4:]   rows, each: varint byteLen | encoded cells
+//
+// Cells: TInt/TDecimal as zigzag varints; TDate as 10 ASCII bytes
+// "YYYY-MM-DD" (so the hardware matcher can key on date literals);
+// TString as varint length + raw bytes (so string literals appear
+// verbatim in the page — again matcher-friendly).
+const pageHeader = 4
+
+// EncodeRow appends the encoding of r (described by sch) to dst.
+func EncodeRow(dst []byte, sch *Schema, r Row) []byte {
+	body := encodeCells(nil, sch, r)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+func encodeCells(dst []byte, sch *Schema, r Row) []byte {
+	if len(r) != len(sch.Cols) {
+		panic(fmt.Sprintf("db: row arity %d vs schema %d", len(r), len(sch.Cols)))
+	}
+	for i, c := range sch.Cols {
+		v := r[i]
+		if v.T != c.T {
+			panic(fmt.Sprintf("db: column %s is %v, got %v", c.Name, c.T, v.T))
+		}
+		switch c.T {
+		case TInt, TDecimal:
+			dst = binary.AppendVarint(dst, v.I)
+		case TDate:
+			dst = append(dst, v.DateString()...)
+		case TString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes one row from buf, returning the row and bytes
+// consumed.
+func DecodeRow(buf []byte, sch *Schema) (Row, int, error) {
+	blen, n := binary.Uvarint(buf)
+	if n <= 0 || int(blen) > len(buf)-n {
+		return nil, 0, fmt.Errorf("db: truncated row header")
+	}
+	body := buf[n : n+int(blen)]
+	r := make(Row, len(sch.Cols))
+	at := 0
+	for i, c := range sch.Cols {
+		switch c.T {
+		case TInt, TDecimal:
+			v, k := binary.Varint(body[at:])
+			if k <= 0 {
+				return nil, 0, fmt.Errorf("db: bad varint in column %s", c.Name)
+			}
+			r[i] = Value{T: c.T, I: v}
+			at += k
+		case TDate:
+			if at+10 > len(body) {
+				return nil, 0, fmt.Errorf("db: truncated date in column %s", c.Name)
+			}
+			d, err := parseDate(body[at : at+10])
+			if err != nil {
+				return nil, 0, err
+			}
+			r[i] = d
+			at += 10
+		case TString:
+			slen, k := binary.Uvarint(body[at:])
+			if k <= 0 || at+k+int(slen) > len(body) {
+				return nil, 0, fmt.Errorf("db: truncated string in column %s", c.Name)
+			}
+			r[i] = Value{T: TString, S: string(body[at+k : at+k+int(slen)])}
+			at += k + int(slen)
+		}
+	}
+	return r, n + int(blen), nil
+}
+
+// parseDate converts ASCII YYYY-MM-DD to a date value without
+// allocating.
+func parseDate(b []byte) (Value, error) {
+	if len(b) != 10 || b[4] != '-' || b[7] != '-' {
+		return Value{}, fmt.Errorf("db: bad date %q", b)
+	}
+	num := func(s []byte) int {
+		n := 0
+		for _, c := range s {
+			n = n*10 + int(c-'0')
+		}
+		return n
+	}
+	return DateYMD(num(b[0:4]), num(b[5:7]), num(b[8:10])), nil
+}
+
+// PageBuilder packs rows into fixed-size pages.
+type PageBuilder struct {
+	size int
+	sch  *Schema
+	buf  []byte
+	rows int
+}
+
+// NewPageBuilder creates a builder for pages of size bytes.
+func NewPageBuilder(size int, sch *Schema) *PageBuilder {
+	pb := &PageBuilder{size: size, sch: sch}
+	pb.reset()
+	return pb
+}
+
+func (pb *PageBuilder) reset() {
+	pb.buf = make([]byte, pageHeader, pb.size)
+	pb.rows = 0
+}
+
+// Add appends a row; it reports false when the row does not fit (the
+// caller should Flush and retry).
+func (pb *PageBuilder) Add(r Row) bool {
+	encoded := EncodeRow(nil, pb.sch, r)
+	if len(pb.buf)+len(encoded) > pb.size {
+		if pb.rows == 0 {
+			panic(fmt.Sprintf("db: single row of %d bytes exceeds page size %d", len(encoded), pb.size))
+		}
+		return false
+	}
+	pb.buf = append(pb.buf, encoded...)
+	pb.rows++
+	return true
+}
+
+// Rows returns the number of rows buffered in the open page.
+func (pb *PageBuilder) Rows() int { return pb.rows }
+
+// Take finalizes the open page, returning a full-size page buffer, and
+// resets the builder. It returns nil if the page is empty.
+func (pb *PageBuilder) Take() []byte {
+	if pb.rows == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint16(pb.buf[0:2], uint16(pb.rows))
+	binary.LittleEndian.PutUint16(pb.buf[2:4], uint16(len(pb.buf)))
+	page := pb.buf[:cap(pb.buf)]
+	for i := len(pb.buf); i < len(page); i++ {
+		page[i] = 0
+	}
+	pb.reset()
+	return page
+}
+
+// DecodePage invokes fn for every row in the page buffer.
+func DecodePage(page []byte, sch *Schema, fn func(Row) error) error {
+	if len(page) < pageHeader {
+		return fmt.Errorf("db: short page")
+	}
+	n := int(binary.LittleEndian.Uint16(page[0:2]))
+	used := int(binary.LittleEndian.Uint16(page[2:4]))
+	if used > len(page) {
+		return fmt.Errorf("db: page used %d > size %d", used, len(page))
+	}
+	if n > 0 && used < pageHeader {
+		return fmt.Errorf("db: page claims %d rows in %d bytes", n, used)
+	}
+	at := pageHeader
+	for i := 0; i < n; i++ {
+		r, k, err := DecodeRow(page[at:used], sch)
+		if err != nil {
+			return fmt.Errorf("db: row %d: %w", i, err)
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+		at += k
+	}
+	return nil
+}
+
+// PageRowCount returns the row count header of a page.
+func PageRowCount(page []byte) int {
+	if len(page) < pageHeader {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint16(page[0:2]))
+}

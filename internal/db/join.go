@@ -1,0 +1,221 @@
+package db
+
+import "fmt"
+
+// BNLJoin is a block-nested-loop join, MariaDB's index-less join method
+// (paper §V-C cites the block-nested-loop magnification for Q14): the
+// outer input is consumed in blocks of Exec.JoinBufferRows rows, and the
+// inner relation is *rescanned from storage* once per block. Join order
+// therefore determines I/O volume — placing the (NDP-filtered) small
+// side first is the paper's query-planning heuristic.
+type BNLJoin struct {
+	Ex    *Exec
+	Outer Iterator
+	// Inner rebuilds the inner scan for every block; each call must
+	// return a fresh iterator over the same relation.
+	Inner func() Iterator
+	// On is evaluated over the concatenated row (outer columns first).
+	On Expr
+
+	sch      *Schema
+	block    []Row
+	outerEOF bool
+	inner    Iterator
+	pending  []Row
+	scratch  Row
+}
+
+// Schema returns the concatenated schema.
+func (j *BNLJoin) Schema() *Schema {
+	if j.sch == nil {
+		inner := j.Inner()
+		j.sch = j.Outer.Schema().Concat(inner.Schema())
+	}
+	return j.sch
+}
+
+// Open opens the outer input.
+func (j *BNLJoin) Open() error {
+	j.Schema()
+	j.block = nil
+	j.outerEOF = false
+	j.pending = nil
+	return j.Outer.Open()
+}
+
+// Next produces the next joined row.
+func (j *BNLJoin) Next() (Row, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			r := j.pending[0]
+			j.pending = j.pending[1:]
+			return r, true, nil
+		}
+		// Advance the inner scan against the current block.
+		if j.inner != nil {
+			ir, ok, err := j.inner.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				j.Ex.chargeHost(j.Ex.Cost.HostJoinCPR * float64(len(j.block)))
+				for _, or := range j.block {
+					j.scratch = append(append(j.scratch[:0], or...), ir...)
+					if j.On == nil || Truthy(j.On.Eval(j.scratch)) {
+						j.pending = append(j.pending, j.scratch.Clone())
+					}
+				}
+				continue
+			}
+			if err := j.inner.Close(); err != nil {
+				return nil, false, err
+			}
+			j.inner = nil
+			j.block = nil
+			continue
+		}
+		// Load the next outer block.
+		if j.outerEOF {
+			return nil, false, nil
+		}
+		for len(j.block) < j.Ex.JoinBufferRows {
+			or, ok, err := j.Outer.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.outerEOF = true
+				break
+			}
+			j.block = append(j.block, or)
+		}
+		if len(j.block) == 0 {
+			return nil, false, nil
+		}
+		// Rescan the inner relation for this block.
+		j.inner = j.Inner()
+		if err := j.inner.Open(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// Close closes both inputs.
+func (j *BNLJoin) Close() error {
+	if j.inner != nil {
+		j.inner.Close()
+		j.inner = nil
+	}
+	return j.Outer.Close()
+}
+
+// HashJoin is an in-memory equality join: the right (build) input is
+// materialized into a hash table and the left input probes it. Used
+// where MariaDB fidelity does not matter for the offload story.
+type HashJoin struct {
+	Ex          *Exec
+	Left, Right Iterator
+	// LeftKey / RightKey are the equality key expressions.
+	LeftKey, RightKey Expr
+	// Semi emits the left row once on first match; Anti emits left rows
+	// with no match (for EXISTS / NOT EXISTS subqueries).
+	Semi, Anti bool
+	// Residual, if non-nil, is evaluated on the concatenated row.
+	Residual Expr
+
+	sch     *Schema
+	table   map[string][]Row
+	pending []Row
+}
+
+// Schema returns the output schema.
+func (j *HashJoin) Schema() *Schema {
+	if j.Semi || j.Anti {
+		return j.Left.Schema()
+	}
+	if j.sch == nil {
+		j.sch = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.sch
+}
+
+func keyString(v Value) string {
+	if v.T == TString {
+		return "s" + v.S
+	}
+	return fmt.Sprintf("i%d", v.I)
+}
+
+// Open builds the hash table from the right input.
+func (j *HashJoin) Open() error {
+	j.Schema()
+	rows, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][]Row, len(rows))
+	for _, r := range rows {
+		k := keyString(j.RightKey.Eval(r))
+		j.table[k] = append(j.table[k], r)
+	}
+	j.Ex.chargeHost(float64(len(rows)) * j.Ex.Cost.HostJoinCPR)
+	j.pending = nil
+	return j.Left.Open()
+}
+
+// Next probes with the next left row.
+func (j *HashJoin) Next() (Row, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			r := j.pending[0]
+			j.pending = j.pending[1:]
+			return r, true, nil
+		}
+		lr, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.Ex.chargeHost(j.Ex.Cost.HostJoinCPR)
+		matches := j.table[keyString(j.LeftKey.Eval(lr))]
+		if j.Anti {
+			if len(matches) == 0 {
+				return lr, true, nil
+			}
+			if j.Residual != nil {
+				hit := false
+				for _, rr := range matches {
+					combined := append(append(make(Row, 0, len(lr)+len(rr)), lr...), rr...)
+					if Truthy(j.Residual.Eval(combined)) {
+						hit = true
+						break
+					}
+				}
+				if !hit {
+					return lr, true, nil
+				}
+			}
+			continue
+		}
+		if j.Semi {
+			for _, rr := range matches {
+				combined := append(append(make(Row, 0, len(lr)+len(rr)), lr...), rr...)
+				if j.Residual == nil || Truthy(j.Residual.Eval(combined)) {
+					return lr, true, nil
+				}
+			}
+			continue
+		}
+		for _, rr := range matches {
+			combined := append(append(make(Row, 0, len(lr)+len(rr)), lr...), rr...)
+			if j.Residual == nil || Truthy(j.Residual.Eval(combined)) {
+				j.pending = append(j.pending, combined)
+			}
+		}
+	}
+}
+
+// Close closes the left input (right was drained in Open).
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Left.Close()
+}

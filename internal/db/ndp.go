@@ -1,0 +1,288 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"biscuit"
+	"biscuit/internal/core"
+	"biscuit/internal/isfs"
+	"biscuit/internal/match"
+)
+
+// The device-side table scan: the paper's rewritten XtraDB datapath
+// (§V-C) pushes a page-filtering scan into the SSD. Pages stream through
+// the per-channel hardware matcher; only pages containing a key are
+// looked at by the device CPU, which row-filters them with the full
+// predicate and ships qualifying rows to the host. Non-matching pages
+// never cross the NVMe link.
+
+// NDPModuleName is the module carrying the device scan task.
+const NDPModuleName = "xtradb-ndp.slet"
+
+// NDPScanID is the SSDlet class id of the device table scan.
+const NDPScanID = "idTableScan"
+
+// NDPScanArgs parameterizes one offloaded scan.
+type NDPScanArgs struct {
+	File  string
+	Keys  []string // hardware matcher keys (page-level prefilter)
+	Pred  Expr     // full row predicate (exact filter), may be nil
+	Sch   *Schema
+	Cost  CostModel
+	Batch int // output batch bytes (default 32 KiB)
+	// Software disables the matcher IP: every page is decoded and
+	// filtered by the device CPU. This reproduces the paper's negative
+	// finding (§I) that software-only in-storage scanning cannot beat a
+	// modern host on a fast SSD.
+	Software bool
+	// PageSize is the table's page size (needed by the software path to
+	// slice its bulk reads back into pages).
+	PageSize int
+}
+
+type ndpScanLet struct{}
+
+func (ndpScanLet) Spec() biscuit.Spec {
+	return biscuit.Spec{Out: []core.SpecType{biscuit.PacketPort}}
+}
+
+func (ndpScanLet) Run(c *biscuit.Context) error {
+	args, ok := c.Arg(0).(NDPScanArgs)
+	if !ok {
+		return fmt.Errorf("db: NDP scan needs NDPScanArgs, got %T", c.Arg(0))
+	}
+	keys := make([][]byte, len(args.Keys))
+	for i, k := range args.Keys {
+		keys[i] = []byte(k)
+	}
+	if err := match.ValidateHW(keys); err != nil {
+		return err
+	}
+	a, err := match.Compile(keys)
+	if err != nil {
+		return err
+	}
+	out, err := biscuit.Out[biscuit.Packet](c, 0)
+	if err != nil {
+		return err
+	}
+	f, err := c.OpenFile(args.File, isfs.ReadOnly)
+	if err != nil {
+		return err
+	}
+	batchSize := args.Batch
+	if batchSize <= 0 {
+		batchSize = 32 << 10
+	}
+
+	// Phase 1: stream the whole file through the matcher IPs, buffering
+	// only the pages that contain at least one key. Row predicates are
+	// page-superset-safe by construction (the planner derives keys from
+	// literal constants of the predicate).
+	type hit struct {
+		off  int64
+		data []byte
+	}
+	var hits []hit
+	if args.Software {
+		// Ablation: no matcher IP. Stream the file with plain internal
+		// reads and hand every page to the CPU phase.
+		const stride = 1 << 20
+		buf := make([]byte, stride)
+		ps := int64(len(buf))
+		for off := int64(0); off < f.Size(); off += ps {
+			n := int(ps)
+			if rem := f.Size() - off; int64(n) > rem {
+				n = int(rem)
+			}
+			if _, err := c.ReadFile(f, off, buf[:n]); err != nil {
+				return err
+			}
+			pageSz := args.PageSize
+			if pageSz <= 0 {
+				pageSz = 16 << 10
+			}
+			for at := 0; at < n; at += pageSz {
+				end := at + pageSz
+				if end > n {
+					end = n
+				}
+				hits = append(hits, hit{off + int64(at), append([]byte(nil), buf[at:end]...)})
+			}
+		}
+	} else {
+		if err := c.ScanFile(f, 0, int(f.Size()), func(off int64, data []byte) {
+			if a.Contains(data) {
+				hits = append(hits, hit{off, append([]byte(nil), data...)})
+			}
+		}); err != nil {
+			return err
+		}
+		sort.Slice(hits, func(i, j int) bool { return hits[i].off < hits[j].off })
+	}
+
+	// Phase 2: the device CPU decodes matched pages and evaluates the
+	// exact predicate; qualifying rows are re-encoded and shipped in
+	// batches over the D2H port.
+	var batch []byte
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		pkt := biscuit.NewPacket(batch)
+		batch = nil
+		return out.Put(pkt)
+	}
+	for _, hchunk := range hits {
+		rows := 0
+		kept := 0
+		err := DecodePage(hchunk.data, args.Sch, func(r Row) error {
+			rows++
+			if args.Pred == nil || Truthy(args.Pred.Eval(r)) {
+				kept++
+				batch = EncodeRow(batch, args.Sch, r)
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("db: NDP scan decode @%d: %w", hchunk.off, err)
+		}
+		c.Compute(args.Cost.DevPageCheckCPP +
+			args.Cost.DevDecodeCPB*float64(len(hchunk.data)) +
+			args.Cost.DevEvalCPR*float64(rows))
+		if len(batch) >= batchSize {
+			if !flush() {
+				return nil
+			}
+		}
+	}
+	flush()
+	return nil
+}
+
+func ndpScanImage() *biscuit.ModuleImage {
+	return biscuit.NewModule(NDPModuleName, 128<<10).
+		RegisterSSDLet(NDPScanID, func() biscuit.SSDlet { return ndpScanLet{} }).
+		RegisterSSDLet(NDPAggID, func() biscuit.SSDlet { return ndpAggLet{} })
+}
+
+// ensureNDP loads the device scan module once per database.
+func (d *Database) ensureNDP(h *biscuit.Host) (*biscuit.Module, error) {
+	if d.ndpModule != nil {
+		return d.ndpModule, nil
+	}
+	m, err := h.SSD().LoadModule(NDPModuleName)
+	if err != nil {
+		return nil, err
+	}
+	d.ndpModule = m
+	return m, nil
+}
+
+// NDPScan is the host-side iterator over an offloaded table scan.
+type NDPScan struct {
+	Ex   *Exec
+	T    *Table
+	Keys []string
+	Pred Expr
+	// Software selects the no-matcher ablation path.
+	Software bool
+
+	app   *biscuit.Application
+	port  *biscuit.HostIn[biscuit.Packet]
+	batch []byte
+	recvd int64
+}
+
+// NewNDPScan builds an offloaded scan; keys must satisfy the hardware
+// matcher limits and page-cover the predicate.
+func (ex *Exec) NewNDPScan(t *Table, keys []string, pred Expr) *NDPScan {
+	return &NDPScan{Ex: ex, T: t, Keys: keys, Pred: pred}
+}
+
+// Schema returns the table schema.
+func (s *NDPScan) Schema() *Schema { return s.T.Sch }
+
+// Open loads the scan module, wires the application and starts it.
+func (s *NDPScan) Open() error {
+	h := s.Ex.H
+	m, err := s.Ex.DB.ensureNDP(h)
+	if err != nil {
+		return err
+	}
+	s.app = h.SSD().NewApplication()
+	let, err := s.app.NewSSDLet(m, NDPScanID, NDPScanArgs{
+		File:     s.T.FileName,
+		Keys:     s.Keys,
+		Pred:     s.Pred,
+		Sch:      s.T.Sch,
+		Cost:     s.Ex.Cost,
+		Software: s.Software,
+		PageSize: s.T.PageSize,
+	})
+	if err != nil {
+		return err
+	}
+	port, err := biscuit.ConnectTo[biscuit.Packet](s.app, let.Out(0))
+	if err != nil {
+		return err
+	}
+	if err := s.app.Start(); err != nil {
+		return err
+	}
+	s.port = port
+	s.batch = nil
+	s.recvd = 0
+	s.Ex.St.NDPScans++
+	s.Ex.St.PagesInternal += s.T.Pages
+	return nil
+}
+
+// Next decodes the next shipped row.
+func (s *NDPScan) Next() (Row, bool, error) {
+	for {
+		if len(s.batch) > 0 {
+			r, n, err := DecodeRow(s.batch, s.T.Sch)
+			if err != nil {
+				return nil, false, err
+			}
+			s.batch = s.batch[n:]
+			s.Ex.chargeHost(s.Ex.Cost.HostDecodeCPB * float64(n))
+			s.Ex.St.RowsScanned++
+			return r, true, nil
+		}
+		pkt, ok := s.port.GetPacket()
+		if !ok {
+			return nil, false, nil
+		}
+		s.batch = pkt.Bytes()
+		s.recvd += int64(pkt.Len())
+	}
+}
+
+// Close waits for the device application and accounts link traffic.
+func (s *NDPScan) Close() error {
+	if s.app == nil {
+		return nil
+	}
+	// Drain any unread packets so a blocked device producer can finish
+	// (the consumer may have stopped early, e.g. under a LIMIT).
+	for {
+		pkt, ok := s.port.GetPacket()
+		if !ok {
+			break
+		}
+		s.recvd += int64(pkt.Len())
+	}
+	if err := s.app.Wait(); err != nil {
+		return err
+	}
+	for _, err := range s.app.Failed() {
+		return fmt.Errorf("db: device scan failed: %w", err)
+	}
+	ps := int64(s.T.PageSize)
+	s.Ex.St.PagesOverLink += (s.recvd + ps - 1) / ps
+	s.app = nil
+	return nil
+}

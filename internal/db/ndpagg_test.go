@@ -1,0 +1,100 @@
+package db
+
+import (
+	"testing"
+
+	"biscuit"
+)
+
+func TestNDPAggMatchesHostAggregation(t *testing.T) {
+	sys := quickSys()
+	d := Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		tab := loadFixture(t, h, d, 50000, 40)
+		pred := EqS(tab.Sch, "note", "TARGETKEY")
+		groupBy := []Expr{C(tab.Sch, "ship")}
+		aggs := []Agg{
+			{F: Sum, Arg: C(tab.Sch, "price"), Name: "total"},
+			{F: CountAgg, Name: "n"},
+			{F: Max, Arg: C(tab.Sch, "id"), Name: "maxid"},
+		}
+
+		// Host-side reference: Conv scan + host aggregation.
+		exH := NewExec(h, d)
+		ref := &HashAggOp{Ex: exH, In: exH.NewConvScan(tab, pred),
+			GroupBy: groupBy, GroupNms: []string{"g0"}, Aggs: aggs}
+		want, err := Collect(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatal("reference aggregation empty")
+		}
+
+		// Device-side aggregation.
+		exD := NewExec(h, d)
+		got, err := Collect(exD.NewNDPAggScan(tab, []string{"TARGETKEY"}, pred, groupBy, aggs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("groups: device %d vs host %d", len(got), len(want))
+		}
+		for i := range want {
+			for c := range want[i] {
+				if !Equal(got[i][c], want[i][c]) {
+					t.Fatalf("group %d col %d: device %v vs host %v", i, c, got[i][c], want[i][c])
+				}
+			}
+		}
+		// Aggregation pushdown ships O(groups): link traffic must be far
+		// below even the row-shipping NDP scan.
+		exR := NewExec(h, d)
+		if _, err := Collect(exR.NewNDPScan(tab, []string{"TARGETKEY"}, pred)); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("link pages: conv=%d ndp-rows=%d ndp-agg=%d", exH.St.PagesOverLink, exR.St.PagesOverLink, exD.St.PagesOverLink)
+		if exD.St.PagesOverLink > exR.St.PagesOverLink {
+			t.Fatalf("aggregate pushdown moved more data (%d) than row shipping (%d)",
+				exD.St.PagesOverLink, exR.St.PagesOverLink)
+		}
+	})
+}
+
+func TestNDPAggScalar(t *testing.T) {
+	sys := quickSys()
+	d := Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		tab := loadFixture(t, h, d, 20000, 30)
+		pred := EqS(tab.Sch, "note", "TARGETKEY")
+		aggs := []Agg{{F: CountAgg, Name: "n"}, {F: Sum, Arg: C(tab.Sch, "price"), Name: "sum"}}
+
+		exH := NewExec(h, d)
+		want, err := Collect(ScalarAgg(exH, exH.NewConvScan(tab, pred), aggs...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exD := NewExec(h, d)
+		got, err := Collect(exD.NewNDPAggScan(tab, []string{"TARGETKEY"}, pred, nil, aggs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || !Equal(got[0][0], want[0][0]) || !Equal(got[0][1], want[0][1]) {
+			t.Fatalf("device %v vs host %v", got, want)
+		}
+	})
+}
+
+func TestNDPAggRejectsBadKeys(t *testing.T) {
+	sys := quickSys()
+	d := Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		tab := loadFixture(t, h, d, 2000, 50)
+		ex := NewExec(h, d)
+		_, err := Collect(ex.NewNDPAggScan(tab, []string{"a", "b", "c", "d"}, nil, nil,
+			[]Agg{{F: CountAgg}}))
+		if err == nil {
+			t.Fatal("4 keys must be rejected by the hardware limit")
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/db"
+)
+
+func lineitemish() *db.Schema {
+	return db.NewSchema(
+		db.Column{Name: "l_orderkey", T: db.TInt},
+		db.Column{Name: "l_linenumber", T: db.TInt},
+		db.Column{Name: "l_shipdate", T: db.TDate},
+		db.Column{Name: "l_shipmode", T: db.TString},
+		db.Column{Name: "l_comment", T: db.TString},
+	)
+}
+
+func TestExtractEqString(t *testing.T) {
+	s := lineitemish()
+	keys, ok := ExtractKeys(s, db.EqS(s, "l_shipmode", "MAIL"))
+	if !ok || len(keys) != 1 || keys[0] != "MAIL" {
+		t.Fatalf("keys=%v ok=%v", keys, ok)
+	}
+}
+
+func TestExtractEqDate(t *testing.T) {
+	s := lineitemish()
+	keys, ok := ExtractKeys(s, db.EqD(s, "l_shipdate", "1995-01-17"))
+	if !ok || keys[0] != "1995-01-17" {
+		t.Fatalf("keys=%v ok=%v", keys, ok)
+	}
+}
+
+func TestExtractFig8Query2(t *testing.T) {
+	// (l_shipdate='1995-1-17' OR l_shipdate='1995-1-18') AND
+	// (l_linenumber=1 OR l_linenumber=2)
+	s := lineitemish()
+	pred := db.AndOf(
+		db.OrOf(db.EqD(s, "l_shipdate", "1995-01-17"), db.EqD(s, "l_shipdate", "1995-01-18")),
+		db.OrOf(db.Cmp{Op: db.EQ, L: db.C(s, "l_linenumber"), R: db.Lit(db.Int(1))},
+			db.Cmp{Op: db.EQ, L: db.C(s, "l_linenumber"), R: db.Lit(db.Int(2))}),
+	)
+	keys, ok := ExtractKeys(s, pred)
+	if !ok || len(keys) != 2 {
+		t.Fatalf("keys=%v ok=%v", keys, ok)
+	}
+	if keys[0] != "1995-01-17" || keys[1] != "1995-01-18" {
+		t.Fatalf("keys=%v", keys)
+	}
+}
+
+func TestExtractDateRangeYearPrefix(t *testing.T) {
+	s := lineitemish()
+	keys, ok := ExtractKeys(s, db.RangeD(s, "l_shipdate", "1994-01-01", "1995-01-01"))
+	if !ok || len(keys) != 1 || keys[0] != "1994-" {
+		t.Fatalf("keys=%v ok=%v", keys, ok)
+	}
+	// Two-year span -> two prefixes.
+	keys, ok = ExtractKeys(s, db.RangeD(s, "l_shipdate", "1994-01-01", "1996-01-01"))
+	if !ok || len(keys) != 2 {
+		t.Fatalf("keys=%v ok=%v", keys, ok)
+	}
+}
+
+func TestExtractLike(t *testing.T) {
+	s := lineitemish()
+	keys, ok := ExtractKeys(s, db.Like{X: db.C(s, "l_comment"), Pattern: "%special requests%"})
+	if !ok || keys[0] != "special requests" {
+		t.Fatalf("keys=%v ok=%v", keys, ok)
+	}
+	// Over-long literal truncates to the hardware's 16 bytes.
+	keys, ok = ExtractKeys(s, db.Like{X: db.C(s, "l_comment"), Pattern: "%averylongliteralsegment%"})
+	if !ok || len(keys[0]) != 16 {
+		t.Fatalf("keys=%v", keys)
+	}
+}
+
+func TestExtractRejectsNotLike(t *testing.T) {
+	s := lineitemish()
+	if _, ok := ExtractKeys(s, db.Like{X: db.C(s, "l_comment"), Pattern: "%x%", Negate: true}); ok {
+		t.Fatal("NOT LIKE must not be offloadable (hardware limitation, paper §V-C)")
+	}
+}
+
+func TestExtractRejectsNumericOnly(t *testing.T) {
+	s := lineitemish()
+	if _, ok := ExtractKeys(s, db.Cmp{Op: db.EQ, L: db.C(s, "l_linenumber"), R: db.Lit(db.Int(1))}); ok {
+		t.Fatal("numeric-only predicates have no literal keys")
+	}
+}
+
+func TestExtractRejectsWideOr(t *testing.T) {
+	s := lineitemish()
+	pred := db.OrOf(
+		db.EqS(s, "l_shipmode", "MAIL"),
+		db.EqS(s, "l_shipmode", "SHIP"),
+		db.EqS(s, "l_shipmode", "RAIL"),
+		db.EqS(s, "l_shipmode", "AIR!"),
+	)
+	if _, ok := ExtractKeys(s, pred); ok {
+		t.Fatal("4-way OR exceeds the 3-key hardware limit")
+	}
+}
+
+func TestExtractInList(t *testing.T) {
+	s := lineitemish()
+	keys, ok := ExtractKeys(s, db.In{X: db.C(s, "l_shipmode"), Vals: []db.Value{db.Str("MAIL"), db.Str("SHIP")}})
+	if !ok || len(keys) != 2 {
+		t.Fatalf("keys=%v ok=%v", keys, ok)
+	}
+}
+
+func TestExtractPrefersMoreSelectiveConjunct(t *testing.T) {
+	s := lineitemish()
+	pred := db.AndOf(
+		db.EqS(s, "l_shipmode", "NO"), // short key
+		db.EqD(s, "l_shipdate", "1995-01-17"),
+	)
+	keys, ok := ExtractKeys(s, pred)
+	if !ok || keys[0] != "1995-01-17" {
+		t.Fatalf("keys=%v, want the longer date key preferred", keys)
+	}
+}
+
+// ---- end-to-end planner decisions ----
+
+func planFixture(t *testing.T, hitEvery int) (*biscuit.System, *db.Database, func(h *biscuit.Host) *db.Table) {
+	t.Helper()
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 128
+	cfg.NAND.PagesPerBlock = 32
+	sys := biscuit.NewSystem(cfg)
+	d := db.Open(sys)
+	load := func(h *biscuit.Host) *db.Table {
+		sch := lineitemish()
+		ld, err := d.NewLoader(h, "lineitem", sch, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 60000; i++ {
+			r := db.Row{db.Int(int64(i)), db.Int(int64(i%7 + 1)), db.DateYMD(1992+i%7, 1+i%12, 1+i%28),
+				db.Str([]string{"RAIL", "AIR", "TRUCK"}[i%3]), db.Str("regular packages deliver quickly")}
+			if hitEvery > 0 && i%hitEvery == 3 {
+				r[2] = db.MustDate("1995-01-17")
+				r[3] = db.Str("MAILX")
+			}
+			if err := ld.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ld.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return d.Table("lineitem")
+	}
+	return sys, d, load
+}
+
+func TestPlannerOffloadsSelectiveScan(t *testing.T) {
+	sys, d, load := planFixture(t, 10000)
+	sys.Run(func(h *biscuit.Host) {
+		tab := load(h)
+		ex := db.NewExec(h, d)
+		pl := Default()
+		it, dec := pl.PlanScan(ex, tab, db.EqS(tab.Sch, "l_shipmode", "MAILX"))
+		if !dec.Offloaded {
+			t.Fatalf("expected offload, got %q (sel %.2f)", dec.Reason, dec.Selectivity)
+		}
+		rows, err := db.Collect(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 6 {
+			t.Fatalf("rows=%d, want 6", len(rows))
+		}
+	})
+}
+
+func TestPlannerRefusesHighSelectivity(t *testing.T) {
+	sys, d, load := planFixture(t, 5) // hits everywhere
+	sys.Run(func(h *biscuit.Host) {
+		tab := load(h)
+		ex := db.NewExec(h, d)
+		pl := Default()
+		it, dec := pl.PlanScan(ex, tab, db.EqS(tab.Sch, "l_shipmode", "MAILX"))
+		if dec.Offloaded {
+			t.Fatalf("must refuse offload at high page selectivity")
+		}
+		if !strings.Contains(dec.Reason, "selectivity") {
+			t.Fatalf("reason=%q", dec.Reason)
+		}
+		if _, ok := it.(*db.ConvScan); !ok {
+			t.Fatalf("want ConvScan fallback, got %T", it)
+		}
+	})
+}
+
+func TestPlannerRefusesSmallTable(t *testing.T) {
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 64
+	cfg.NAND.PagesPerBlock = 32
+	sys := biscuit.NewSystem(cfg)
+	d := db.Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		sch := lineitemish()
+		ld, _ := d.NewLoader(h, "tiny", sch, 8)
+		for i := 0; i < 100; i++ {
+			ld.Add(db.Row{db.Int(int64(i)), db.Int(1), db.DateYMD(1995, 1, 17), db.Str("MAIL"), db.Str("c")})
+		}
+		ld.Close()
+		ex := db.NewExec(h, d)
+		_, dec := Default().PlanScan(ex, d.Table("tiny"), db.EqS(sch, "l_shipmode", "MAIL"))
+		if dec.Offloaded || !strings.Contains(dec.Reason, "small") {
+			t.Fatalf("dec=%+v", dec)
+		}
+	})
+}
+
+func TestPlannerRefusesShortKey(t *testing.T) {
+	sys, d, load := planFixture(t, 10000)
+	sys.Run(func(h *biscuit.Host) {
+		tab := load(h)
+		ex := db.NewExec(h, d)
+		_, dec := Default().PlanScan(ex, tab, db.EqS(tab.Sch, "l_shipmode", "R"))
+		if dec.Offloaded || !strings.Contains(dec.Reason, "selectivity too low") {
+			t.Fatalf("dec=%+v (single-character predicate must be refused)", dec)
+		}
+	})
+}
+
+func TestPlannerNoPredicate(t *testing.T) {
+	sys, d, load := planFixture(t, 10000)
+	sys.Run(func(h *biscuit.Host) {
+		tab := load(h)
+		ex := db.NewExec(h, d)
+		_, dec := Default().PlanScan(ex, tab, nil)
+		if dec.Offloaded || dec.Reason != "no filter predicate" {
+			t.Fatalf("dec=%+v", dec)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package db
+
+import (
+	"fmt"
+
+	"biscuit"
+)
+
+// Database is a catalog of tables stored on one Biscuit system's
+// in-storage file system.
+type Database struct {
+	Sys    *biscuit.System
+	tables map[string]*Table
+
+	ndpModule *biscuit.Module // lazily loaded device-scan module
+}
+
+// Table describes one stored relation.
+type Table struct {
+	Name     string
+	Sch      *Schema
+	FileName string
+	Rows     int64
+	Pages    int64
+	PageSize int
+}
+
+// Open creates an empty catalog on sys and installs the device-side
+// table-scan module (the XtraDB datapath rewrite of §V-C).
+func Open(sys *biscuit.System) *Database {
+	d := &Database{Sys: sys, tables: make(map[string]*Table)}
+	sys.Install(ndpScanImage())
+	return d
+}
+
+// Table returns the named table, panicking if absent.
+func (d *Database) Table(name string) *Table {
+	t, ok := d.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("db: no table %q", name))
+	}
+	return t
+}
+
+// Tables lists catalog entries.
+func (d *Database) Tables() map[string]*Table { return d.tables }
+
+// Bytes returns the table's on-media size.
+func (t *Table) Bytes() int64 { return t.Pages * int64(t.PageSize) }
+
+// Loader bulk-loads rows into a new table.
+type Loader struct {
+	d      *Database
+	t      *Table
+	h      *biscuit.Host
+	pb     *PageBuilder
+	file   *biscuit.File
+	off    int64
+	batch  []byte
+	target int
+}
+
+// NewLoader creates table name with schema sch and returns a loader.
+// The batch parameter controls how many pages are written per media
+// operation (larger batches load faster in both virtual and wall time).
+func (d *Database) NewLoader(h *biscuit.Host, name string, sch *Schema, batchPages int) (*Loader, error) {
+	if _, dup := d.tables[name]; dup {
+		return nil, fmt.Errorf("db: table %q exists", name)
+	}
+	ps := d.Sys.Plat.FTL.PageSize()
+	fileName := "tables/" + name + ".tbl"
+	f, err := h.SSD().CreateFile(fileName)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Sch: sch, FileName: fileName, PageSize: ps}
+	d.tables[name] = t
+	if batchPages < 1 {
+		batchPages = 64
+	}
+	return &Loader{d: d, t: t, h: h, pb: NewPageBuilder(ps, sch), file: f, target: batchPages * ps}, nil
+}
+
+// Add appends one row.
+func (l *Loader) Add(r Row) error {
+	if !l.pb.Add(r) {
+		l.flushPage()
+		if !l.pb.Add(r) {
+			return fmt.Errorf("db: row does not fit a fresh page")
+		}
+	}
+	l.t.Rows++
+	return nil
+}
+
+func (l *Loader) flushPage() {
+	page := l.pb.Take()
+	if page == nil {
+		return
+	}
+	l.batch = append(l.batch, page...)
+	l.t.Pages++
+	if len(l.batch) >= l.target {
+		l.writeBatch()
+	}
+}
+
+func (l *Loader) writeBatch() {
+	if len(l.batch) == 0 {
+		return
+	}
+	if err := l.file.Write(l.h.Proc(), l.off, l.batch); err != nil {
+		panic("db: load write: " + err.Error())
+	}
+	l.off += int64(len(l.batch))
+	l.batch = l.batch[:0]
+	l.file.Flush(l.h.Proc())
+}
+
+// Close flushes all buffered pages and finalizes the table.
+func (l *Loader) Close() error {
+	l.flushPage()
+	l.writeBatch()
+	l.file.Flush(l.h.Proc())
+	return nil
+}

@@ -1,0 +1,363 @@
+// Package ftl implements the SSD's flash translation layer: a page-mapped
+// logical-to-physical table, log-structured writes striped across all
+// dies, greedy garbage collection, and trim.
+//
+// Both the host I/O path and Biscuit's internal (NDP) reads go through
+// this same FTL, mirroring the paper's observation (§VI) that Biscuit
+// "adds no complications to handling I/O and managing media": the
+// underlying firmware keeps doing wear leveling and garbage collection
+// regardless of who issues the request.
+package ftl
+
+import (
+	"fmt"
+
+	"biscuit/internal/cpu"
+	"biscuit/internal/nand"
+	"biscuit/internal/sim"
+)
+
+// Config holds FTL tuning parameters.
+type Config struct {
+	// OverProvision is the fraction of raw capacity held back from the
+	// logical space (spare blocks for GC).
+	OverProvision float64
+	// GCLowWater triggers garbage collection when a die's free-block
+	// count drops below it; GCHighWater is the refill target.
+	GCLowWater, GCHighWater int
+	// FirmwareReadCycles / FirmwareWriteCycles are the firmware CPU cost
+	// per page command (lookup, command issue, completion).
+	FirmwareReadCycles  float64
+	FirmwareWriteCycles float64
+	// FirmwareThreads is the number of firmware cores dedicated to the
+	// I/O path (separate from the two cores Biscuit may use).
+	FirmwareThreads int
+	FirmwareHz      float64
+}
+
+// DefaultConfig returns parameters matching an enterprise drive: 7 % OP
+// and a firmware read path of a few microseconds per page.
+func DefaultConfig() Config {
+	return Config{
+		OverProvision:       0.07,
+		GCLowWater:          2,
+		GCHighWater:         4,
+		FirmwareReadCycles:  2250, // 3us at 750 MHz
+		FirmwareWriteCycles: 3750, // 5us
+		FirmwareThreads:     4,
+		FirmwareHz:          750e6,
+	}
+}
+
+type dieState struct {
+	free      []int // free block indexes (LIFO)
+	open      int   // block currently receiving programs, -1 if none
+	nextPage  int
+	blockMeta []blockMeta
+	// wlock serializes allocate+program per die so that pages are
+	// programmed in exactly allocation order (NAND requires in-order
+	// programming within a block) even with concurrent writers or GC.
+	wlock *sim.Resource
+}
+
+type blockMeta struct {
+	valid int   // number of valid pages
+	lpns  []int // reverse map page -> lpn (-1 invalid)
+}
+
+// FTL is a page-mapped flash translation layer over a NAND array.
+type FTL struct {
+	env   *sim.Env
+	arr   *nand.Array
+	cfg   Config
+	fw    *cpu.CPU
+	dies  []*dieState
+	l2p   []int // lpn -> physical page index, -1 unmapped
+	nLPN  int
+	wrDie int  // round-robin die cursor for new writes
+	inGC  bool // prevents re-entrant collection from relocation writes
+
+	gcMoves  int64
+	gcRounds int64
+	reads    int64
+	writes   int64
+}
+
+// New builds an FTL over arr.
+func New(env *sim.Env, arr *nand.Array, cfg Config) *FTL {
+	nc := arr.Config()
+	f := &FTL{
+		env: env,
+		arr: arr,
+		cfg: cfg,
+		fw:  cpu.New(env, "fw-cpu", cfg.FirmwareThreads, cfg.FirmwareHz),
+	}
+	f.dies = make([]*dieState, nc.Dies())
+	for i := range f.dies {
+		d := &dieState{
+			open:      -1,
+			blockMeta: make([]blockMeta, nc.BlocksPerDie),
+			wlock:     env.NewResource(fmt.Sprintf("ftl-wlock%d", i), 1),
+		}
+		for b := nc.BlocksPerDie - 1; b >= 0; b-- {
+			d.free = append(d.free, b)
+		}
+		for b := range d.blockMeta {
+			lpns := make([]int, nc.PagesPerBlock)
+			for i := range lpns {
+				lpns[i] = -1
+			}
+			d.blockMeta[b].lpns = lpns
+		}
+		f.dies[i] = d
+	}
+	f.nLPN = int(float64(nc.TotalPages()) * (1 - cfg.OverProvision))
+	f.l2p = make([]int, f.nLPN)
+	for i := range f.l2p {
+		f.l2p[i] = -1
+	}
+	return f
+}
+
+// Env returns the simulation environment the FTL runs in.
+func (f *FTL) Env() *sim.Env { return f.env }
+
+// PageSize returns the logical (== physical) page size in bytes.
+func (f *FTL) PageSize() int { return f.arr.Config().PageSize }
+
+// NumPages returns the exported logical capacity in pages.
+func (f *FTL) NumPages() int { return f.nLPN }
+
+// Capacity returns the exported logical capacity in bytes.
+func (f *FTL) Capacity() int64 { return int64(f.nLPN) * int64(f.PageSize()) }
+
+// Array returns the underlying NAND array.
+func (f *FTL) Array() *nand.Array { return f.arr }
+
+// GCStats reports garbage-collection activity.
+func (f *FTL) GCStats() (rounds, pageMoves int64) { return f.gcRounds, f.gcMoves }
+
+// IOStats reports page-level read/write counts.
+func (f *FTL) IOStats() (reads, writes int64) { return f.reads, f.writes }
+
+func (f *FTL) checkLPN(lpn int) {
+	if lpn < 0 || lpn >= f.nLPN {
+		panic(fmt.Sprintf("ftl: lpn %d out of range [0,%d)", lpn, f.nLPN))
+	}
+}
+
+// physical index encoding: ((die*blocks)+block)*pages + page
+func (f *FTL) encode(die, block, page int) int {
+	nc := f.arr.Config()
+	return (die*nc.BlocksPerDie+block)*nc.PagesPerBlock + page
+}
+
+func (f *FTL) decode(ppi int) (die, block, page int) {
+	nc := f.arr.Config()
+	page = ppi % nc.PagesPerBlock
+	ppi /= nc.PagesPerBlock
+	block = ppi % nc.BlocksPerDie
+	die = ppi / nc.BlocksPerDie
+	return
+}
+
+func (f *FTL) ppa(ppi int) nand.PPA {
+	die, block, page := f.decode(ppi)
+	nc := f.arr.Config()
+	return nand.PPA{Channel: die / nc.WaysPerChannel, Way: die % nc.WaysPerChannel, Block: block, Page: page}
+}
+
+// Mapped reports whether the logical page currently holds data.
+func (f *FTL) Mapped(lpn int) bool {
+	f.checkLPN(lpn)
+	return f.l2p[lpn] >= 0
+}
+
+// Read reads length bytes at offset within logical page lpn. Unmapped
+// pages read back as zeroes.
+func (f *FTL) Read(p *sim.Proc, lpn, offset, length int) []byte {
+	f.checkLPN(lpn)
+	f.fw.Exec(p, f.cfg.FirmwareReadCycles)
+	f.reads++
+	ppi := f.l2p[lpn]
+	if ppi < 0 {
+		return make([]byte, length)
+	}
+	return f.arr.Read(p, f.ppa(ppi), offset, length)
+}
+
+// ReadThrough streams length bytes of the logical page through sink while
+// the data crosses the channel bus — the pattern-matcher data path.
+// ipOverhead is the per-command hardware-IP control cost.
+func (f *FTL) ReadThrough(p *sim.Proc, lpn, offset, length int, ipOverhead sim.Time, sink func([]byte)) {
+	f.checkLPN(lpn)
+	f.fw.Exec(p, f.cfg.FirmwareReadCycles)
+	f.reads++
+	ppi := f.l2p[lpn]
+	if ppi < 0 {
+		sink(make([]byte, length))
+		return
+	}
+	f.arr.ReadThrough(p, f.ppa(ppi), offset, length, ipOverhead, sink)
+}
+
+// Peek copies logical-page contents without advancing simulated time
+// (cache-hit modeling; see nand.Array.Peek).
+func (f *FTL) Peek(lpn, offset int, dst []byte) {
+	f.checkLPN(lpn)
+	ppi := f.l2p[lpn]
+	if ppi < 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	f.arr.Peek(f.ppa(ppi), offset, dst)
+}
+
+// allocate picks the next physical page on the write frontier, running GC
+// first if the chosen die is low on free blocks. It returns the physical
+// page index; the caller must program it immediately.
+func (f *FTL) allocate(p *sim.Proc, dieIdx int) int {
+	d := f.dies[dieIdx]
+	if d.open < 0 {
+		if !f.inGC && len(d.free) <= f.cfg.GCLowWater {
+			f.inGC = true
+			f.maybeGC(p, dieIdx)
+			f.inGC = false
+		}
+		if len(d.free) == 0 {
+			panic("ftl: out of space (no free blocks after GC)")
+		}
+		d.open = d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+		d.nextPage = 0
+	}
+	ppi := f.encode(dieIdx, d.open, d.nextPage)
+	d.nextPage++
+	if d.nextPage == f.arr.Config().PagesPerBlock {
+		d.open = -1
+	}
+	return ppi
+}
+
+func (f *FTL) invalidate(ppi int) {
+	die, block, page := f.decode(ppi)
+	bm := &f.dies[die].blockMeta[block]
+	if bm.lpns[page] >= 0 {
+		bm.lpns[page] = -1
+		bm.valid--
+	}
+}
+
+// Write stores data (at most one page) at logical page lpn. Partial
+// writes read-modify-write the page, as a page-mapped FTL must.
+func (f *FTL) Write(p *sim.Proc, lpn int, offset int, data []byte) {
+	f.checkLPN(lpn)
+	ps := f.PageSize()
+	if offset < 0 || offset+len(data) > ps {
+		panic(fmt.Sprintf("ftl: write [%d,%d) out of page bounds", offset, offset+len(data)))
+	}
+	f.fw.Exec(p, f.cfg.FirmwareWriteCycles)
+	f.writes++
+
+	page := make([]byte, ps)
+	if old := f.l2p[lpn]; old >= 0 && (offset != 0 || len(data) != ps) {
+		copy(page, f.arr.Read(p, f.ppa(old), 0, ps))
+	}
+	copy(page[offset:], data)
+
+	if old := f.l2p[lpn]; old >= 0 {
+		f.invalidate(old)
+	}
+	dieIdx := f.wrDie
+	f.wrDie = (f.wrDie + 1) % len(f.dies)
+	d := f.dies[dieIdx]
+	d.wlock.Acquire(p)
+	ppi := f.allocate(p, dieIdx)
+	f.arr.Program(p, f.ppa(ppi), page)
+	d.wlock.Release()
+	f.l2p[lpn] = ppi
+	die, block, pg := f.decode(ppi)
+	bm := &f.dies[die].blockMeta[block]
+	bm.lpns[pg] = lpn
+	bm.valid++
+}
+
+// Trim discards the logical page's contents (used by file deletion).
+func (f *FTL) Trim(lpn int) {
+	f.checkLPN(lpn)
+	if old := f.l2p[lpn]; old >= 0 {
+		f.invalidate(old)
+		f.l2p[lpn] = -1
+	}
+}
+
+// maybeGC refills die dieIdx's free list to the high-water mark using
+// greedy victim selection (fewest valid pages first).
+func (f *FTL) maybeGC(p *sim.Proc, dieIdx int) {
+	d := f.dies[dieIdx]
+	nc := f.arr.Config()
+	for len(d.free) < f.cfg.GCHighWater {
+		victim, bestValid := -1, nc.PagesPerBlock
+		for b := range d.blockMeta {
+			if b == d.open || f.isFree(d, b) {
+				continue
+			}
+			if v := d.blockMeta[b].valid; v < bestValid {
+				victim, bestValid = b, v
+			}
+		}
+		if victim < 0 || bestValid == nc.PagesPerBlock {
+			return // nothing reclaimable
+		}
+		f.gcRounds++
+		bm := &d.blockMeta[victim]
+		for pg := 0; pg < nc.PagesPerBlock; pg++ {
+			lpn := bm.lpns[pg]
+			if lpn < 0 {
+				continue
+			}
+			// Relocate the valid page to this die's frontier.
+			src := f.ppa(f.encode(dieIdx, victim, pg))
+			data := f.arr.Read(p, src, 0, nc.PageSize)
+			dst := f.allocate(p, dieIdx)
+			f.arr.Program(p, f.ppa(dst), data)
+			bm.lpns[pg] = -1
+			bm.valid--
+			ndie, nblock, npg := f.decode(dst)
+			nbm := &f.dies[ndie].blockMeta[nblock]
+			nbm.lpns[npg] = lpn
+			nbm.valid++
+			f.l2p[lpn] = dst
+			f.gcMoves++
+		}
+		f.arr.Erase(p, nand.BlockAddr{Channel: dieIdx / nc.WaysPerChannel, Way: dieIdx % nc.WaysPerChannel, Block: victim})
+		d.free = append(d.free, victim)
+	}
+}
+
+func (f *FTL) isFree(d *dieState, block int) bool {
+	for _, b := range d.free {
+		if b == block {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxErase returns the highest per-block erase count (wear-leveling
+// indicator).
+func (f *FTL) MaxErase() int {
+	nc := f.arr.Config()
+	maxE := 0
+	for die := 0; die < nc.Dies(); die++ {
+		for b := 0; b < nc.BlocksPerDie; b++ {
+			addr := nand.BlockAddr{Channel: die / nc.WaysPerChannel, Way: die % nc.WaysPerChannel, Block: b}
+			if e := f.arr.EraseCount(addr); e > maxE {
+				maxE = e
+			}
+		}
+	}
+	return maxE
+}

@@ -1,0 +1,150 @@
+package ftl
+
+import "biscuit/internal/sim"
+
+// Range I/O: multi-page operations that fan out across channels. A large
+// request is split into page commands issued concurrently, so bandwidth
+// grows with request size until all channels are saturated — the shape of
+// the paper's Fig. 7.
+
+// ReadRange reads length bytes starting at byte offset off in the logical
+// address space, issuing all page reads in parallel and returning the
+// assembled buffer.
+func (f *FTL) ReadRange(p *sim.Proc, off int64, length int) []byte {
+	buf := make([]byte, length)
+	ev := f.ReadRangeAsyncInto(p, off, buf)
+	p.Wait(ev)
+	return buf
+}
+
+// ReadRangeAsyncInto starts a parallel read of len(buf) bytes at byte
+// offset off into buf and returns an event fired on completion. Multiple
+// outstanding calls overlap, which is how the asynchronous file API
+// reaches full internal bandwidth at smaller request sizes.
+func (f *FTL) ReadRangeAsyncInto(p *sim.Proc, off int64, buf []byte) *sim.Event {
+	done := f.env.NewEvent()
+	ps := int64(f.PageSize())
+	type piece struct {
+		lpn, pageOff, n int
+		dst             []byte
+	}
+	var pieces []piece
+	for rem, cur := int64(len(buf)), off; rem > 0; {
+		lpn := cur / ps
+		po := int(cur % ps)
+		n := int(ps) - po
+		if int64(n) > rem {
+			n = int(rem)
+		}
+		pieces = append(pieces, piece{int(lpn), po, n, buf[cur-off : cur-off+int64(n)]})
+		cur += int64(n)
+		rem -= int64(n)
+	}
+	if len(pieces) == 0 {
+		done.Fire()
+		return done
+	}
+	remaining := len(pieces)
+	for _, pc := range pieces {
+		pc := pc
+		f.env.Spawn("ftl-read", func(rp *sim.Proc) {
+			copy(pc.dst, f.Read(rp, pc.lpn, pc.pageOff, pc.n))
+			remaining--
+			if remaining == 0 {
+				done.Fire()
+			}
+		})
+	}
+	return done
+}
+
+// ReadRangeThrough streams length bytes at byte offset off through the
+// per-channel pattern matcher path: page commands fan out across
+// channels and each page's bytes are handed to sink as they cross the
+// bus. Sink invocation order follows completion order; callers that need
+// positions receive the page's starting byte offset.
+func (f *FTL) ReadRangeThrough(p *sim.Proc, off int64, length int, ipOverhead sim.Time, sink func(pageOff int64, data []byte)) {
+	ps := int64(f.PageSize())
+	done := f.env.NewEvent()
+	type piece struct {
+		lpn, pageOff, n int
+		at              int64
+	}
+	var pieces []piece
+	for rem, cur := int64(length), off; rem > 0; {
+		lpn := cur / ps
+		po := int(cur % ps)
+		n := int(ps) - po
+		if int64(n) > rem {
+			n = int(rem)
+		}
+		pieces = append(pieces, piece{int(lpn), po, n, cur})
+		cur += int64(n)
+		rem -= int64(n)
+	}
+	if len(pieces) == 0 {
+		return
+	}
+	remaining := len(pieces)
+	for _, pc := range pieces {
+		pc := pc
+		f.env.Spawn("ftl-match", func(rp *sim.Proc) {
+			f.ReadThrough(rp, pc.lpn, pc.pageOff, pc.n, ipOverhead, func(b []byte) {
+				sink(pc.at, b)
+			})
+			remaining--
+			if remaining == 0 {
+				done.Fire()
+			}
+		})
+	}
+	p.Wait(done)
+}
+
+// WriteRange writes buf at byte offset off, one page at a time. Page-
+// aligned full-page writes avoid read-modify-write. Writes are issued in
+// parallel across the frontier dies.
+func (f *FTL) WriteRange(p *sim.Proc, off int64, buf []byte) {
+	ev := f.WriteRangeAsync(p, off, buf)
+	p.Wait(ev)
+}
+
+// WriteRangeAsync starts a parallel write and returns its completion
+// event. The logical->die assignment still happens in issue order, so
+// data layout remains deterministic.
+func (f *FTL) WriteRangeAsync(p *sim.Proc, off int64, buf []byte) *sim.Event {
+	done := f.env.NewEvent()
+	ps := int64(f.PageSize())
+	type piece struct {
+		lpn, pageOff int
+		data         []byte
+	}
+	var pieces []piece
+	for rem, cur := int64(len(buf)), off; rem > 0; {
+		lpn := cur / ps
+		po := int(cur % ps)
+		n := int(ps) - po
+		if int64(n) > rem {
+			n = int(rem)
+		}
+		pieces = append(pieces, piece{int(lpn), po, buf[cur-off : cur-off+int64(n)]})
+		cur += int64(n)
+		rem -= int64(n)
+	}
+	if len(pieces) == 0 {
+		done.Fire()
+		return done
+	}
+	remaining := len(pieces)
+	for _, pc := range pieces {
+		pc := pc
+		f.env.Spawn("ftl-write", func(wp *sim.Proc) {
+			f.Write(wp, pc.lpn, pc.pageOff, pc.data)
+			remaining--
+			if remaining == 0 {
+				done.Fire()
+			}
+		})
+	}
+	return done
+}

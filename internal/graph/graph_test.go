@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/sim"
+)
+
+func newSys() *biscuit.System {
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 128
+	cfg.NAND.PagesPerBlock = 64
+	sys := biscuit.NewSystem(cfg)
+	sys.Install(Image())
+	return sys
+}
+
+func TestConvAndNDPWalksAgree(t *testing.T) {
+	sys := newSys()
+	sys.Run(func(h *biscuit.Host) {
+		s, err := Generate(h, 2000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conv, err := s.ChaseConv(h, 10, 20, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndp, err := s.ChaseNDP(h, 10, 20, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conv.Hops == 0 {
+			t.Fatal("no hops taken")
+		}
+		if conv.Hops != ndp.Hops || conv.FinalSum != ndp.FinalSum {
+			t.Fatalf("walk divergence: conv=%+v ndp=%+v", conv, ndp)
+		}
+	})
+}
+
+func TestNDPWalkFasterAndLoadInsensitive(t *testing.T) {
+	sys := newSys()
+	var convIdle, convLoaded, ndpIdle, ndpLoaded sim.Time
+	sys.Run(func(h *biscuit.Host) {
+		s, err := Generate(h, 2000, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(fn func() error) sim.Time {
+			start := h.Now()
+			if err := fn(); err != nil {
+				t.Fatal(err)
+			}
+			return h.Now() - start
+		}
+		convIdle = run(func() error { _, err := s.ChaseConv(h, 10, 50, 1); return err })
+		ndpIdle = run(func() error { _, err := s.ChaseNDP(h, 10, 50, 1); return err })
+		h.System().Plat.SetHostLoad(24)
+		convLoaded = run(func() error { _, err := s.ChaseConv(h, 10, 50, 1); return err })
+		ndpLoaded = run(func() error { _, err := s.ChaseNDP(h, 10, 50, 1); return err })
+		h.System().Plat.SetHostLoad(0)
+	})
+	if ndpIdle >= convIdle {
+		t.Fatalf("NDP walk %v not faster than Conv %v", ndpIdle, convIdle)
+	}
+	gain := float64(convIdle) / float64(ndpIdle)
+	if gain < 1.05 || gain > 1.6 {
+		t.Fatalf("unloaded pointer-chasing gain %.2f outside Table IV's ~1.1-1.3 band", gain)
+	}
+	if float64(convLoaded) < float64(convIdle)*1.03 {
+		t.Fatalf("Conv should degrade under load: idle=%v loaded=%v", convIdle, convLoaded)
+	}
+	drift := float64(ndpLoaded) / float64(ndpIdle)
+	if drift > 1.05 {
+		t.Fatalf("Biscuit walk must be load-insensitive: idle=%v loaded=%v", ndpIdle, ndpLoaded)
+	}
+	t.Logf("conv idle=%v loaded=%v | ndp idle=%v loaded=%v", convIdle, convLoaded, ndpIdle, ndpLoaded)
+}
+
+func TestGenerateRejectsTinyGraph(t *testing.T) {
+	sys := newSys()
+	sys.Run(func(h *biscuit.Host) {
+		if _, err := Generate(h, 1, 1); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+}
+
+func TestWalkDeterministic(t *testing.T) {
+	run := func() int64 {
+		sys := newSys()
+		var sum int64
+		sys.Run(func(h *biscuit.Host) {
+			s, _ := Generate(h, 500, 3)
+			res, err := s.ChaseNDP(h, 5, 10, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum = res.FinalSum
+		})
+		return sum
+	}
+	if run() != run() {
+		t.Fatal("walks are nondeterministic")
+	}
+}

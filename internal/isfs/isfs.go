@@ -1,0 +1,251 @@
+// Package isfs is the in-storage file system Biscuit forces SSDlets to
+// operate under (paper §III-D): SSDlets never see logical block
+// addresses; they read and write named files whose access permissions
+// are inherited from the host program that handed them over.
+//
+// The design is a flat-namespace, extent-based file system over the
+// FTL's logical page space. Metadata (inode table + free extents) is
+// persisted in a reserved metadata region so a file system survives
+// unmount/mount. Data paths are transport-agnostic: device-side readers
+// go straight to the FTL, while host-side (Conv) access resolves a file
+// into FTL byte segments and moves them across the NVMe interface.
+package isfs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+
+	"biscuit/internal/ftl"
+	"biscuit/internal/sim"
+)
+
+// Common file-system errors.
+var (
+	ErrNotExist   = errors.New("isfs: file does not exist")
+	ErrExist      = errors.New("isfs: file already exists")
+	ErrReadOnly   = errors.New("isfs: file opened read-only")
+	ErrNoSpace    = errors.New("isfs: no space left")
+	ErrBadMount   = errors.New("isfs: no valid file system found")
+	ErrOutOfRange = errors.New("isfs: offset out of range")
+)
+
+// metaPages reserves the head of the logical space for the serialized
+// superblock + inode table.
+const metaPages = 256
+
+var superMagic = []byte("ISFSv1\x00\x00")
+
+// Mode controls what an open file handle may do.
+type Mode int
+
+// Open modes.
+const (
+	ReadOnly Mode = iota
+	ReadWrite
+)
+
+// extent is a run of contiguous logical pages.
+type extent struct {
+	Start int // first logical page
+	Count int
+}
+
+type inode struct {
+	Name    string
+	Size    int64
+	Extents []extent
+}
+
+// FS is a mounted file system.
+type FS struct {
+	f      *ftl.FTL
+	inodes map[string]*inode
+	free   []extent // sorted by Start, coalesced
+	dirty  bool
+}
+
+// Format initializes an empty file system on f and returns it mounted.
+func Format(p *sim.Proc, f *ftl.FTL) *FS {
+	fs := &FS{f: f, inodes: make(map[string]*inode)}
+	fs.free = []extent{{Start: metaPages, Count: f.NumPages() - metaPages}}
+	fs.dirty = true
+	fs.Sync(p)
+	return fs
+}
+
+// Mount loads an existing file system from f.
+func Mount(p *sim.Proc, f *ftl.FTL) (*FS, error) {
+	ps := int64(f.PageSize())
+	head := f.ReadRange(p, 0, len(superMagic)+8)
+	if !bytes.Equal(head[:len(superMagic)], superMagic) {
+		return nil, ErrBadMount
+	}
+	n := int64(0)
+	for i := 0; i < 8; i++ {
+		n = n<<8 | int64(head[len(superMagic)+i])
+	}
+	if n <= 0 || n > ps*metaPages {
+		return nil, fmt.Errorf("%w: metadata length %d", ErrBadMount, n)
+	}
+	blob := f.ReadRange(p, int64(len(superMagic)+8), int(n))
+	var disk diskMeta
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&disk); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMount, err)
+	}
+	fs := &FS{f: f, inodes: make(map[string]*inode), free: disk.Free}
+	for i := range disk.Inodes {
+		ino := disk.Inodes[i]
+		fs.inodes[ino.Name] = &ino
+	}
+	return fs, nil
+}
+
+type diskMeta struct {
+	Inodes []inode
+	Free   []extent
+}
+
+// Sync persists metadata to the reserved region if it changed.
+func (fs *FS) Sync(p *sim.Proc) {
+	if !fs.dirty {
+		return
+	}
+	var disk diskMeta
+	names := make([]string, 0, len(fs.inodes))
+	for name := range fs.inodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		disk.Inodes = append(disk.Inodes, *fs.inodes[name])
+	}
+	disk.Free = fs.free
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&disk); err != nil {
+		panic("isfs: metadata encode: " + err.Error())
+	}
+	blob := buf.Bytes()
+	if int64(len(blob))+int64(len(superMagic))+8 > int64(metaPages)*int64(fs.f.PageSize()) {
+		panic("isfs: metadata region overflow")
+	}
+	head := make([]byte, len(superMagic)+8)
+	copy(head, superMagic)
+	for i := 0; i < 8; i++ {
+		head[len(superMagic)+i] = byte(int64(len(blob)) >> (8 * (7 - i)))
+	}
+	fs.f.WriteRange(p, 0, append(head, blob...))
+	fs.dirty = false
+}
+
+// List returns the names of all files, sorted.
+func (fs *FS) List() []string {
+	names := make([]string, 0, len(fs.inodes))
+	for n := range fs.inodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FreePages returns the number of unallocated data pages.
+func (fs *FS) FreePages() int {
+	total := 0
+	for _, e := range fs.free {
+		total += e.Count
+	}
+	return total
+}
+
+// Create makes a new empty file open for read/write.
+func (fs *FS) Create(name string) (*File, error) {
+	if name == "" {
+		return nil, errors.New("isfs: empty file name")
+	}
+	if _, ok := fs.inodes[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, name)
+	}
+	ino := &inode{Name: name}
+	fs.inodes[name] = ino
+	fs.dirty = true
+	return &File{fs: fs, ino: ino, mode: ReadWrite}, nil
+}
+
+// Open returns a handle to an existing file.
+func (fs *FS) Open(name string, mode Mode) (*File, error) {
+	ino, ok := fs.inodes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return &File{fs: fs, ino: ino, mode: mode}, nil
+}
+
+// Remove deletes a file, trimming its pages.
+func (fs *FS) Remove(name string) error {
+	ino, ok := fs.inodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	for _, e := range ino.Extents {
+		for pg := 0; pg < e.Count; pg++ {
+			fs.f.Trim(e.Start + pg)
+		}
+		fs.release(e)
+	}
+	delete(fs.inodes, name)
+	fs.dirty = true
+	return nil
+}
+
+// allocate removes count pages from the free list, preferring a single
+// contiguous extent and falling back to first-fit fragments.
+func (fs *FS) allocate(count int) ([]extent, error) {
+	var out []extent
+	need := count
+	for i := 0; i < len(fs.free) && need > 0; {
+		e := &fs.free[i]
+		take := e.Count
+		if take > need {
+			take = need
+		}
+		out = append(out, extent{Start: e.Start, Count: take})
+		e.Start += take
+		e.Count -= take
+		need -= take
+		if e.Count == 0 {
+			fs.free = append(fs.free[:i], fs.free[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	if need > 0 {
+		// Roll back.
+		for _, e := range out {
+			fs.release(e)
+		}
+		return nil, ErrNoSpace
+	}
+	fs.dirty = true
+	return out, nil
+}
+
+// release returns an extent to the free list, keeping it sorted and
+// coalesced.
+func (fs *FS) release(e extent) {
+	i := sort.Search(len(fs.free), func(i int) bool { return fs.free[i].Start >= e.Start })
+	fs.free = append(fs.free, extent{})
+	copy(fs.free[i+1:], fs.free[i:])
+	fs.free[i] = e
+	// Coalesce around i.
+	if i+1 < len(fs.free) && fs.free[i].Start+fs.free[i].Count == fs.free[i+1].Start {
+		fs.free[i].Count += fs.free[i+1].Count
+		fs.free = append(fs.free[:i+1], fs.free[i+2:]...)
+	}
+	if i > 0 && fs.free[i-1].Start+fs.free[i-1].Count == fs.free[i].Start {
+		fs.free[i-1].Count += fs.free[i].Count
+		fs.free = append(fs.free[:i], fs.free[i+1:]...)
+	}
+	fs.dirty = true
+}

@@ -1,0 +1,85 @@
+package match
+
+// Boyer–Moore–Horspool single-pattern search: the host-software baseline
+// the paper's Conv string-search numbers rest on ("we use Linux grep,
+// which implements the Boyer-Moore string search algorithm", §V-C).
+
+// Horspool holds a preprocessed single pattern.
+type Horspool struct {
+	pat  []byte
+	skip [256]int
+}
+
+// NewHorspool preprocesses pat; pat must be non-empty.
+func NewHorspool(pat []byte) *Horspool {
+	if len(pat) == 0 {
+		panic("match: empty Boyer-Moore pattern")
+	}
+	h := &Horspool{pat: pat}
+	m := len(pat)
+	for i := range h.skip {
+		h.skip[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		h.skip[pat[i]] = m - 1 - i
+	}
+	return h
+}
+
+// Pattern returns the search pattern.
+func (h *Horspool) Pattern() []byte { return h.pat }
+
+// FindAll returns the start indexes of every (possibly overlapping)
+// occurrence of the pattern in text.
+func (h *Horspool) FindAll(text []byte) []int {
+	var out []int
+	m := len(h.pat)
+	for i := 0; i+m <= len(text); {
+		j := m - 1
+		for j >= 0 && text[i+j] == h.pat[j] {
+			j--
+		}
+		if j < 0 {
+			out = append(out, i)
+			i++
+			continue
+		}
+		i += h.skip[text[i+m-1]]
+	}
+	return out
+}
+
+// Count returns the number of occurrences in text.
+func (h *Horspool) Count(text []byte) int {
+	n := 0
+	m := len(h.pat)
+	for i := 0; i+m <= len(text); {
+		j := m - 1
+		for j >= 0 && text[i+j] == h.pat[j] {
+			j--
+		}
+		if j < 0 {
+			n++
+			i++
+			continue
+		}
+		i += h.skip[text[i+m-1]]
+	}
+	return n
+}
+
+// Contains reports whether the pattern occurs in text.
+func (h *Horspool) Contains(text []byte) bool {
+	m := len(h.pat)
+	for i := 0; i+m <= len(text); {
+		j := m - 1
+		for j >= 0 && text[i+j] == h.pat[j] {
+			j--
+		}
+		if j < 0 {
+			return true
+		}
+		i += h.skip[text[i+m-1]]
+	}
+	return false
+}

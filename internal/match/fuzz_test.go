@@ -1,0 +1,58 @@
+package match
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzStreamEqualsWholeScan: splitting arbitrary data at an arbitrary
+// point must find exactly the same matches as scanning it whole, and
+// must agree with the Boyer-Moore baseline.
+func FuzzStreamEqualsWholeScan(f *testing.F) {
+	f.Add([]byte("xxneedlexxneedle"), []byte("needle"), 5)
+	f.Add([]byte("aaaa"), []byte("aa"), 2)
+	f.Add([]byte(""), []byte("k"), 0)
+	f.Fuzz(func(t *testing.T, data []byte, pat []byte, split int) {
+		if len(pat) == 0 || len(pat) > 16 {
+			return
+		}
+		a, err := Compile([][]byte{pat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole := a.Count(data)
+
+		if split < 0 {
+			split = -split
+		}
+		if len(data) > 0 {
+			split %= len(data) + 1
+		} else {
+			split = 0
+		}
+		s := a.NewStream()
+		n := 0
+		s.Feed(data[:split], func(Match) { n++ })
+		s.Feed(data[split:], func(Match) { n++ })
+		if n != whole {
+			t.Fatalf("split at %d found %d, whole scan %d", split, n, whole)
+		}
+		if bm := NewHorspool(pat).Count(data); bm != whole {
+			t.Fatalf("aho-corasick %d vs boyer-moore %d", whole, bm)
+		}
+		if got := bytes.Count(data, pat); !overlapping(pat) && got != whole {
+			t.Fatalf("stdlib count %d vs %d", got, whole)
+		}
+	})
+}
+
+// overlapping reports whether pat can overlap itself (stdlib Count is
+// non-overlapping, so only compare when overlap is impossible).
+func overlapping(pat []byte) bool {
+	for k := 1; k < len(pat); k++ {
+		if bytes.Equal(pat[:len(pat)-k], pat[k:]) {
+			return true
+		}
+	}
+	return false
+}

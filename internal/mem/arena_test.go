@@ -1,0 +1,253 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustArena(t *testing.T, size int) *Arena {
+	t.Helper()
+	a, err := NewArena("test", "", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAllocFreeBasic(t *testing.T) {
+	a := mustArena(t, 4096)
+	b, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 100 {
+		t.Fatalf("len=%d", b.Len())
+	}
+	buf, err := b.Bytes("")
+	if err != nil || len(buf) != 100 {
+		t.Fatalf("bytes err=%v len=%d", err, len(buf))
+	}
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Allocated() != 0 {
+		t.Fatalf("allocated=%d after free", a.Allocated())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocationsDontOverlap(t *testing.T) {
+	a := mustArena(t, 1<<16)
+	var blocks []Block
+	for i := 0; i < 50; i++ {
+		b, err := a.Alloc(17 + i*3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, _ := b.Bytes("")
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+		blocks = append(blocks, b)
+	}
+	for i, b := range blocks {
+		buf, _ := b.Bytes("")
+		for _, v := range buf {
+			if v != byte(i) {
+				t.Fatalf("block %d corrupted", i)
+			}
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalescingRestoresFullArena(t *testing.T) {
+	a := mustArena(t, 4096)
+	initialFree := a.FreeBytes()
+	var blocks []Block
+	for i := 0; i < 10; i++ {
+		b, err := a.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+	}
+	// Free in an order that exercises both prev and next coalescing.
+	for _, i := range []int{1, 3, 5, 7, 9, 0, 2, 4, 6, 8} {
+		if err := a.Free(blocks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.FreeBytes(); got != initialFree {
+		t.Fatalf("free bytes %d, want %d (full coalescing)", got, initialFree)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The whole arena must be allocatable again as one block.
+	if _, err := a.Alloc(initialFree - 2*headerSize); err != nil {
+		t.Fatalf("big alloc after coalesce: %v", err)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	a := mustArena(t, 1024)
+	if _, err := a.Alloc(2000); !errors.Is(err, ErrSizeTooLarge) {
+		t.Fatalf("err=%v, want ErrSizeTooLarge", err)
+	}
+	b1, err := a.Alloc(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(900); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err=%v, want ErrOutOfMemory", err)
+	}
+	a.Free(b1)
+	if _, err := a.Alloc(900); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	a := mustArena(t, 4096)
+	b, _ := a.Alloc(64)
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("double free err=%v, want ErrBadFree", err)
+	}
+}
+
+func TestForeignFreeRejected(t *testing.T) {
+	a := mustArena(t, 4096)
+	b2 := mustArena(t, 4096)
+	blk, _ := b2.Alloc(64)
+	if err := a.Free(blk); !errors.Is(err, ErrForeignBlock) {
+		t.Fatalf("err=%v, want ErrForeignBlock", err)
+	}
+}
+
+func TestOwnerIsolation(t *testing.T) {
+	dm, err := NewDeviceMemory(8192, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysBlk, _ := dm.System.Alloc(64)
+	if _, err := sysBlk.Bytes(UserOwner); !errors.Is(err, ErrAccessDenied) {
+		t.Fatalf("user access to system memory: err=%v, want denied", err)
+	}
+	if _, err := sysBlk.Bytes(SystemOwner); err != nil {
+		t.Fatalf("system access rejected: %v", err)
+	}
+	usrBlk, _ := dm.User.Alloc(64)
+	if _, err := usrBlk.Bytes(UserOwner); err != nil {
+		t.Fatalf("user access to user memory rejected: %v", err)
+	}
+}
+
+func TestStatsTrackPeak(t *testing.T) {
+	a := mustArena(t, 1<<14)
+	b1, _ := a.Alloc(1000)
+	b2, _ := a.Alloc(2000)
+	a.Free(b1)
+	if a.Peak() != 3000 {
+		t.Fatalf("peak=%d, want 3000", a.Peak())
+	}
+	if a.Allocated() != 2000 {
+		t.Fatalf("allocated=%d, want 2000", a.Allocated())
+	}
+	a.Free(b2)
+	al, fr := a.Counts()
+	if al != 2 || fr != 2 {
+		t.Fatalf("counts %d/%d", al, fr)
+	}
+}
+
+func TestRandomAllocFreeInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		a, _ := NewArena("p", "", 1<<16)
+		rng := rand.New(rand.NewSource(seed))
+		live := make(map[int]Block)
+		id := 0
+		for i := 0; i < 300; i++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				n := rng.Intn(700) + 1
+				if b, err := a.Alloc(n); err == nil {
+					buf, _ := b.Bytes("")
+					for j := range buf {
+						buf[j] = byte(id)
+					}
+					live[id] = b
+					id++
+				}
+			} else {
+				for k, b := range live {
+					buf, _ := b.Bytes("")
+					for _, v := range buf {
+						if v != byte(k) {
+							return false // corruption
+						}
+					}
+					if a.Free(b) != nil {
+						return false
+					}
+					delete(live, k)
+					break
+				}
+			}
+			if a.CheckInvariants() != nil {
+				return false
+			}
+		}
+		for k, b := range live {
+			buf, _ := b.Bytes("")
+			for _, v := range buf {
+				if v != byte(k) {
+					return false
+				}
+			}
+			if a.Free(b) != nil {
+				return false
+			}
+		}
+		return a.CheckInvariants() == nil && a.Allocated() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinForClasses(t *testing.T) {
+	cases := []struct{ size, bin int }{
+		{32, 0}, {48, 1}, {512, 30}, {528, 31}, {1024, 32}, {2048, 33},
+	}
+	for _, c := range cases {
+		if got := binFor(c.size); got != c.bin {
+			t.Errorf("binFor(%d)=%d, want %d", c.size, got, c.bin)
+		}
+	}
+	if binFor(1<<62) != numBins-1 {
+		t.Error("huge sizes must land in last bin")
+	}
+	for s := 32; s < 1<<20; s += 16 {
+		if binFor(s+16) < binFor(s) {
+			t.Fatalf("binFor not monotone at %d", s)
+		}
+	}
+}
+
+func TestTinyArenaRejected(t *testing.T) {
+	if _, err := NewArena("x", "", 16); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("err=%v", err)
+	}
+}

@@ -1,0 +1,28 @@
+package mem
+
+// DeviceMemory bundles the two allocators the Biscuit runtime maintains
+// (paper §IV-B): a system allocator whose memory is restricted to the
+// runtime, and a user allocator that backs SSDlet allocations.
+type DeviceMemory struct {
+	System *Arena
+	User   *Arena
+}
+
+// Owner tags enforced by Block.Bytes.
+const (
+	SystemOwner = "system"
+	UserOwner   = "user"
+)
+
+// NewDeviceMemory creates the system/user arena pair.
+func NewDeviceMemory(systemSize, userSize int) (*DeviceMemory, error) {
+	sys, err := NewArena("system-heap", SystemOwner, systemSize)
+	if err != nil {
+		return nil, err
+	}
+	usr, err := NewArena("user-heap", UserOwner, userSize)
+	if err != nil {
+		return nil, err
+	}
+	return &DeviceMemory{System: sys, User: usr}, nil
+}

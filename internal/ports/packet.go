@@ -1,0 +1,72 @@
+package ports
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Packet is the sole data type host-to-device and inter-application
+// ports carry (paper §III-C): an opaque, sized byte payload. Values of
+// other types must be explicitly serialized to and from Packet.
+type Packet struct {
+	data []byte
+}
+
+// NewPacket wraps data (not copied) in a Packet.
+func NewPacket(data []byte) Packet { return Packet{data: data} }
+
+// Bytes returns the payload.
+func (p Packet) Bytes() []byte { return p.data }
+
+// Len returns the payload size in bytes; this is what the channel
+// manager charges against link bandwidth.
+func (p Packet) Len() int { return len(p.data) }
+
+func (p Packet) String() string { return fmt.Sprintf("Packet(%dB)", len(p.data)) }
+
+// Marshaler is implemented by values that can serialize themselves into
+// a Packet for transmission over Packet-only port types.
+type Marshaler interface {
+	MarshalPacket() (Packet, error)
+}
+
+// Unmarshaler is the inverse of Marshaler.
+type Unmarshaler interface {
+	UnmarshalPacket(Packet) error
+}
+
+// Encode serializes an arbitrary value into a Packet using gob; it is
+// the library-provided "explicit serialization function" of §III-C for
+// types that do not implement Marshaler themselves.
+func Encode[T any](v T) (Packet, error) {
+	if p, ok := any(v).(Packet); ok {
+		return p, nil // already wire format
+	}
+	if m, ok := any(v).(Marshaler); ok {
+		return m.MarshalPacket()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return Packet{}, fmt.Errorf("ports: encode %T: %w", v, err)
+	}
+	return Packet{data: buf.Bytes()}, nil
+}
+
+// Decode deserializes a Packet produced by Encode back into a value.
+func Decode[T any](p Packet) (T, error) {
+	var v T
+	if out, ok := any(p).(T); ok {
+		return out, nil // caller wants the raw Packet
+	}
+	if u, ok := any(&v).(Unmarshaler); ok {
+		if err := u.UnmarshalPacket(p); err != nil {
+			return v, err
+		}
+		return v, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(p.data)).Decode(&v); err != nil {
+		return v, fmt.Errorf("ports: decode %T: %w", v, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,266 @@
+package ports
+
+import (
+	"testing"
+	"testing/quick"
+
+	"biscuit/internal/sim"
+)
+
+func TestPutGetFIFO(t *testing.T) {
+	e := sim.NewEnv()
+	q := NewQueue[int](e, 4)
+	var got []int
+	e.Spawn("prod", func(p *sim.Proc) {
+		b := ProcBlocker{p}
+		for i := 0; i < 10; i++ {
+			q.Put(b, i)
+		}
+		q.Close()
+	})
+	e.Spawn("cons", func(p *sim.Proc) {
+		b := ProcBlocker{p}
+		for {
+			v, ok := q.Get(b)
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+	})
+	e.Run()
+	if len(got) != 10 {
+		t.Fatalf("got %d values", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got=%v not FIFO", got)
+		}
+	}
+}
+
+func TestPutBlocksWhenFull(t *testing.T) {
+	e := sim.NewEnv()
+	q := NewQueue[int](e, 1)
+	var putDone sim.Time
+	e.Spawn("prod", func(p *sim.Proc) {
+		b := ProcBlocker{p}
+		q.Put(b, 1)
+		q.Put(b, 2) // must block until consumer drains
+		putDone = p.Now()
+	})
+	e.Spawn("cons", func(p *sim.Proc) {
+		p.Sleep(100)
+		q.TryGet()
+	})
+	e.Run()
+	if putDone != 100 {
+		t.Fatalf("second put completed at %v, want 100", putDone)
+	}
+}
+
+func TestGetBlocksWhenEmpty(t *testing.T) {
+	e := sim.NewEnv()
+	q := NewQueue[string](e, 2)
+	var got string
+	var at sim.Time
+	e.Spawn("cons", func(p *sim.Proc) {
+		got, _ = q.Get(ProcBlocker{p})
+		at = p.Now()
+	})
+	e.Spawn("prod", func(p *sim.Proc) {
+		p.Sleep(50)
+		q.TryPut("x")
+	})
+	e.Run()
+	if got != "x" || at != 50 {
+		t.Fatalf("got=%q at %v", got, at)
+	}
+}
+
+func TestCloseDrainsThenEOF(t *testing.T) {
+	e := sim.NewEnv()
+	q := NewQueue[int](e, 4)
+	var vals []int
+	var eof bool
+	e.Spawn("x", func(p *sim.Proc) {
+		b := ProcBlocker{p}
+		q.Put(b, 1)
+		q.Put(b, 2)
+		q.Close()
+		for {
+			v, ok := q.Get(b)
+			if !ok {
+				eof = true
+				break
+			}
+			vals = append(vals, v)
+		}
+		if q.Put(b, 3) {
+			t.Error("put after close must fail")
+		}
+	})
+	e.Run()
+	if !eof || len(vals) != 2 {
+		t.Fatalf("eof=%v vals=%v", eof, vals)
+	}
+}
+
+func TestCloseWakesBlockedGetter(t *testing.T) {
+	e := sim.NewEnv()
+	q := NewQueue[int](e, 1)
+	var ok = true
+	e.Spawn("cons", func(p *sim.Proc) {
+		_, ok = q.Get(ProcBlocker{p})
+	})
+	e.Spawn("closer", func(p *sim.Proc) {
+		p.Sleep(10)
+		q.Close()
+	})
+	e.Run()
+	if ok {
+		t.Fatal("get must report EOF after close")
+	}
+}
+
+func TestCloseWakesBlockedPutter(t *testing.T) {
+	e := sim.NewEnv()
+	q := NewQueue[int](e, 1)
+	okPut := true
+	e.Spawn("prod", func(p *sim.Proc) {
+		b := ProcBlocker{p}
+		q.Put(b, 1)
+		okPut = q.Put(b, 2) // blocks; then close
+	})
+	e.Spawn("closer", func(p *sim.Proc) {
+		p.Sleep(10)
+		q.Close()
+	})
+	e.Run()
+	if okPut {
+		t.Fatal("put must fail when queue closes while blocked")
+	}
+}
+
+func TestMPSCManyProducers(t *testing.T) {
+	e := sim.NewEnv()
+	q := NewQueue[int](e, 2)
+	sum := 0
+	for i := 1; i <= 5; i++ {
+		i := i
+		e.Spawn("prod", func(p *sim.Proc) {
+			q.Put(ProcBlocker{p}, i)
+		})
+	}
+	e.Spawn("cons", func(p *sim.Proc) {
+		b := ProcBlocker{p}
+		for n := 0; n < 5; n++ {
+			v, _ := q.Get(b)
+			sum += v
+		}
+	})
+	e.Run()
+	if sum != 15 {
+		t.Fatalf("sum=%d, want 15", sum)
+	}
+}
+
+func TestQueueNeverExceedsCapacityProperty(t *testing.T) {
+	prop := func(capRaw uint8, n uint8) bool {
+		capacity := int(capRaw%5) + 1
+		items := int(n % 50)
+		e := sim.NewEnv()
+		q := NewQueue[int](e, capacity)
+		maxLen := 0
+		e.Spawn("prod", func(p *sim.Proc) {
+			b := ProcBlocker{p}
+			for i := 0; i < items; i++ {
+				q.Put(b, i)
+				if q.Len() > maxLen {
+					maxLen = q.Len()
+				}
+			}
+			q.Close()
+		})
+		e.Spawn("cons", func(p *sim.Proc) {
+			b := ProcBlocker{p}
+			prev := -1
+			for {
+				v, ok := q.Get(b)
+				if !ok {
+					return
+				}
+				if v != prev+1 {
+					t.Errorf("out of order: %d after %d", v, prev)
+				}
+				prev = v
+			}
+		})
+		e.Run()
+		return maxLen <= capacity
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketEncodeDecode(t *testing.T) {
+	type pair struct {
+		Word string
+		N    uint32
+	}
+	p, err := Encode(pair{"hello", 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() == 0 {
+		t.Fatal("empty packet")
+	}
+	got, err := Decode[pair](p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Word != "hello" || got.N != 42 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPacketRoundTripProperty(t *testing.T) {
+	prop := func(s string, n int64) bool {
+		type v struct {
+			S string
+			N int64
+		}
+		p, err := Encode(v{s, n})
+		if err != nil {
+			return false
+		}
+		got, err := Decode[v](p)
+		return err == nil && got.S == s && got.N == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type customMsg struct{ b byte }
+
+func (m customMsg) MarshalPacket() (Packet, error) { return NewPacket([]byte{m.b}), nil }
+func (m *customMsg) UnmarshalPacket(p Packet) error {
+	m.b = p.Bytes()[0]
+	return nil
+}
+
+func TestCustomMarshalerPreferred(t *testing.T) {
+	p, err := Encode(customMsg{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("custom marshaler bypassed: len=%d", p.Len())
+	}
+	got, err := Decode[customMsg](p)
+	if err != nil || got.b != 7 {
+		t.Fatalf("got=%+v err=%v", got, err)
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Env is a simulation environment: a virtual clock plus the pending-event
+// queue that drives it. An Env and everything attached to it must be used
+// from a single wall-clock thread of control: either the goroutine calling
+// Run, or the (strictly serialized) simulation processes it resumes.
+type Env struct {
+	now Time
+	eq  eventQueue
+	seq uint64
+
+	// handoff carries control back from a running process to the scheduler.
+	handoff chan struct{}
+
+	running bool
+	nprocs  int
+	panicV  any
+	trace   func(string)
+}
+
+// NewEnv returns an empty environment at virtual time zero.
+func NewEnv() *Env {
+	return &Env{handoff: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// SetTrace installs fn to receive one line per scheduler action, for
+// debugging. A nil fn disables tracing.
+func (e *Env) SetTrace(fn func(string)) { e.trace = fn }
+
+type event struct {
+	at     Time
+	seq    uint64
+	action func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() (popped any) {
+	old := *q
+	n := len(old)
+	popped = old[n-1]
+	*q = old[:n-1]
+	return
+}
+
+// schedule queues action to run at absolute time at. Actions run in the
+// scheduler's context and must not block; they typically resume a process.
+func (e *Env) schedule(at Time, action func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.eq, &event{at: at, seq: e.seq, action: action})
+}
+
+// After queues fn to run (in scheduler context) after delay d.
+func (e *Env) After(d Time, fn func()) {
+	e.schedule(e.now+d, fn)
+}
+
+// Run executes the simulation until no events remain. It panics with the
+// original value if any process panicked.
+func (e *Env) Run() { e.RunUntil(1<<63 - 1) }
+
+// RunUntil executes the simulation until no events remain or the next
+// event is later than deadline. The clock never advances past deadline.
+func (e *Env) RunUntil(deadline Time) {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.eq) > 0 {
+		ev := e.eq[0]
+		if ev.at > deadline {
+			e.now = deadline
+			return
+		}
+		heap.Pop(&e.eq)
+		e.now = ev.at
+		if e.trace != nil {
+			e.trace(fmt.Sprintf("t=%v seq=%d", ev.at, ev.seq))
+		}
+		ev.action()
+		if e.panicV != nil {
+			v := e.panicV
+			e.panicV = nil
+			panic(v)
+		}
+	}
+}
+
+// Idle reports whether no events are pending.
+func (e *Env) Idle() bool { return len(e.eq) == 0 }
+
+// NumProcs reports the number of live (spawned, unfinished) processes.
+func (e *Env) NumProcs() int { return e.nprocs }

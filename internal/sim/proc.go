@@ -1,0 +1,145 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine whose execution is serialized
+// by the environment's scheduler. A Proc runs until it blocks in one of
+// the kernel primitives (Sleep, Wait, Resource.Acquire, ...), at which
+// point control returns to the scheduler; it is resumed when the event it
+// blocks on fires.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   *Event
+	dead   bool
+}
+
+// Spawn creates a process named name running fn, starting at the current
+// virtual time. It may be called before Run or from inside another
+// process.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt creates a process that starts at absolute virtual time at.
+func (e *Env) SpawnAt(at Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{}), done: e.NewEvent()}
+	e.nprocs++
+	e.schedule(at, func() {
+		go p.run(fn)
+		<-e.handoff
+	})
+	return p
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.env.panicV = fmt.Sprintf("sim: process %q panicked: %v", p.name, v)
+		}
+		p.dead = true
+		p.env.nprocs--
+		p.done.fire()
+		p.env.handoff <- struct{}{}
+	}()
+	fn(p)
+}
+
+// park yields control to the scheduler and blocks until resumed.
+func (p *Proc) park() {
+	p.env.handoff <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules p to resume at the current virtual time. It must be
+// called at most once per park.
+func (p *Proc) wake() {
+	e := p.env
+	e.schedule(e.now, func() {
+		p.resume <- struct{}{}
+		<-e.handoff
+	})
+}
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Done returns an event fired when the process function returns.
+func (p *Proc) Done() *Event { return p.done }
+
+// Sleep suspends the process for virtual duration d (clamped at zero).
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		// Even a zero-length sleep is a scheduling point; keep it cheap
+		// but still deterministic by not yielding at all.
+		return
+	}
+	p.env.schedule(p.env.now+d, func() {
+		p.resume <- struct{}{}
+		<-p.env.handoff
+	})
+	p.park()
+}
+
+// Yield reschedules the process at the current time behind any events
+// already queued for this instant, giving other ready processes a turn.
+func (p *Proc) Yield() {
+	p.wake()
+	p.park()
+}
+
+// Join blocks until q terminates.
+func (p *Proc) Join(q *Proc) { p.Wait(q.done) }
+
+// Event is a broadcast condition in virtual time. Once fired it stays
+// fired: later Waits return immediately.
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent returns a fresh, unfired event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire wakes all current waiters at the current virtual time and marks
+// the event fired. Firing twice is a no-op.
+func (ev *Event) Fire() { ev.fire() }
+
+func (ev *Event) fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		w.wake()
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires. Returns immediately if already
+// fired.
+func (p *Proc) Wait(ev *Event) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park()
+}
+
+// WaitAll blocks until every event in evs has fired.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+// Resource is a counted resource with a FIFO wait queue (a k-server
+// station). Acquire blocks the calling process while all servers are
+// busy; Release hands the freed server to the longest-waiting process.
+//
+// A Resource also accumulates a busy-time integral so that utilization
+// (and, downstream, power draw) can be derived from any window of the
+// simulation.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	lastChange Time
+	busyInt    float64 // integral of inUse over time, in server-ns
+}
+
+// NewResource creates a resource with the given number of servers.
+func (e *Env) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{env: e, name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the number of servers.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of servers currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) account() {
+	now := r.env.now
+	r.busyInt += float64(r.inUse) * float64(now-r.lastChange)
+	r.lastChange = now
+}
+
+// BusyTime returns the accumulated busy integral in server-seconds.
+func (r *Resource) BusyTime() float64 {
+	r.account()
+	return r.busyInt / float64(Second)
+}
+
+// Utilization returns mean utilization (0..1) over [since, now].
+func (r *Resource) Utilization(since Time, busyAtSince float64) float64 {
+	elapsed := r.env.now - since
+	if elapsed <= 0 {
+		return 0
+	}
+	return (r.BusyTime() - busyAtSince) / float64(r.capacity) / elapsed.Seconds()
+}
+
+// Acquire takes one server, blocking p in FIFO order while none is free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park()
+	// The releaser already transferred the server to us (see Release).
+}
+
+// TryAcquire takes a server if one is immediately free.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.waiters) == 0 {
+		r.account()
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release frees one server, waking the longest waiter if any. The freed
+// server is transferred directly to that waiter so FIFO order holds even
+// against concurrent TryAcquire callers.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		w.wake() // server stays accounted as in use
+		return
+	}
+	r.account()
+	r.inUse--
+}
+
+// Use acquires a server, holds it for duration d and releases it.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Link models a point-to-point transfer medium: FCFS serialization at a
+// fixed byte rate plus a propagation latency that overlaps with the next
+// transfer (store-and-forward pipe).
+type Link struct {
+	r         *Resource
+	bytesPS   float64
+	latency   Time
+	perOpCost Time
+}
+
+// NewLink creates a link with the given serialization rate (bytes/s),
+// propagation latency, and a fixed per-operation cost charged while the
+// link is held (command/doorbell overheads).
+func (e *Env) NewLink(name string, bytesPerSec float64, latency, perOpCost Time) *Link {
+	return &Link{r: e.NewResource(name, 1), bytesPS: bytesPerSec, latency: latency, perOpCost: perOpCost}
+}
+
+// Bandwidth returns the serialization rate in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.bytesPS }
+
+// Latency returns the propagation latency.
+func (l *Link) Latency() Time { return l.latency }
+
+// Resource exposes the underlying occupancy resource (for utilization
+// accounting by the power model).
+func (l *Link) Resource() *Resource { return l.r }
+
+// Transfer moves n bytes across the link: the caller occupies the link
+// for the per-op cost plus serialization time, then waits out the
+// propagation latency without holding the link.
+func (l *Link) Transfer(p *Proc, n int64) {
+	l.r.Acquire(p)
+	p.Sleep(l.perOpCost + TransferTime(n, l.bytesPS))
+	l.r.Release()
+	p.Sleep(l.latency)
+}

@@ -1,0 +1,90 @@
+package sql
+
+// AST node types. The parser produces these; plan.go resolves them
+// against a catalog.
+
+// SelectStmt is a single SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []string // table names, joined via WHERE equi-predicates
+	Where   Node     // nil if absent
+	GroupBy []Node
+	OrderBy []OrderItem
+	Limit   int // -1 if absent
+}
+
+// SelectItem is one output column: an expression (possibly an aggregate)
+// with an optional alias, or a bare star.
+type SelectItem struct {
+	Star  bool
+	Expr  Node
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Node
+	Desc bool
+}
+
+// Node is an expression AST node.
+type Node interface{ node() }
+
+// ColNode references a column, optionally table-qualified.
+type ColNode struct{ Table, Name string }
+
+// NumNode is a numeric literal; Dec is true when it had a decimal point.
+type NumNode struct {
+	Text string
+	Dec  bool
+}
+
+// StrNode is a string literal.
+type StrNode struct{ S string }
+
+// DateNode is a DATE 'yyyy-mm-dd' literal.
+type DateNode struct{ S string }
+
+// BinNode is a binary operation: comparison, AND/OR, or arithmetic.
+type BinNode struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "+", "-", "*", "/"
+	L, R Node
+}
+
+// NotNode negates.
+type NotNode struct{ X Node }
+
+// LikeNode is [NOT] LIKE.
+type LikeNode struct {
+	X       Node
+	Pattern string
+	Negate  bool
+}
+
+// InNode is [NOT] IN (literal list).
+type InNode struct {
+	X      Node
+	Vals   []Node
+	Negate bool
+}
+
+// BetweenNode is X BETWEEN Lo AND Hi.
+type BetweenNode struct{ X, Lo, Hi Node }
+
+// AggNode is an aggregate call.
+type AggNode struct {
+	Fn       string // SUM, COUNT, AVG, MIN, MAX
+	Arg      Node   // nil for COUNT(*)
+	Distinct bool
+}
+
+func (ColNode) node()     {}
+func (NumNode) node()     {}
+func (StrNode) node()     {}
+func (DateNode) node()    {}
+func (BinNode) node()     {}
+func (NotNode) node()     {}
+func (LikeNode) node()    {}
+func (InNode) node()      {}
+func (BetweenNode) node() {}
+func (AggNode) node()     {}

@@ -1,0 +1,39 @@
+package sql
+
+import "testing"
+
+// FuzzParse: arbitrary input must yield either an AST or an error,
+// never a panic or a hang.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT l_orderkey, l_shipdate FROM lineitem WHERE l_shipdate = '1995-1-17'",
+		"SELECT SUM(x*(1-y)) AS r FROM t GROUP BY g ORDER BY r DESC LIMIT 5",
+		"SELECT a FROM t WHERE x NOT LIKE '%y%' AND z IN ('A','B') OR NOT w BETWEEN 1 AND 2",
+		"SELECT COUNT(DISTINCT a) FROM t -- comment",
+		"select",
+		"SELECT ((((",
+		"'unterminated",
+		"SELECT a FROM t WHERE 1.2.3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err == nil && stmt == nil {
+			t.Fatal("nil statement without error")
+		}
+		if stmt != nil {
+			// The canonical printer must handle every parsed tree.
+			if stmt.Where != nil {
+				_ = nodeString(stmt.Where)
+			}
+			for _, it := range stmt.Items {
+				if !it.Star {
+					_ = nodeString(it.Expr)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Package sql is a small SQL front-end for the internal/db engine: a
+// lexer, a recursive-descent parser for single SELECT statements, and a
+// translator that resolves the AST against a db.Database catalog into
+// volcano iterators — consulting the Biscuit offload planner for the
+// candidate table scan exactly like the modified MariaDB of §V-C.
+//
+// The dialect covers what the paper's workload needs: SELECT lists with
+// expressions and aggregates, FROM with multiple tables (equi-joins in
+// WHERE), WHERE with AND/OR/NOT, comparisons, BETWEEN, IN, LIKE and date
+// literals, GROUP BY, ORDER BY ... [ASC|DESC] and LIMIT.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tKeyword
+	tNumber
+	tString
+	tSymbol // ( ) , * = < > <= >= <> + - / .
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased; idents as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AND": true, "OR": true, "NOT": true,
+	"LIKE": true, "IN": true, "BETWEEN": true, "AS": true, "ASC": true,
+	"DESC": true, "SUM": true, "COUNT": true, "AVG": true, "MIN": true,
+	"MAX": true, "DATE": true, "DISTINCT": true,
+}
+
+// lexer turns SQL text into tokens.
+type lexer struct {
+	src  string
+	at   int
+	toks []token
+}
+
+// lex tokenizes src or reports the first lexical error.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.at >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tEOF, pos: l.at})
+			return l.toks, nil
+		}
+		c := l.src[l.at]
+		switch {
+		case isIdentStart(c):
+			l.ident()
+		case c >= '0' && c <= '9':
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case strings.IndexByte("(),*=+-/.", c) >= 0:
+			l.emit(tSymbol, string(c))
+			l.at++
+		case c == '<':
+			if l.peek(1) == '=' || l.peek(1) == '>' {
+				l.emit(tSymbol, l.src[l.at:l.at+2])
+				l.at += 2
+			} else {
+				l.emit(tSymbol, "<")
+				l.at++
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit(tSymbol, ">=")
+				l.at += 2
+			} else {
+				l.emit(tSymbol, ">")
+				l.at++
+			}
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emit(tSymbol, "<>")
+				l.at += 2
+			} else {
+				return nil, fmt.Errorf("sql: stray '!' at %d", l.at)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.at)
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdent(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.at+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.at+n]
+}
+
+func (l *lexer) skipSpace() {
+	for l.at < len(l.src) {
+		switch l.src[l.at] {
+		case ' ', '\t', '\n', '\r':
+			l.at++
+		case '-':
+			if l.peek(1) == '-' { // -- comment to end of line
+				for l.at < len(l.src) && l.src[l.at] != '\n' {
+					l.at++
+				}
+				continue
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.at})
+}
+
+func (l *lexer) ident() {
+	start := l.at
+	for l.at < len(l.src) && isIdent(l.src[l.at]) {
+		l.at++
+	}
+	word := l.src[start:l.at]
+	up := strings.ToUpper(word)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tKeyword, text: up, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tIdent, text: word, pos: start})
+}
+
+func (l *lexer) number() error {
+	start := l.at
+	dot := false
+	for l.at < len(l.src) {
+		c := l.src[l.at]
+		if c == '.' {
+			if dot {
+				return fmt.Errorf("sql: malformed number at %d", start)
+			}
+			dot = true
+			l.at++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.at++
+	}
+	l.toks = append(l.toks, token{kind: tNumber, text: l.src[start:l.at], pos: start})
+	return nil
+}
+
+func (l *lexer) str() error {
+	start := l.at
+	l.at++ // opening quote
+	var sb strings.Builder
+	for l.at < len(l.src) {
+		c := l.src[l.at]
+		if c == '\'' {
+			if l.peek(1) == '\'' { // escaped quote
+				sb.WriteByte('\'')
+				l.at += 2
+				continue
+			}
+			l.at++
+			l.toks = append(l.toks, token{kind: tString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.at++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}

@@ -1,0 +1,437 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	at   int
+}
+
+func (p *parser) cur() token  { return p.toks[p.at] }
+func (p *parser) atEOF() bool { return p.cur().kind == tEOF }
+
+func (p *parser) advance() token {
+	t := p.toks[p.at]
+	if t.kind != tEOF {
+		p.at++
+	}
+	return t
+}
+
+// accept consumes the current token if it is the given keyword/symbol.
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.cur().kind == kind && p.cur().text == text {
+		p.at++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if !p.accept(kind, text) {
+		return fmt.Errorf("sql: expected %q, got %q (pos %d)", text, p.cur().text, p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expect(tKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(tSymbol, ",") {
+			break
+		}
+	}
+	if err := p.expect(tKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.cur().kind != tIdent {
+			return nil, fmt.Errorf("sql: expected table name, got %q", p.cur().text)
+		}
+		stmt.From = append(stmt.From, p.advance().text)
+		if !p.accept(tSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tKeyword, "WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.accept(tKeyword, "GROUP") {
+		if err := p.expect(tKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(tSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tKeyword, "ORDER") {
+		if err := p.expect(tKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.accept(tKeyword, "DESC") {
+				it.Desc = true
+			} else {
+				p.accept(tKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, it)
+			if !p.accept(tSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tKeyword, "LIMIT") {
+		if p.cur().kind != tNumber {
+			return nil, fmt.Errorf("sql: LIMIT needs a number, got %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.advance().text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT")
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.accept(tSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tKeyword, "AS") {
+		if p.cur().kind != tIdent {
+			return SelectItem{}, fmt.Errorf("sql: expected alias, got %q", p.cur().text)
+		}
+		item.Alias = p.advance().text
+	} else if p.cur().kind == tIdent {
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr     := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | predicate
+//	predicate:= addExpr [cmpOp addExpr | [NOT] LIKE str | [NOT] IN (...) | BETWEEN x AND y]
+//	addExpr  := mulExpr ((+|-) mulExpr)*
+//	mulExpr  := unary ((*|/) unary)*
+//	unary    := primary | - unary
+//	primary  := literal | column | aggregate | ( expr )
+func (p *parser) expr() (Node, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinNode{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Node, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinNode{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Node, error) {
+	if p.accept(tKeyword, "NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return NotNode{X: x}, nil
+	}
+	return p.predicate()
+}
+
+func (p *parser) predicate() (Node, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	// [NOT] LIKE / IN
+	negate := false
+	save := p.at
+	if p.accept(tKeyword, "NOT") {
+		negate = true
+	}
+	switch {
+	case p.accept(tKeyword, "LIKE"):
+		if p.cur().kind != tString {
+			return nil, fmt.Errorf("sql: LIKE needs a string pattern")
+		}
+		return LikeNode{X: l, Pattern: p.advance().text, Negate: negate}, nil
+	case p.accept(tKeyword, "IN"):
+		if err := p.expect(tSymbol, "("); err != nil {
+			return nil, err
+		}
+		var vals []Node
+		for {
+			v, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if !p.accept(tSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expect(tSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return InNode{X: l, Vals: vals, Negate: negate}, nil
+	case negate:
+		p.at = save // the NOT wasn't ours
+		return l, nil
+	}
+	if p.accept(tKeyword, "BETWEEN") {
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenNode{X: l, Lo: lo, Hi: hi}, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "=", "<", ">"} {
+		if p.accept(tSymbol, op) {
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return BinNode{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Node, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tSymbol, "+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: "+", L: l, R: r}
+		case p.accept(tSymbol, "-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (Node, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tSymbol, "*"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: "*", L: l, R: r}
+		case p.accept(tSymbol, "/"):
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = BinNode{Op: "/", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Node, error) {
+	if p.accept(tSymbol, "-") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return BinNode{Op: "-", L: NumNode{Text: "0"}, R: x}, nil
+	}
+	return p.primary()
+}
+
+var aggFns = map[string]bool{"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *parser) primary() (Node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tNumber:
+		p.advance()
+		return NumNode{Text: t.text, Dec: hasDot(t.text)}, nil
+	case tString:
+		p.advance()
+		if looksLikeDate(t.text) {
+			return DateNode{S: t.text}, nil
+		}
+		return StrNode{S: t.text}, nil
+	case tKeyword:
+		if t.text == "DATE" {
+			p.advance()
+			if p.cur().kind != tString {
+				return nil, fmt.Errorf("sql: DATE needs a string literal")
+			}
+			return DateNode{S: p.advance().text}, nil
+		}
+		if aggFns[t.text] {
+			fn := p.advance().text
+			if err := p.expect(tSymbol, "("); err != nil {
+				return nil, err
+			}
+			agg := AggNode{Fn: fn}
+			if p.accept(tKeyword, "DISTINCT") {
+				agg.Distinct = true
+			}
+			if p.accept(tSymbol, "*") {
+				if fn != "COUNT" {
+					return nil, fmt.Errorf("sql: %s(*) is not valid", fn)
+				}
+			} else {
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				agg.Arg = arg
+			}
+			if err := p.expect(tSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %q in expression", t.text)
+	case tIdent:
+		name := p.advance().text
+		if p.accept(tSymbol, ".") {
+			if p.cur().kind != tIdent {
+				return nil, fmt.Errorf("sql: expected column after %q.", name)
+			}
+			return ColNode{Table: name, Name: p.advance().text}, nil
+		}
+		return ColNode{Name: name}, nil
+	case tSymbol:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected token %q (pos %d)", t.text, t.pos)
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}
+
+// looksLikeDate recognizes 'yyyy-mm-dd' string literals so TPC-H-style
+// queries can write them without the DATE keyword, like the paper's
+// WHERE l_shipdate = '1995-1-17'.
+func looksLikeDate(s string) bool {
+	if len(s) < 8 || len(s) > 10 {
+		return false
+	}
+	dashes := 0
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '-':
+			dashes++
+		case s[i] < '0' || s[i] > '9':
+			return false
+		}
+	}
+	return dashes == 2 && s[0] != '-'
+}

@@ -1,0 +1,94 @@
+// Package stats provides the summary statistics the paper's evaluation
+// reports: means, 95 % confidence intervals (Fig. 8's error bars), and
+// geometric means (Fig. 10's average speed-up).
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// tCrit95 holds two-sided 95 % critical values of Student's t for small
+// degrees of freedom; larger dof fall back to the normal 1.96.
+var tCrit95 = map[int]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+	11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+	19: 2.093, 24: 2.064, 29: 2.045,
+}
+
+func tValue(dof int) float64 {
+	// Exact hit, else the closest tabulated dof below, else normal.
+	for d := dof; d >= 1; d-- {
+		if v, ok := tCrit95[d]; ok {
+			return v
+		}
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the 95 % confidence interval of the
+// mean of xs (Student's t).
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return tValue(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// GeoMean returns the geometric mean of positive xs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// MinMax returns the extremes of xs.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("mean=%v", m)
+	}
+	if s := StdDev(xs); !approx(s, 2.138, 0.001) {
+		t.Fatalf("stddev=%v", s)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || CI95(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty inputs must be 0")
+	}
+	if StdDev([]float64{3}) != 0 || CI95([]float64{3}) != 0 {
+		t.Fatal("singletons have no spread")
+	}
+}
+
+func TestCI95KnownCase(t *testing.T) {
+	// n=4, sd=2 -> t(3)=3.182, ci = 3.182*2/2 = 3.182.
+	xs := []float64{1, 3, 5, 7} // mean 4, sd 2.582
+	want := 3.182 * StdDev(xs) / 2
+	if ci := CI95(xs); !approx(ci, want, 1e-9) {
+		t.Fatalf("ci=%v want %v", ci, want)
+	}
+}
+
+func TestCI95LargeDofFallsBack(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	got := CI95(xs)
+	want := 1.96 * StdDev(xs) / 10
+	// Closest tabulated dof below 99 is 29 (2.045); accept either
+	// convention but require the same order of magnitude.
+	if got < want*0.9 || got > want*1.1 {
+		t.Fatalf("ci=%v, want about %v", got, want)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 10, 100}); !approx(g, 10, 1e-9) {
+		t.Fatalf("geomean=%v", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("non-positive input must yield 0")
+	}
+}
+
+func TestGeoMeanLeqMeanProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)*(1+1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("lo=%v hi=%v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty MinMax must be zero")
+	}
+}

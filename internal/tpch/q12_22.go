@@ -1,0 +1,343 @@
+package tpch
+
+import "biscuit/internal/db"
+
+// Q12: shipping modes and order priority. Candidate: lineitem filtered
+// on a receiptdate year plus shipmode — offloads; in the Conv plan
+// MariaDB's smallest-raw-table-first order makes lineitem the rescanned
+// inner of the block-nested-loop join, the I/O amplification the NDP
+// plan avoids.
+func q12(q *QCtx) ([]db.Row, error) {
+	ls := q.D.Lineitem.Sch
+	lPred := db.AndOf(
+		db.In{X: db.C(ls, "l_shipmode"), Vals: []db.Value{db.Str("MAIL"), db.Str("SHIP")}},
+		db.Cmp{Op: db.LT, L: db.C(ls, "l_commitdate"), R: db.C(ls, "l_receiptdate")},
+		db.Cmp{Op: db.LT, L: db.C(ls, "l_shipdate"), R: db.C(ls, "l_commitdate")},
+		db.RangeD(ls, "l_receiptdate", "1994-01-01", "1995-01-01"),
+	)
+	l := q.Scan(q.D.Lineitem, lPred)
+	j := q.bnlCandidate(l, q.D.Lineitem, lPred, q.D.Orders, nil, func(s *db.Schema) db.Expr {
+		return db.Cmp{Op: db.EQ, L: db.C(s, "l_orderkey"), R: db.C(s, "o_orderkey")}
+	})
+	s := j.Schema()
+	urgent := db.OrOf(db.EqS(s, "o_orderpriority", "1-URGENT"), db.EqS(s, "o_orderpriority", "2-HIGH"))
+	agg := &db.HashAggOp{Ex: q.Ex, In: j,
+		GroupBy: []db.Expr{db.C(s, "l_shipmode")}, GroupNms: []string{"l_shipmode"},
+		Aggs: []db.Agg{
+			{F: db.Sum, Arg: db.IfE{Cond: urgent, Then: db.Lit(db.Int(1)), Else: db.Lit(db.Int(0))}, Name: "high_line_count"},
+			{F: db.Sum, Arg: db.IfE{Cond: urgent, Then: db.Lit(db.Int(0)), Else: db.Lit(db.Int(1))}, Name: "low_line_count"},
+		}}
+	return db.Collect(agg)
+}
+
+// Q13: customer distribution. o_comment NOT LIKE — the hardware matcher
+// cannot prove absence, so the planner never attempts NDP (the paper
+// calls out exactly this limitation for Q13).
+func q13(q *QCtx) ([]db.Row, error) {
+	os := q.D.Orders.Sch
+	ord := q.Scan(q.D.Orders, db.Like{X: db.C(os, "o_comment"), Pattern: "%special%requests%", Negate: true})
+	perCust := &db.HashAggOp{Ex: q.Ex, In: ord,
+		GroupBy: []db.Expr{db.C(os, "o_custkey")}, GroupNms: []string{"o_custkey"},
+		Aggs: []db.Agg{{F: db.CountAgg, Name: "c_count"}}}
+	counts, err := db.Collect(perCust)
+	if err != nil {
+		return nil, err
+	}
+	// Left-join semantics: customers with no (qualifying) orders count 0.
+	custRows, err := db.Collect(q.Conv(q.D.Customer, nil))
+	if err != nil {
+		return nil, err
+	}
+	withOrders := make(map[int64]int64, len(counts))
+	for _, r := range counts {
+		withOrders[r[0].I] = r[1].I
+	}
+	dist := make(map[int64]int64)
+	for _, c := range custRows {
+		dist[withOrders[c[0].I]]++
+	}
+	distSch := db.NewSchema(db.Column{Name: "c_count", T: db.TInt}, db.Column{Name: "custdist", T: db.TInt})
+	var rows []db.Row
+	for k, v := range dist {
+		rows = append(rows, db.Row{db.Int(k), db.Int(v)})
+	}
+	srt := &db.SortOp{Ex: q.Ex, In: db.NewMemScan(distSch, rows), Keys: []db.SortKey{
+		{E: db.Col{Idx: 1, Name: "custdist"}, Desc: true}, {E: db.Col{Idx: 0, Name: "c_count"}, Desc: true}}}
+	return db.Collect(srt)
+}
+
+// Q14: promotion effect. Candidate: lineitem over a single shipdate
+// month — the paper's headline query: the month key prunes almost every
+// page in the SSD, and NDP-first join order collapses the
+// block-nested-loop rescans of lineitem that the Conv plan (part first,
+// lineitem inner) pays.
+func q14(q *QCtx) ([]db.Row, error) {
+	ls := q.D.Lineitem.Sch
+	lPred := db.RangeD(ls, "l_shipdate", "1995-09-01", "1995-10-01")
+	l := q.Scan(q.D.Lineitem, lPred)
+	j := q.bnlCandidate(l, q.D.Lineitem, lPred, q.D.Part, nil, func(s *db.Schema) db.Expr {
+		return db.Cmp{Op: db.EQ, L: db.C(s, "l_partkey"), R: db.C(s, "p_partkey")}
+	})
+	s := j.Schema()
+	promo := db.IfE{Cond: db.Like{X: db.C(s, "p_type"), Pattern: "PROMO%"}, Then: revenue(s), Else: db.Lit(db.Dec(0))}
+	agg := db.ScalarAgg(q.Ex, j,
+		db.Agg{F: db.Sum, Arg: promo, Name: "promo_rev"},
+		db.Agg{F: db.Sum, Arg: revenue(s), Name: "total_rev"})
+	proj := &db.ProjectOp{Ex: q.Ex, In: agg,
+		Exprs: []db.Expr{db.Arith{Op: db.Div,
+			L: db.Arith{Op: db.Mul, L: db.Lit(db.Dec(10000)), R: db.Col{Idx: 0, Name: "promo_rev"}},
+			R: db.Col{Idx: 1, Name: "total_rev"}}},
+		Names: []string{"promo_revenue_pct"}}
+	return db.Collect(proj)
+}
+
+// Q15: top supplier. Candidate: lineitem over a one-quarter shipdate
+// window — offloads (three month keys).
+func q15(q *QCtx) ([]db.Row, error) {
+	ls := q.D.Lineitem.Sch
+	l := q.Scan(q.D.Lineitem, db.RangeD(ls, "l_shipdate", "1996-01-01", "1996-04-01"))
+	agg := &db.HashAggOp{Ex: q.Ex, In: l,
+		GroupBy: []db.Expr{db.C(ls, "l_suppkey")}, GroupNms: []string{"supplier_no"},
+		Aggs: []db.Agg{{F: db.Sum, Arg: revenue(ls), Name: "total_revenue"}}}
+	revs, err := db.Collect(agg)
+	if err != nil {
+		return nil, err
+	}
+	var maxRev int64
+	for _, r := range revs {
+		if r[1].I > maxRev {
+			maxRev = r[1].I
+		}
+	}
+	top := revs[:0]
+	for _, r := range revs {
+		if r[1].I == maxRev {
+			top = append(top, r)
+		}
+	}
+	j := q.hash(db.NewMemScan(agg.Schema(), top), q.Conv(q.D.Supplier, nil), "supplier_no", "s_suppkey")
+	s := j.Schema()
+	proj := &db.ProjectOp{Ex: q.Ex, In: j,
+		Exprs: []db.Expr{db.C(s, "s_suppkey"), db.C(s, "s_name"), db.C(s, "s_address"),
+			db.C(s, "s_phone"), db.C(s, "total_revenue")},
+		Names: []string{"s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"}}
+	rows, err := db.Collect(proj)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Q16: parts/supplier relationship. The part predicate is all negations
+// (<>, NOT LIKE) plus a numeric IN — no matcher keys exist, so no NDP
+// attempt (the paper's stated matcher limitation).
+func q16(q *QCtx) ([]db.Row, error) {
+	ps := q.D.Part.Sch
+	sizes := []db.Value{db.Int(49), db.Int(14), db.Int(23), db.Int(45), db.Int(19), db.Int(3), db.Int(36), db.Int(9)}
+	pPred := db.AndOf(
+		db.Cmp{Op: db.NE, L: db.C(ps, "p_brand"), R: db.Lit(db.Str("Brand#45"))},
+		db.Like{X: db.C(ps, "p_type"), Pattern: "MEDIUM POLISHED%", Negate: true},
+		db.In{X: db.C(ps, "p_size"), Vals: sizes},
+	)
+	p := q.Scan(q.D.Part, pPred)
+	jps := q.hash(q.Conv(q.D.PartSupp, nil), p, "ps_partkey", "p_partkey")
+	bad := q.Conv(q.D.Supplier, db.Like{X: db.C(q.D.Supplier.Sch, "s_comment"), Pattern: "%Customer Complaints%"})
+	anti := &db.HashJoin{Ex: q.Ex, Left: jps, Right: bad,
+		LeftKey: db.C(jps.Schema(), "ps_suppkey"), RightKey: db.C(q.D.Supplier.Sch, "s_suppkey"), Anti: true}
+	s := anti.Schema()
+	agg := &db.HashAggOp{Ex: q.Ex, In: anti,
+		GroupBy:  []db.Expr{db.C(s, "p_brand"), db.C(s, "p_type"), db.C(s, "p_size")},
+		GroupNms: []string{"p_brand", "p_type", "p_size"},
+		Aggs:     []db.Agg{{F: db.CountDistinct, Arg: db.C(s, "ps_suppkey"), Name: "supplier_cnt"}}}
+	srt := &db.SortOp{Ex: q.Ex, In: agg, Keys: []db.SortKey{
+		{E: db.Col{Idx: 3, Name: "supplier_cnt"}, Desc: true},
+		{E: db.Col{Idx: 0, Name: "p_brand"}}, {E: db.Col{Idx: 1, Name: "p_type"}}, {E: db.Col{Idx: 2, Name: "p_size"}}}}
+	return db.Collect(srt)
+}
+
+// Q17: small-quantity-order revenue. Candidate: part on brand +
+// container equality — brand literals appear on most pages, so sampling
+// refuses.
+func q17(q *QCtx) ([]db.Row, error) {
+	ps := q.D.Part.Sch
+	pPred := db.AndOf(db.EqS(ps, "p_brand", "Brand#23"), db.EqS(ps, "p_container", "MED BOX"))
+	p := q.Scan(q.D.Part, pPred)
+	jl := q.hash(q.Conv(q.D.Lineitem, nil), p, "l_partkey", "p_partkey")
+	rows, err := db.Collect(jl)
+	if err != nil {
+		return nil, err
+	}
+	s := jl.Schema()
+	avgAgg := &db.HashAggOp{Ex: q.Ex, In: db.NewMemScan(s, rows),
+		GroupBy: []db.Expr{db.C(s, "p_partkey")}, GroupNms: []string{"pk"},
+		Aggs: []db.Agg{{F: db.Avg, Arg: db.C(s, "l_quantity"), Name: "avg_qty"}}}
+	avgRows, err := db.Collect(avgAgg)
+	if err != nil {
+		return nil, err
+	}
+	j2 := q.hash(db.NewMemScan(s, rows), db.NewMemScan(avgAgg.Schema(), avgRows), "p_partkey", "pk")
+	j2s := j2.Schema()
+	// l_quantity < 0.2 * avg(l_quantity)
+	cond := db.Cmp{Op: db.LT,
+		L: db.Arith{Op: db.Mul, L: db.C(j2s, "l_quantity"), R: db.Lit(db.Dec(100))},
+		R: db.Arith{Op: db.Mul, L: db.C(j2s, "avg_qty"), R: db.Lit(db.Dec(20))}}
+	flt := &db.FilterOp{Ex: q.Ex, In: j2, Pred: cond}
+	agg := db.ScalarAgg(q.Ex, flt, db.Agg{F: db.Sum, Arg: db.C(j2s, "l_extendedprice"), Name: "sum_price"})
+	proj := &db.ProjectOp{Ex: q.Ex, In: agg,
+		Exprs: []db.Expr{db.Arith{Op: db.Div, L: db.Col{Idx: 0, Name: "sum_price"}, R: db.Lit(db.Dec(700))}},
+		Names: []string{"avg_yearly"}}
+	return db.Collect(proj)
+}
+
+// Q18: large volume customer. There is no filter predicate at all, so
+// no NDP attempt (the paper says exactly this of Q18).
+func q18(q *QCtx) ([]db.Row, error) {
+	ls := q.D.Lineitem.Sch
+	perOrder := &db.HashAggOp{Ex: q.Ex, In: q.Scan(q.D.Lineitem, nil),
+		GroupBy: []db.Expr{db.C(ls, "l_orderkey")}, GroupNms: []string{"lk"},
+		Aggs: []db.Agg{{F: db.Sum, Arg: db.C(ls, "l_quantity"), Name: "sum_qty"}}}
+	big := &db.FilterOp{Ex: q.Ex, In: perOrder,
+		Pred: db.Cmp{Op: db.GT, L: db.Col{Idx: 1, Name: "sum_qty"}, R: db.Lit(db.Int(300))}}
+	bigRows, err := db.Collect(big)
+	if err != nil {
+		return nil, err
+	}
+	jo := q.hash(db.NewMemScan(perOrder.Schema(), bigRows), q.Conv(q.D.Orders, nil), "lk", "o_orderkey")
+	jc := q.hash(jo, q.Conv(q.D.Customer, nil), "o_custkey", "c_custkey")
+	s := jc.Schema()
+	agg := &db.HashAggOp{Ex: q.Ex, In: jc,
+		GroupBy: []db.Expr{db.C(s, "c_name"), db.C(s, "c_custkey"), db.C(s, "o_orderkey"),
+			db.C(s, "o_orderdate"), db.C(s, "o_totalprice"), db.C(s, "sum_qty")},
+		GroupNms: []string{"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice", "sum_qty"},
+		Aggs:     []db.Agg{{F: db.CountAgg, Name: "n"}}}
+	srt := &db.SortOp{Ex: q.Ex, In: agg, Keys: []db.SortKey{
+		{E: db.Col{Idx: 4, Name: "o_totalprice"}, Desc: true}, {E: db.Col{Idx: 3, Name: "o_orderdate"}}}}
+	return db.Collect(&db.LimitOp{In: srt, N: 100})
+}
+
+// Q19: discounted revenue. The OR-of-conjunctions yields three brand
+// keys, but brands blanket nearly every page, so sampling refuses.
+func q19(q *QCtx) ([]db.Row, error) {
+	ps := q.D.Part.Sch
+	pPred := db.OrOf(
+		db.EqS(ps, "p_brand", "Brand#12"),
+		db.EqS(ps, "p_brand", "Brand#23"),
+		db.EqS(ps, "p_brand", "Brand#34"),
+	)
+	p := q.Scan(q.D.Part, pPred)
+	jl := q.hash(q.Conv(q.D.Lineitem, nil), p, "l_partkey", "p_partkey")
+	s := jl.Schema()
+	band := func(brand string, qlo, qhi int64, slo, shi int64, containers ...string) db.Expr {
+		var cont []db.Value
+		for _, c := range containers {
+			cont = append(cont, db.Str(c))
+		}
+		return db.AndOf(
+			db.EqS(s, "p_brand", brand),
+			db.In{X: db.C(s, "p_container"), Vals: cont},
+			db.Between{X: db.C(s, "l_quantity"), Lo: db.Int(qlo), Hi: db.Int(qhi)},
+			db.Between{X: db.C(s, "p_size"), Lo: db.Int(slo), Hi: db.Int(shi)},
+			db.In{X: db.C(s, "l_shipmode"), Vals: []db.Value{db.Str("AIR"), db.Str("REG AIR")}},
+			db.EqS(s, "l_shipinstruct", "DELIVER IN PERSON"),
+		)
+	}
+	full := db.OrOf(
+		band("Brand#12", 1, 11, 1, 5, "SM CASE", "SM BOX", "SM PACK", "SM PKG"),
+		band("Brand#23", 10, 20, 1, 10, "MED BAG", "MED BOX", "MED PKG", "MED PACK"),
+		band("Brand#34", 20, 30, 1, 15, "LG CASE", "LG BOX", "LG PACK", "LG PKG"),
+	)
+	flt := &db.FilterOp{Ex: q.Ex, In: jl, Pred: full}
+	return db.Collect(db.ScalarAgg(q.Ex, flt, db.Agg{F: db.Sum, Arg: revenue(s), Name: "revenue"}))
+}
+
+// Q20: potential part promotion. Candidate: part p_name LIKE 'forest%'
+// — color words scatter widely; sampling refuses.
+func q20(q *QCtx) ([]db.Row, error) {
+	ps, ls := q.D.Part.Sch, q.D.Lineitem.Sch
+	p := q.Scan(q.D.Part, db.Like{X: db.C(ps, "p_name"), Pattern: "forest%"})
+	jps := q.hash(q.Conv(q.D.PartSupp, nil), p, "ps_partkey", "p_partkey")
+	shipped := &db.HashAggOp{Ex: q.Ex,
+		In:      q.Conv(q.D.Lineitem, db.RangeD(ls, "l_shipdate", "1994-01-01", "1995-01-01")),
+		GroupBy: []db.Expr{db.C(ls, "l_partkey"), db.C(ls, "l_suppkey")}, GroupNms: []string{"pk", "sk"},
+		Aggs: []db.Agg{{F: db.Sum, Arg: db.C(ls, "l_quantity"), Name: "qty"}}}
+	shippedRows, err := db.Collect(shipped)
+	if err != nil {
+		return nil, err
+	}
+	jqSch := jps.Schema().Concat(shipped.Schema())
+	jq := &db.HashJoin{Ex: q.Ex, Left: jps, Right: db.NewMemScan(shipped.Schema(), shippedRows),
+		LeftKey: db.C(jps.Schema(), "ps_partkey"), RightKey: db.Col{Idx: 0, Name: "pk"},
+		Residual: db.AndOf(
+			db.Cmp{Op: db.EQ, L: db.C(jqSch, "ps_suppkey"), R: db.C(jqSch, "sk")},
+			db.Cmp{Op: db.GT,
+				L: db.Arith{Op: db.Mul, L: db.C(jqSch, "ps_availqty"), R: db.Lit(db.Dec(100))},
+				R: db.Arith{Op: db.Mul, L: db.C(jqSch, "qty"), R: db.Lit(db.Dec(50))}},
+		)}
+	suppKeys := &db.HashAggOp{Ex: q.Ex, In: jq,
+		GroupBy: []db.Expr{db.C(jqSch, "ps_suppkey")}, GroupNms: []string{"sk2"},
+		Aggs: []db.Agg{{F: db.CountAgg, Name: "n"}}}
+	jsup := q.hash(suppKeys, q.Conv(q.D.Supplier, nil), "sk2", "s_suppkey")
+	can := &db.HashJoin{Ex: q.Ex, Left: jsup,
+		Right:   q.Conv(q.D.Nation, db.EqS(q.D.Nation.Sch, "n_name", "CANADA")),
+		LeftKey: db.C(jsup.Schema(), "s_nationkey"), RightKey: db.C(q.D.Nation.Sch, "n_nationkey"), Semi: true}
+	cs := can.Schema()
+	proj := &db.ProjectOp{Ex: q.Ex, In: can,
+		Exprs: []db.Expr{db.C(cs, "s_name"), db.C(cs, "s_address")}, Names: []string{"s_name", "s_address"}}
+	return db.Collect(&db.SortOp{Ex: q.Ex, In: proj, Keys: []db.SortKey{{E: db.Col{Idx: 0, Name: "s_name"}}}})
+}
+
+// Q21: suppliers who kept orders waiting. Filters are cross-column
+// comparisons and a tiny nation table — nothing the matcher can key on;
+// no NDP attempt.
+func q21(q *QCtx) ([]db.Row, error) {
+	ls := q.D.Lineitem.Sch
+	late := db.Cmp{Op: db.GT, L: db.C(ls, "l_receiptdate"), R: db.C(ls, "l_commitdate")}
+	l1 := q.Scan(q.D.Lineitem, late)
+	saudi := q.hash(q.Conv(q.D.Supplier, nil),
+		q.Conv(q.D.Nation, db.EqS(q.D.Nation.Sch, "n_name", "SAUDI ARABIA")), "s_nationkey", "n_nationkey")
+	js := q.hash(l1, saudi, "l_suppkey", "s_suppkey")
+	jo := q.hash(js, q.Conv(q.D.Orders, db.EqS(q.D.Orders.Sch, "o_orderstatus", "F")), "l_orderkey", "o_orderkey")
+	// EXISTS another supplier's line on the same order.
+	exSch := jo.Schema().Concat(q.D.Lineitem.Sch)
+	ex := &db.HashJoin{Ex: q.Ex, Left: jo, Right: q.Conv(q.D.Lineitem, nil),
+		LeftKey: db.C(jo.Schema(), "l_orderkey"), RightKey: db.C(ls, "l_orderkey"), Semi: true,
+		Residual: db.Cmp{Op: db.NE, L: db.C(exSch, "l_suppkey_r"), R: db.C(exSch, "l_suppkey")}}
+	// NOT EXISTS another supplier's *late* line on the same order.
+	nexSch := ex.Schema().Concat(q.D.Lineitem.Sch)
+	nex := &db.HashJoin{Ex: q.Ex, Left: ex, Right: q.Conv(q.D.Lineitem, late),
+		LeftKey: db.C(ex.Schema(), "l_orderkey"), RightKey: db.C(ls, "l_orderkey"), Anti: true,
+		Residual: db.Cmp{Op: db.NE, L: db.C(nexSch, "l_suppkey_r"), R: db.C(nexSch, "l_suppkey")}}
+	s := nex.Schema()
+	agg := &db.HashAggOp{Ex: q.Ex, In: nex,
+		GroupBy: []db.Expr{db.C(s, "s_name")}, GroupNms: []string{"s_name"},
+		Aggs: []db.Agg{{F: db.CountAgg, Name: "numwait"}}}
+	srt := &db.SortOp{Ex: q.Ex, In: agg, Keys: []db.SortKey{
+		{E: db.Col{Idx: 1, Name: "numwait"}, Desc: true}, {E: db.Col{Idx: 0, Name: "s_name"}}}}
+	return db.Collect(&db.LimitOp{In: srt, N: 100})
+}
+
+// Q22: global sales opportunity. The filter is a substring function over
+// phone numbers — not expressible as matcher keys; no NDP attempt.
+func q22(q *QCtx) ([]db.Row, error) {
+	cs := q.D.Customer.Sch
+	codes := []db.Value{db.Str("13"), db.Str("31"), db.Str("23"), db.Str("29"), db.Str("30"), db.Str("18"), db.Str("17")}
+	cc := db.Substr{X: db.C(cs, "c_phone"), From: 1, Len: 2}
+	inCodes := db.In{X: cc, Vals: codes}
+	// Average positive balance among candidate country codes.
+	avgIn := q.Conv(q.D.Customer, db.AndOf(inCodes, db.Cmp{Op: db.GT, L: db.C(cs, "c_acctbal"), R: db.Lit(db.Dec(0))}))
+	avgRows, err := db.Collect(db.ScalarAgg(q.Ex, avgIn, db.Agg{F: db.Avg, Arg: db.C(cs, "c_acctbal"), Name: "a"}))
+	if err != nil {
+		return nil, err
+	}
+	avg := avgRows[0][0]
+	rich := q.Scan(q.D.Customer, db.AndOf(inCodes, db.Cmp{Op: db.GT, L: db.C(cs, "c_acctbal"), R: db.Lit(avg)}))
+	noOrders := &db.HashJoin{Ex: q.Ex, Left: rich, Right: q.Conv(q.D.Orders, nil),
+		LeftKey: db.C(cs, "c_custkey"), RightKey: db.C(q.D.Orders.Sch, "o_custkey"), Anti: true}
+	agg := &db.HashAggOp{Ex: q.Ex, In: noOrders,
+		GroupBy: []db.Expr{cc}, GroupNms: []string{"cntrycode"},
+		Aggs: []db.Agg{
+			{F: db.CountAgg, Name: "numcust"},
+			{F: db.Sum, Arg: db.C(cs, "c_acctbal"), Name: "totacctbal"},
+		}}
+	return db.Collect(agg)
+}

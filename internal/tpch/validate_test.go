@@ -1,0 +1,242 @@
+package tpch
+
+import (
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/db"
+	"biscuit/internal/db/planner"
+)
+
+// Analytic validations: several queries checked against answers computed
+// independently from the raw rows (not through the engine's operators).
+// Together with TestAllQueriesConvVsBiscuit these pin both plans to
+// ground truth.
+
+// rawTable collects every row of a table through a plain scan.
+func rawTable(t *testing.T, h *biscuit.Host, d *db.Database, tab *db.Table) []db.Row {
+	t.Helper()
+	ex := db.NewExec(h, d)
+	rows, err := db.Collect(ex.NewConvScan(tab, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestQ4AgainstDirectComputation(t *testing.T) {
+	sys, data := testData(t)
+	sys.Run(func(h *biscuit.Host) {
+		orders := rawTable(t, h, data.DB, data.Orders)
+		lines := rawTable(t, h, data.DB, data.Lineitem)
+		os, ls := data.Orders.Sch, data.Lineitem.Sch
+
+		// Orders in Q3/1993 with at least one commit<receipt lineitem,
+		// counted by priority.
+		lateOrders := map[int64]bool{}
+		ck, rk, ok := ls.Col("l_commitdate"), ls.Col("l_receiptdate"), ls.Col("l_orderkey")
+		for _, r := range lines {
+			if r[ck].I < r[rk].I {
+				lateOrders[r[ok].I] = true
+			}
+		}
+		lo, hi := db.MustDate("1993-07-01").I, db.MustDate("1993-10-01").I
+		want := map[string]int64{}
+		od, okey, opr := os.Col("o_orderdate"), os.Col("o_orderkey"), os.Col("o_orderpriority")
+		for _, r := range orders {
+			if r[od].I >= lo && r[od].I < hi && lateOrders[r[okey].I] {
+				want[r[opr].S]++
+			}
+		}
+
+		q := &QCtx{Ex: db.NewExec(h, data.DB), D: data, Pl: planner.Default()}
+		got, err := q4(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("groups=%d want %d", len(got), len(want))
+		}
+		for _, r := range got {
+			if want[r[0].S] != r[1].I {
+				t.Fatalf("priority %q: got %d want %d", r[0].S, r[1].I, want[r[0].S])
+			}
+		}
+	})
+}
+
+func TestQ14AgainstDirectComputation(t *testing.T) {
+	sys, data := testData(t)
+	sys.Run(func(h *biscuit.Host) {
+		lines := rawTable(t, h, data.DB, data.Lineitem)
+		parts := rawTable(t, h, data.DB, data.Part)
+		ls, ps := data.Lineitem.Sch, data.Part.Sch
+
+		promoType := map[int64]bool{}
+		pk, pt := ps.Col("p_partkey"), ps.Col("p_type")
+		for _, r := range parts {
+			if len(r[pt].S) >= 5 && r[pt].S[:5] == "PROMO" {
+				promoType[r[pk].I] = true
+			}
+		}
+		lo, hi := db.MustDate("1995-09-01").I, db.MustDate("1995-10-01").I
+		sd, lp, ep, dc := ls.Col("l_shipdate"), ls.Col("l_partkey"), ls.Col("l_extendedprice"), ls.Col("l_discount")
+		var promo, total float64
+		for _, r := range lines {
+			if r[sd].I < lo || r[sd].I >= hi {
+				continue
+			}
+			rev := r[ep].Float() * (1 - r[dc].Float())
+			total += rev
+			if promoType[r[lp].I] {
+				promo += rev
+			}
+		}
+		want := 100 * promo / total
+
+		q := &QCtx{Ex: db.NewExec(h, data.DB), D: data, Pl: planner.Default()}
+		got, err := q14(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf := got[0][0].Float()
+		if gf < want-0.5 || gf > want+0.5 {
+			t.Fatalf("promo share %.3f%%, direct %.3f%%", gf, want)
+		}
+	})
+}
+
+func TestQ12AgainstDirectComputation(t *testing.T) {
+	sys, data := testData(t)
+	sys.Run(func(h *biscuit.Host) {
+		orders := rawTable(t, h, data.DB, data.Orders)
+		lines := rawTable(t, h, data.DB, data.Lineitem)
+		os, ls := data.Orders.Sch, data.Lineitem.Sch
+
+		prio := map[int64]string{}
+		for _, r := range orders {
+			prio[r[os.Col("o_orderkey")].I] = r[os.Col("o_orderpriority")].S
+		}
+		lo, hi := db.MustDate("1994-01-01").I, db.MustDate("1995-01-01").I
+		sm, cd, rd, sd, okey := ls.Col("l_shipmode"), ls.Col("l_commitdate"), ls.Col("l_receiptdate"), ls.Col("l_shipdate"), ls.Col("l_orderkey")
+		type counts struct{ high, low int64 }
+		want := map[string]*counts{}
+		for _, r := range lines {
+			mode := r[sm].S
+			if mode != "MAIL" && mode != "SHIP" {
+				continue
+			}
+			if !(r[cd].I < r[rd].I && r[sd].I < r[cd].I && r[rd].I >= lo && r[rd].I < hi) {
+				continue
+			}
+			c := want[mode]
+			if c == nil {
+				c = &counts{}
+				want[mode] = c
+			}
+			p := prio[r[okey].I]
+			if p == "1-URGENT" || p == "2-HIGH" {
+				c.high++
+			} else {
+				c.low++
+			}
+		}
+
+		q := &QCtx{Ex: db.NewExec(h, data.DB), D: data, Pl: planner.Default()}
+		got, err := q12(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("modes=%d want %d (%v)", len(got), len(want), got)
+		}
+		for _, r := range got {
+			w := want[r[0].S]
+			if w == nil || w.high != r[1].I || w.low != r[2].I {
+				t.Fatalf("mode %q: got %d/%d want %+v", r[0].S, r[1].I, r[2].I, w)
+			}
+		}
+	})
+}
+
+func TestQ15AgainstDirectComputation(t *testing.T) {
+	sys, data := testData(t)
+	sys.Run(func(h *biscuit.Host) {
+		lines := rawTable(t, h, data.DB, data.Lineitem)
+		ls := data.Lineitem.Sch
+		lo, hi := db.MustDate("1996-01-01").I, db.MustDate("1996-04-01").I
+		sd, sk, ep, dc := ls.Col("l_shipdate"), ls.Col("l_suppkey"), ls.Col("l_extendedprice"), ls.Col("l_discount")
+		rev := map[int64]int64{}
+		for _, r := range lines {
+			if r[sd].I < lo || r[sd].I >= hi {
+				continue
+			}
+			// Fixed-point like the engine: price*(1.00-disc) in cents.
+			rev[r[sk].I] += int64(float64(r[ep].I)*(100-float64(r[dc].I))/100 + 0.5)
+		}
+		var maxRev int64
+		for _, v := range rev {
+			if v > maxRev {
+				maxRev = v
+			}
+		}
+
+		q := &QCtx{Ex: db.NewExec(h, data.DB), D: data, Pl: planner.Default()}
+		got, err := q15(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatal("no top supplier")
+		}
+		for _, r := range got {
+			g := r[4].I
+			// Allow cent-level rounding drift per line item.
+			if g < maxRev-int64(len(lines)) || g > maxRev+int64(len(lines)) {
+				t.Fatalf("top revenue %d, direct max %d", g, maxRev)
+			}
+		}
+	})
+}
+
+func TestQ1AggregatesAgainstDirectComputation(t *testing.T) {
+	sys, data := testData(t)
+	sys.Run(func(h *biscuit.Host) {
+		lines := rawTable(t, h, data.DB, data.Lineitem)
+		ls := data.Lineitem.Sch
+		cut := db.MustDate("1998-09-02").I
+		sd, rf, lst, qty := ls.Col("l_shipdate"), ls.Col("l_returnflag"), ls.Col("l_linestatus"), ls.Col("l_quantity")
+		type agg struct {
+			qty, n int64
+		}
+		want := map[string]*agg{}
+		for _, r := range lines {
+			if r[sd].I > cut {
+				continue
+			}
+			k := r[rf].S + "|" + r[lst].S
+			a := want[k]
+			if a == nil {
+				a = &agg{}
+				want[k] = a
+			}
+			a.qty += r[qty].I
+			a.n++
+		}
+		q := &QCtx{Ex: db.NewExec(h, data.DB), D: data}
+		got, err := q1(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("groups=%d want %d", len(got), len(want))
+		}
+		for _, r := range got {
+			k := r[0].S + "|" + r[1].S
+			a := want[k]
+			if a == nil || r[2].I != a.qty || r[len(r)-1].I != a.n {
+				t.Fatalf("group %s: got qty=%d n=%d want %+v", k, r[2].I, r[len(r)-1].I, a)
+			}
+		}
+	})
+}

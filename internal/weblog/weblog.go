@@ -1,0 +1,155 @@
+// Package weblog implements the simple string search application of the
+// paper (§V-C, Table V): searching a large web-log compilation for
+// keywords, either with host software (Linux grep's Boyer–Moore) or with
+// the SSD's per-channel hardware pattern matcher via the built-in
+// scanner SSDlet.
+//
+// Substitution (DESIGN.md): the paper's corpus is 7.8 GiB of real web
+// logs; we generate Apache-combined-format log lines with planted
+// needles at a configurable volume. Conv cost is dominated by per-byte
+// host scanning (load-sensitive), Biscuit by SSD-internal streaming
+// (load-insensitive) — the mechanism behind Table V's 5.3–8.3× gap.
+package weblog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"biscuit"
+	"biscuit/internal/match"
+)
+
+// LogFile is the corpus file name.
+const LogFile = "web/access.log"
+
+// grepCyclesPerByte models single-threaded Boyer–Moore over cached
+// pages: calibrated so an unloaded host scans ~0.64 GB/s, matching the
+// paper's 7.8 GiB / 12.2 s Conv measurement.
+const grepCyclesPerByte = 3.9
+
+var (
+	methods = []string{"GET", "POST", "PUT", "HEAD"}
+	paths   = []string{"/index.html", "/api/v1/items", "/static/app.js", "/img/logo.png", "/checkout", "/search?q=ndp"}
+	agents  = []string{"Mozilla/5.0", "curl/7.64", "Googlebot/2.1", "safari/605"}
+)
+
+// Generate writes approximately size bytes of log lines, planting the
+// needle string every needleEvery lines (0 = never). It returns the
+// actual corpus size and the number of planted needles.
+func Generate(h *biscuit.Host, size int64, needle string, needleEvery int, seed int64) (int64, int64, error) {
+	f, err := h.SSD().CreateFile(LogFile)
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var off int64
+	var planted int64
+	buf := make([]byte, 0, 1<<20)
+	line := 0
+	for off+int64(len(buf)) < size {
+		ua := agents[rng.Intn(len(agents))]
+		if needleEvery > 0 && line%needleEvery == needleEvery-1 {
+			ua = needle
+			planted++
+		}
+		buf = append(buf, fmt.Sprintf("10.%d.%d.%d - - [%02d/Jul/1995:%02d:%02d:%02d] \"%s %s HTTP/1.0\" %d %d \"%s\"\n",
+			rng.Intn(256), rng.Intn(256), rng.Intn(256),
+			1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60),
+			methods[rng.Intn(len(methods))], paths[rng.Intn(len(paths))],
+			200+rng.Intn(4)*100, rng.Intn(100000), ua)...)
+		line++
+		if len(buf) >= 1<<20 {
+			if err := f.Write(h.Proc(), off, buf); err != nil {
+				return 0, 0, err
+			}
+			off += int64(len(buf))
+			buf = buf[:0]
+			f.Flush(h.Proc())
+		}
+	}
+	if len(buf) > 0 {
+		if err := f.Write(h.Proc(), off, buf); err != nil {
+			return 0, 0, err
+		}
+		off += int64(len(buf))
+		f.Flush(h.Proc())
+	}
+	return off, planted, nil
+}
+
+// SearchConv scans the corpus on the host like grep: chunked
+// conventional reads at queue depth, then Boyer–Moore over each chunk
+// through the contended memory system. Returns the match count.
+func SearchConv(h *biscuit.Host, needle string) (int64, error) {
+	f, err := h.SSD().OpenFile(LogFile, true)
+	if err != nil {
+		return 0, err
+	}
+	plat := h.System().Plat
+	const chunkSize = 1 << 20
+	buf := make([]byte, chunkSize+64)
+	var count int64
+	size := f.Size()
+	bm := match.NewHorspool([]byte(needle))
+	overlap := 0
+	for off := int64(0); off < size; {
+		n := chunkSize
+		if rem := size - off; int64(n) > rem {
+			n = int(rem)
+		}
+		// Carry the previous chunk's tail to catch straddling matches.
+		if err := h.SSD().ReadFileConvAsync(f, off, buf[overlap:overlap+n], 256<<10, 16); err != nil {
+			return 0, err
+		}
+		data := buf[:overlap+n]
+		count += int64(bm.Count(data))
+		plat.HostScan(h.Proc(), int64(len(data)), grepCyclesPerByte)
+		keep := len(needle) - 1
+		if keep > len(data) {
+			keep = len(data)
+		}
+		copy(buf, data[len(data)-keep:])
+		overlap = keep
+		off += int64(n)
+		// Subtract matches that were fully inside the carried tail to
+		// avoid double counting.
+		if keep > 0 && off < size {
+			count -= int64(bm.Count(buf[:keep]))
+		}
+	}
+	return count, nil
+}
+
+// SearchNDP scans the corpus with the hardware pattern matcher via the
+// built-in scanner SSDlet and returns the match count.
+func SearchNDP(h *biscuit.Host, needles ...string) (int64, error) {
+	ssd := h.SSD()
+	m, err := ssd.LoadModule(biscuit.BuiltinModule)
+	if err != nil {
+		return 0, err
+	}
+	defer ssd.UnloadModule(m)
+	app := ssd.NewApplication()
+	let, err := app.NewSSDLet(m, biscuit.ScannerID, biscuit.ScanArgs{File: LogFile, Keys: needles, Mode: biscuit.ScanCount})
+	if err != nil {
+		return 0, err
+	}
+	port, err := biscuit.ConnectTo[biscuit.ScanResult](app, let.Out(0))
+	if err != nil {
+		return 0, err
+	}
+	if err := app.Start(); err != nil {
+		return 0, err
+	}
+	res, ok := port.Get()
+	if err := app.Wait(); err != nil {
+		return 0, err
+	}
+	for _, ferr := range app.Failed() {
+		return 0, ferr
+	}
+	if !ok {
+		return 0, fmt.Errorf("weblog: scanner produced no result")
+	}
+	return res.Matches, nil
+}

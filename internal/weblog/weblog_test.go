@@ -1,0 +1,109 @@
+package weblog
+
+import (
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/sim"
+)
+
+func newSys() *biscuit.System {
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 256
+	cfg.NAND.PagesPerBlock = 64
+	return biscuit.NewSystem(cfg)
+}
+
+func TestConvAndNDPCountsMatchPlanted(t *testing.T) {
+	sys := newSys()
+	sys.Run(func(h *biscuit.Host) {
+		const needle = "XNEEDLEX"
+		_, planted, err := Generate(h, 2<<20, needle, 100, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if planted == 0 {
+			t.Fatal("no needles planted")
+		}
+		conv, err := SearchConv(h, needle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndp, err := SearchNDP(h, needle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conv != planted || ndp != planted {
+			t.Fatalf("planted=%d conv=%d ndp=%d", planted, conv, ndp)
+		}
+	})
+}
+
+func TestNDPSearchFasterAndLoadInsensitive(t *testing.T) {
+	sys := newSys()
+	var convIdle, convLoaded, ndpIdle, ndpLoaded sim.Time
+	sys.Run(func(h *biscuit.Host) {
+		const needle = "XNEEDLEX"
+		if _, _, err := Generate(h, 8<<20, needle, 500, 5); err != nil {
+			t.Fatal(err)
+		}
+		run := func(fn func() (int64, error)) sim.Time {
+			start := h.Now()
+			if _, err := fn(); err != nil {
+				t.Fatal(err)
+			}
+			return h.Now() - start
+		}
+		convIdle = run(func() (int64, error) { return SearchConv(h, needle) })
+		ndpIdle = run(func() (int64, error) { return SearchNDP(h, needle) })
+		h.System().Plat.SetHostLoad(24)
+		convLoaded = run(func() (int64, error) { return SearchConv(h, needle) })
+		ndpLoaded = run(func() (int64, error) { return SearchNDP(h, needle) })
+		h.System().Plat.SetHostLoad(0)
+	})
+	gainIdle := float64(convIdle) / float64(ndpIdle)
+	gainLoaded := float64(convLoaded) / float64(ndpLoaded)
+	if gainIdle < 3 {
+		t.Fatalf("unloaded search gain %.2f, want >3 (paper: 5.3x)", gainIdle)
+	}
+	if gainLoaded <= gainIdle {
+		t.Fatalf("gain must grow with load: idle %.2f loaded %.2f", gainIdle, gainLoaded)
+	}
+	if float64(ndpLoaded) > float64(ndpIdle)*1.05 {
+		t.Fatalf("Biscuit search must be load-insensitive: %v vs %v", ndpIdle, ndpLoaded)
+	}
+	t.Logf("conv idle=%v loaded=%v | ndp idle=%v loaded=%v | gain %.1fx -> %.1fx",
+		convIdle, convLoaded, ndpIdle, ndpLoaded, gainIdle, gainLoaded)
+}
+
+func TestSearchFindsCrossChunkMatches(t *testing.T) {
+	// A needle planted across the 1 MiB Conv chunk boundary must still
+	// be counted once by both engines.
+	sys := newSys()
+	sys.Run(func(h *biscuit.Host) {
+		f, err := h.SSD().CreateFile(LogFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 2<<20)
+		for i := range data {
+			data[i] = 'x'
+		}
+		copy(data[(1<<20)-4:], "BOUNDARYKEY")
+		if err := f.Write(h.Proc(), 0, data); err != nil {
+			t.Fatal(err)
+		}
+		f.Flush(h.Proc())
+		conv, err := SearchConv(h, "BOUNDARYKEY")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ndp, err := SearchNDP(h, "BOUNDARYKEY")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if conv != 1 || ndp != 1 {
+			t.Fatalf("conv=%d ndp=%d, want 1/1", conv, ndp)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package biscuit
+
+import (
+	"fmt"
+
+	"biscuit/internal/core"
+	"biscuit/internal/cpu"
+	"biscuit/internal/device"
+	"biscuit/internal/isfs"
+	"biscuit/internal/sim"
+)
+
+// MultiSystem is the Scale-up organization of the paper's Fig. 1(b):
+// one host computer fronting several SSDs, each with its own PCIe link,
+// media, device cores and Biscuit runtime. Aggregate in-storage compute
+// and internal bandwidth grow with the number of drives while the host's
+// CPU and memory system stay fixed — the organization's whole point.
+type MultiSystem struct {
+	Env     *sim.Env
+	Systems []*System
+}
+
+// NewMultiSystem builds n SSDs sharing one simulated host.
+func NewMultiSystem(cfg Config, n int) *MultiSystem {
+	if n < 1 {
+		panic("biscuit: need at least one SSD")
+	}
+	env := sim.NewEnv()
+	hostCPU := cpu.New(env, "host-cpu", cfg.HostThreads, cfg.HostHz)
+	hostMem := env.NewSharedBW("host-mem", cfg.HostMemBW)
+	m := &MultiSystem{Env: env}
+	for i := 0; i < n; i++ {
+		plat := device.NewShared(env, cfg, hostCPU, hostMem)
+		s := &System{Env: env, Plat: plat}
+		name := fmt.Sprintf("mkfs-%d", i)
+		env.Spawn(name, func(p *sim.Proc) {
+			fs := isfs.Format(p, plat.FTL)
+			s.RT = core.NewRuntime(plat, fs)
+			s.RT.InstallImage(builtinImage())
+		})
+		m.Systems = append(m.Systems, s)
+	}
+	env.Run()
+	return m
+}
+
+// Install registers a module image on every SSD.
+func (m *MultiSystem) Install(img *ModuleImage) {
+	for _, s := range m.Systems {
+		s.RT.InstallImage(img)
+	}
+}
+
+// MultiHost is the host program context over several SSDs: one simulated
+// host thread with a handle per drive.
+type MultiHost struct {
+	m *MultiSystem
+	p *sim.Proc
+}
+
+// Run executes a host program against all SSDs and drives the simulation
+// to completion, returning the program's virtual duration.
+func (m *MultiSystem) Run(program func(h *MultiHost)) sim.Time {
+	var took sim.Time
+	m.Env.Spawn("host-main", func(p *sim.Proc) {
+		start := p.Now()
+		program(&MultiHost{m: m, p: p})
+		took = p.Now() - start
+	})
+	m.Env.Run()
+	return took
+}
+
+// N returns the number of attached SSDs.
+func (h *MultiHost) N() int { return len(h.m.Systems) }
+
+// Proc exposes the simulated host thread.
+func (h *MultiHost) Proc() *sim.Proc { return h.p }
+
+// Now returns the current virtual time.
+func (h *MultiHost) Now() sim.Time { return h.p.Now() }
+
+// Unit returns a single-SSD host view of drive i, on which the whole
+// single-SSD API (SSD, Application, ports, files) works unchanged.
+func (h *MultiHost) Unit(i int) *Host {
+	return &Host{sys: h.m.Systems[i], p: h.p}
+}
+
+// Go runs fn on its own simulated host thread (e.g. to drive several
+// SSDs concurrently) and returns the completion event.
+func (h *MultiHost) Go(name string, fn func(h2 *MultiHost)) *sim.Event {
+	done := h.m.Env.NewEvent()
+	h.m.Env.Spawn(name, func(p *sim.Proc) {
+		fn(&MultiHost{m: h.m, p: p})
+		done.Fire()
+	})
+	return done
+}
+
+// Wait blocks until every event fires.
+func (h *MultiHost) Wait(evs ...*sim.Event) { h.p.WaitAll(evs...) }
