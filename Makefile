@@ -1,0 +1,45 @@
+# Biscuit repo entry points. `make check` is what CI runs.
+
+GO ?= go
+VETTOOL := bin/biscuitvet
+
+# Tier-1 packages: the deterministic kernel the rest of the repo
+# depends on (see ROADMAP.md). `make race` runs them under the race
+# detector; sim's cooperative scheduler makes races here the most
+# dangerous kind.
+TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
+
+.PHONY: all build test race vet fmt check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(TIER1)
+
+# vet = stock go vet + the biscuitvet analyzer suite (walltime,
+# detrand, nogoroutine, portcheck, simtimemix — see DESIGN.md
+# "Invariants"). biscuitvet runs through the standard vettool
+# protocol, so suppressions use //biscuitvet:<name>-ok directives.
+vet: $(VETTOOL)
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(VETTOOL) ./...
+
+$(VETTOOL): FORCE
+	$(GO) build -o $(VETTOOL) ./cmd/biscuitvet
+
+FORCE:
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: build fmt vet test race
+
+clean:
+	rm -rf bin

@@ -130,7 +130,7 @@ func tpchRig(b *testing.B, sf float64) (*biscuit.System, *tpch.Data) {
 	var data *tpch.Data
 	sys.Run(func(h *biscuit.Host) {
 		var err error
-		data, err = tpch.Gen{SF: sf, Seed: 1}.Load(h, d)
+		data, err = tpch.Gen{SF: sf}.Load(h, d, biscuit.SeededRand(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -412,7 +412,7 @@ func BenchmarkAblationNetworked(b *testing.B) {
 		sys := biscuit.NewSystem(cfg)
 		sys.Run(func(h *biscuit.Host) {
 			const needle = "XNEEDLEX"
-			if _, _, err := weblog.Generate(h, 16<<20, needle, 1000, 1); err != nil {
+			if _, _, err := weblog.Generate(h, 16<<20, needle, 1000, biscuit.SeededRand(1)); err != nil {
 				b.Fatal(err)
 			}
 			start := h.Now()

@@ -20,6 +20,7 @@ package biscuit
 
 import (
 	"fmt"
+	"math/rand"
 
 	"biscuit/internal/core"
 	"biscuit/internal/device"
@@ -160,3 +161,10 @@ func (h *Host) System() *System { return h.sys }
 // SSD returns a handle to the (single) SSD, mirroring
 // `SSD ssd("/dev/nvme0n1")`.
 func (h *Host) SSD() *SSD { return &SSD{h: h} }
+
+// SeededRand returns a random source seeded with seed. All randomness
+// in this repository is injected through explicit *rand.Rand values so
+// runs reproduce bit-for-bit (the detrand analyzer bans the global
+// math/rand source); SeededRand is the sanctioned constructor for
+// program boundaries — main functions, benchmarks, tests.
+func SeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -94,6 +94,7 @@ func (scannerLet) Run(c *Context) error {
 	}
 	edges := make(map[int64]*edge) // keyed by chunk start offset
 	var encodeErr error
+	portClosed := false
 	scan := c.ScanFile(f, 0, int(f.Size()), func(off int64, data []byte) {
 		s := a.NewStream()
 		s.Reset(off)
@@ -112,13 +113,15 @@ func (scannerLet) Run(c *Context) error {
 			head: append([]byte(nil), data[:keep]...),
 			len:  len(data),
 		}
-		if args.Mode == ScanChunks && a.Contains(data) {
+		if args.Mode == ScanChunks && !portClosed && a.Contains(data) {
 			pkt, perr := ports.Encode(ChunkHit{Off: off, Len: len(data)})
 			if perr != nil {
 				encodeErr = perr
 				return
 			}
-			out.Put(pkt)
+			// A closed port means the consumer is gone (teardown);
+			// stop emitting hits but let the scan finish its stats.
+			portClosed = !out.Put(pkt)
 		}
 	})
 	if scan != nil {
@@ -154,7 +157,9 @@ func (scannerLet) Run(c *Context) error {
 	if err != nil {
 		return err
 	}
-	out.Put(pkt)
+	if !out.Put(pkt) {
+		return fmt.Errorf("builtin: scan result dropped: output port closed")
+	}
 	return nil
 }
 

@@ -1,0 +1,213 @@
+// Command biscuitvet is the repository's invariant checker: a
+// multichecker for the analyzers under internal/analysis, speaking the
+// `go vet -vettool` protocol.
+//
+// Run it through the go command, which computes export data for every
+// dependency and hands this tool one JSON config per package:
+//
+//	go build -o bin/biscuitvet ./cmd/biscuitvet
+//	go vet -vettool=$(pwd)/bin/biscuitvet ./...
+//
+// (or just `make vet`). The tool re-implements the core of
+// golang.org/x/tools/go/analysis/unitchecker on the standard library
+// alone — this module builds offline with no dependencies, so x/tools
+// is not available. The protocol is small: `-V=full` prints an
+// identity for the build cache, `-flags` declares supported flags, and
+// an invocation with a *.cfg argument analyzes one package. Facts are
+// not used (every analyzer is intra-package), so dependency passes
+// (VetxOnly) only need to materialize an empty facts file.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"biscuit/internal/analysis/detrand"
+	"biscuit/internal/analysis/framework"
+	"biscuit/internal/analysis/nogoroutine"
+	"biscuit/internal/analysis/portcheck"
+	"biscuit/internal/analysis/simtimemix"
+	"biscuit/internal/analysis/walltime"
+)
+
+// analyzers is the suite. Order fixes the order of same-position
+// diagnostics, keeping output deterministic.
+var analyzers = []*framework.Analyzer{
+	detrand.Analyzer,
+	nogoroutine.Analyzer,
+	portcheck.Analyzer,
+	simtimemix.Analyzer,
+	walltime.Analyzer,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("biscuitvet: ")
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && args[0] == "-V=full":
+		printVersion()
+	case len(args) == 1 && args[0] == "-flags":
+		// No tool-specific flags; an empty JSON list tells the go
+		// command there is nothing to forward.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		run(args[0])
+	default:
+		log.Fatalf("this tool is a go vet backend; run:  go vet -vettool=$(command -v biscuitvet) ./...\n(analyzers: %s)", names())
+	}
+}
+
+func names() string {
+	var ns []string
+	for _, a := range analyzers {
+		ns = append(ns, a.Name)
+	}
+	return strings.Join(ns, ", ")
+}
+
+// printVersion emits the identity line the go command hashes into its
+// build cache key. Hashing the executable itself makes the cache
+// invalidate whenever the tool is rebuilt with different analyzers.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("biscuitvet version devel buildID=%x\n", h.Sum(nil))
+}
+
+// vetConfig mirrors the JSON the go command writes for each vetted
+// package (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredGoFiles            []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// lookup resolves an import path as written in source to that
+// package's export data, via the go command's vendor/module mapping.
+func (cfg *vetConfig) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	file, ok := cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+func run(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The go command expects the facts file to exist after every
+	// invocation. The suite is factless, so an empty file suffices —
+	// and dependency-only passes are done once it is written.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tc := &types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, cfg.lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		Error:     func(error) {}, // keep going; Check's return carries the first error
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		log.Fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	var diags []framework.Diagnostic
+	for _, a := range analyzers {
+		pass := framework.NewPass(a, fset, files, pkg, info, func(d framework.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			log.Fatalf("analyzer %s on %s: %v", a.Name, cfg.ImportPath, err)
+		}
+	}
+	if len(diags) == 0 {
+		return
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	os.Exit(2)
+}

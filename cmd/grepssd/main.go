@@ -31,7 +31,7 @@ func main() {
 
 	sys := biscuit.NewSystem(biscuit.DefaultConfig())
 	sys.Run(func(h *biscuit.Host) {
-		n, planted, err := weblog.Generate(h, *size, *needle, *every, *seed)
+		n, planted, err := weblog.Generate(h, *size, *needle, *every, biscuit.SeededRand(*seed))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "generate:", err)
 			os.Exit(1)

@@ -24,7 +24,7 @@ func main() {
 	sys := biscuit.NewSystem(biscuit.DefaultConfig())
 	d := db.Open(sys)
 	took := sys.Run(func(h *biscuit.Host) {
-		if _, err := (tpch.Gen{SF: *sf, Seed: *seed}).Load(h, d); err != nil {
+		if _, err := (tpch.Gen{SF: *sf}).Load(h, d, biscuit.SeededRand(*seed)); err != nil {
 			fmt.Fprintln(os.Stderr, "load:", err)
 			os.Exit(1)
 		}

@@ -22,7 +22,7 @@ func main() {
 	d := db.Open(sys)
 
 	sys.Run(func(h *biscuit.Host) {
-		data, err := tpch.Gen{SF: 0.02, Seed: 1}.Load(h, d)
+		data, err := tpch.Gen{SF: 0.02}.Load(h, d, biscuit.SeededRand(1))
 		if err != nil {
 			log.Fatal(err)
 		}

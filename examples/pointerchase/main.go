@@ -26,7 +26,7 @@ func main() {
 			walks = 100
 			hops  = 40
 		)
-		s, err := graph.Generate(h, nodes, 7)
+		s, err := graph.Generate(h, nodes, biscuit.SeededRand(7))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,7 +37,7 @@ func main() {
 		for _, threads := range []int{0, 6, 12, 18, 24} {
 			lg.Start(threads)
 			t0 := h.Now()
-			cres, err := s.ChaseConv(h, walks, hops, 42)
+			cres, err := s.ChaseConv(h, walks, hops, biscuit.SeededRand(42))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -51,7 +51,9 @@ func (mapper) Run(c *biscuit.Context) error {
 	}
 	c.Compute(2 * float64(len(buf))) // tokenizer cost on the device core
 	for _, w := range strings.Fields(string(buf)) {
-		out.Put(strings.ToLower(strings.Trim(w, ".,;:!?\"'")))
+		if !out.Put(strings.ToLower(strings.Trim(w, ".,;:!?\"'"))) {
+			break
+		}
 	}
 	return nil
 }
@@ -80,7 +82,9 @@ func (shuffler) Run(c *biscuit.Context) error {
 		if !ok {
 			return nil
 		}
-		out.Put(w)
+		if !out.Put(w) {
+			return nil
+		}
 	}
 }
 
@@ -122,7 +126,9 @@ func (reducer) Run(c *biscuit.Context) error {
 		if err != nil {
 			return err
 		}
-		out.Put(pkt)
+		if !out.Put(pkt) {
+			break
+		}
 	}
 	return nil
 }

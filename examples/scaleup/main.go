@@ -72,11 +72,15 @@ func run(n int) (sim.Time, int64) {
 				if err != nil {
 					log.Fatal(err)
 				}
-				app.Start()
+				if err := app.Start(); err != nil {
+					log.Fatal(err)
+				}
 				if res, ok := port.Get(); ok {
 					counts[i] = res.Matches
 				}
-				app.Wait()
+				if err := app.Wait(); err != nil {
+					log.Fatal(err)
+				}
 			})
 		}
 		h.Wait(evs...)

@@ -20,7 +20,7 @@ func main() {
 
 	sys.Run(func(h *biscuit.Host) {
 		const needle = "Googlebot/2.1"
-		size, _, err := weblog.Generate(h, 16<<20, "", 0, 11)
+		size, _, err := weblog.Generate(h, 16<<20, "", 0, biscuit.SeededRand(11))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,216 @@
+// Package analysistest runs an analyzer over packages laid out under a
+// testdata/src directory and checks its diagnostics against // want
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A // want comment holds one or more quoted regular expressions and
+// asserts that the analyzer reports, on that source line, one
+// diagnostic matching each:
+//
+//	time.Sleep(5) // want `forbidden`
+//
+// Packages are imported GOPATH-style from testdata/src/<importpath>;
+// imports not found there (standard library) are type-checked from
+// $GOROOT source, so tests need no compiled export data and run
+// offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"biscuit/internal/analysis/framework"
+)
+
+// Run loads each package under testdata/src and applies a to it,
+// reporting any mismatch between emitted diagnostics and // want
+// annotations as test errors.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgpaths {
+		pkg, files, info, err := ld.loadAnalyzed(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		var diags []framework.Diagnostic
+		pass := framework.NewPass(a, ld.fset, files, pkg, info, func(d framework.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			t.Errorf("analyzer %s failed on %s: %v", a.Name, path, err)
+			continue
+		}
+		check(t, ld.fset, files, diags)
+	}
+}
+
+// expectation is one unmatched want pattern at a file:line.
+type expectation struct {
+	rx  *regexp.Regexp
+	pos string // "file:line" for error messages
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []framework.Diagnostic) {
+	t.Helper()
+	want := map[string][]*expectation{} // "file:line" -> patterns
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 || !strings.HasPrefix(strings.TrimLeft(text[2:], " \t"), "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				rest := strings.TrimSpace(text[i+len("want "):])
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %q: %v", key, rest, err)
+						break
+					}
+					lit, _ := strconv.Unquote(q)
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, lit, err)
+						break
+					}
+					want[key] = append(want[key], &expectation{rx: rx, pos: key})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		exps := want[key]
+		matched := false
+		for i, e := range exps {
+			if e != nil && e.rx.MatchString(d.Message) {
+				exps[i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	keys := make([]string, 0, len(want))
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, e := range want[k] {
+			if e != nil {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, e.rx)
+			}
+		}
+	}
+}
+
+// loader type-checks packages rooted at srcDir, GOPATH-style, falling
+// back to source-importing the standard library.
+type loader struct {
+	fset  *token.FileSet
+	src   string
+	std   types.Importer
+	pkgs  map[string]*types.Package
+	files map[string][]*ast.File
+	infos map[string]*types.Info
+}
+
+func newLoader(srcDir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:  fset,
+		src:   srcDir,
+		std:   importer.ForCompiler(fset, "source", nil),
+		pkgs:  map[string]*types.Package{},
+		files: map[string][]*ast.File{},
+		infos: map[string]*types.Info{},
+	}
+}
+
+func (l *loader) loadAnalyzed(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	pkg, err := l.Import(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pkg, l.files[path], l.infos[path], nil
+}
+
+// Import implements types.Importer: testdata/src first, then $GOROOT.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		pkg, err := l.loadDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) loadDir(path, dir string) (*types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	l.files[path] = files
+	l.infos[path] = info
+	return pkg, nil
+}

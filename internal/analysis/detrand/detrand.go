@@ -1,0 +1,60 @@
+// Package detrand forbids the process-global math/rand source in
+// non-test code.
+//
+// The global source is seeded per-process (and, since Go 1.20, seeded
+// randomly), so any call like rand.Intn threads irreproducible state
+// into generators and benchmarks. Determinism here is the whole point:
+// workload generators must produce identical bytes for identical
+// seeds. Code must construct an explicit source — rand.New(
+// rand.NewSource(seed)) — and thread the *rand.Rand through.
+// Constructors (New, NewSource, NewZipf, and the math/rand/v2
+// equivalents) remain legal; every other package-level function of
+// math/rand and math/rand/v2 is flagged.
+package detrand
+
+import (
+	"go/ast"
+
+	"biscuit/internal/analysis/framework"
+)
+
+// allowed are the package-level constructors that build explicit,
+// seedable sources rather than consuming the global one.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Analyzer is the detrand check.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid the global math/rand source; require an explicitly seeded *rand.Rand",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.FuncFor(pass.TypesInfo, call.Fun)
+			if fn == nil || allowed[fn.Name()] {
+				return true
+			}
+			if !framework.IsPkgFunc(fn, "math/rand") && !framework.IsPkgFunc(fn, "math/rand/v2") {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "rand.%s uses the process-global random source; thread an explicitly seeded *rand.Rand instead (suppress with %s)", fn.Name(), pass.Directive())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package detrandtest
+
+import "math/rand"
+
+// Test files may use the global source: they do not feed experiment
+// results.
+func fuzzSeedForTests() int { return rand.Intn(1 << 20) }

@@ -1,0 +1,11 @@
+package detrandtest
+
+import randv2 "math/rand/v2"
+
+func badV2() {
+	_ = randv2.IntN(10) // want `rand\.IntN uses the process-global random source`
+}
+
+func goodV2() uint64 {
+	return randv2.New(randv2.NewPCG(1, 2)).Uint64()
+}

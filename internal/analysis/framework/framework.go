@@ -1,0 +1,182 @@
+// Package framework is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis Analyzer/Pass API.
+//
+// The repository's vet suite (cmd/biscuitvet and the analyzers under
+// internal/analysis/...) would normally build on x/tools, but this tree
+// must compile with the standard library alone, so the small slice of
+// the analysis API the suite needs lives here. The shapes (Analyzer,
+// Pass, Diagnostic, // want-style tests) mirror x/tools deliberately:
+// if a vendored x/tools ever becomes available, the analyzers port over
+// by changing one import path.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. It is pure: Run may not
+// mutate global state, so one Analyzer value can be shared by the
+// multichecker, go vet workers, and tests.
+type Analyzer struct {
+	// Name identifies the analyzer. It doubles as the suffix of its
+	// suppression directive: a comment //biscuitvet:<name>-ok on the
+	// flagged line, the line above it, or in the file header waives
+	// the check.
+	Name string
+
+	// Doc is the analyzer's one-paragraph documentation.
+	Doc string
+
+	// Run applies the analyzer to one type-checked package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives each diagnostic; installed by the driver.
+	report func(Diagnostic)
+}
+
+// A Diagnostic is one finding, anchored at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name
+	Message  string
+}
+
+// NewPass assembles a Pass; drivers (unitchecker, analysistest) use it.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, report: report}
+}
+
+// Report emits d unless it is suppressed by the analyzer's directive.
+func (p *Pass) Report(d Diagnostic) {
+	if d.Category == "" {
+		d.Category = p.Analyzer.Name
+	}
+	if p.suppressed(d.Pos) {
+		return
+	}
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Directive returns the suppression directive for the pass's analyzer,
+// e.g. "//biscuitvet:walltime-ok".
+func (p *Pass) Directive() string {
+	return "//biscuitvet:" + p.Analyzer.Name + "-ok"
+}
+
+// suppressed reports whether the analyzer's directive covers pos: on the
+// same source line, on the line immediately above, or anywhere in the
+// file header (comments before the package clause — whole-file waiver,
+// used e.g. by host-side CLIs that legitimately read the wall clock).
+func (p *Pass) suppressed(pos token.Pos) bool {
+	f := p.FileFor(pos)
+	if f == nil {
+		return false
+	}
+	directive := p.Directive()
+	line := p.Fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, directive) {
+				continue
+			}
+			cline := p.Fset.Position(c.Pos()).Line
+			if cline == line || cline == line-1 {
+				return true
+			}
+			if c.End() <= f.Package { // file-header waiver
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileFor returns the syntax tree containing pos, or nil.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgPath returns the package's import path with any test-variant
+// suffix removed: go vet analyzes "p [p.test]" variants whose Path()
+// carries the bracketed suffix, but invariants are keyed on the
+// canonical path.
+func PkgPath(pkg *types.Package) string {
+	path := pkg.Path()
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// ImportsPath reports whether any of the files directly imports path
+// (including blank imports). Import specs are consulted syntactically
+// so the answer is independent of how the type checker prunes unused
+// imports.
+func ImportsPath(files []*ast.File, path string) bool {
+	quoted := `"` + path + `"`
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if imp.Path.Value == quoted {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FuncFor resolves the called function object of a call-like selector
+// or identifier expression, or nil. It sees through parentheses and
+// generic instantiation.
+func FuncFor(info *types.Info, fun ast.Expr) *types.Func {
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr:
+		return FuncFor(info, e.X)
+	case *ast.IndexListExpr:
+		return FuncFor(info, e.X)
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether fn is a package-level function (no
+// receiver) of the package with import path pkgPath.
+func IsPkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,12 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/nogoroutine"
+)
+
+func TestNoGoroutine(t *testing.T) {
+	analysistest.Run(t, "testdata", nogoroutine.Analyzer, "devlet", "biscuit/internal/core", "hostside")
+}

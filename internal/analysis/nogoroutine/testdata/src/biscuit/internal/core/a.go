@@ -1,0 +1,7 @@
+// Package core stands in for the SSDlet runtime, which is device-side
+// by path even where it does not import the fiber runtime.
+package core
+
+func startWorker(fn func()) {
+	go fn() // want `raw go statement in device-side code`
+}

@@ -1,0 +1,9 @@
+// Package fibers is a stub of the real fiber runtime, just deep enough
+// for analyzer testdata to import it by path.
+package fibers
+
+// Fiber is a cooperative execution context.
+type Fiber struct{}
+
+// Yield is a cooperative scheduling point.
+func (f *Fiber) Yield() {}

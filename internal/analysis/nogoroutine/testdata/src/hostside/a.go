@@ -1,0 +1,9 @@
+// Package hostside does not touch the fiber runtime; goroutines are
+// fair game.
+package hostside
+
+func fanOut(fns []func()) {
+	for _, fn := range fns {
+		go fn()
+	}
+}

@@ -1,0 +1,12 @@
+package portcheck_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/portcheck"
+)
+
+func TestPortcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", portcheck.Analyzer, "portconsumer")
+}

@@ -1,0 +1,19 @@
+// Package isfs is a stub of the real device file system, just deep
+// enough for analyzer testdata to import it by path.
+package isfs
+
+import "errors"
+
+// File is an open device file.
+type File struct{}
+
+// Write writes data at off; errors report out-of-space.
+func (f *File) Write(off int64, data []byte) error {
+	if off < 0 {
+		return errors.New("isfs: negative offset")
+	}
+	return nil
+}
+
+// Flush persists buffered writes. No status to consume.
+func (f *File) Flush() {}

@@ -1,0 +1,12 @@
+package simtimemix_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/simtimemix"
+)
+
+func TestSimTimeMix(t *testing.T) {
+	analysistest.Run(t, "testdata", simtimemix.Analyzer, "mixer")
+}

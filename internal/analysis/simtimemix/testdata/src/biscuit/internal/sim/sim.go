@@ -1,0 +1,16 @@
+// Package sim is a stub of the real simulation kernel, just deep
+// enough for analyzer testdata: the Time type and the two sanctioned
+// Duration crossings. (The analyzer exempts the real sim package; this
+// stub is only ever imported, never analyzed.)
+package sim
+
+import "time"
+
+// Time is a point in virtual time, in nanoseconds.
+type Time int64
+
+// FromDuration is the sanctioned time.Duration -> Time crossing.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// AsDuration is the sanctioned Time -> time.Duration crossing.
+func (t Time) AsDuration() time.Duration { return time.Duration(int64(t)) }

@@ -1,0 +1,6 @@
+// Package sim is a stub of the real simulation kernel, just deep
+// enough for analyzer testdata to import it by path.
+package sim
+
+// Time is a point in virtual time.
+type Time int64

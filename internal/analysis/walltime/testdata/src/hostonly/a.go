@@ -1,0 +1,10 @@
+// Package hostonly does not import the simulation kernel; the wall
+// clock is its business.
+package hostonly
+
+import "time"
+
+func fine() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

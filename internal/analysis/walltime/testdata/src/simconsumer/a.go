@@ -1,0 +1,31 @@
+// Package simconsumer imports the simulation kernel, so wall-clock
+// reads are forbidden in it.
+package simconsumer
+
+import (
+	"time"
+
+	"biscuit/internal/sim"
+)
+
+var virtualNow sim.Time
+
+func bad() {
+	time.Now()                          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Second)             // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})         // want `time\.Since reads the wall clock`
+	_ = time.After(time.Second)         // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Millisecond) // want `time\.NewTimer reads the wall clock`
+}
+
+func constructorsAreFine() {
+	_ = time.Date(1995, time.July, 1, 0, 0, 0, 0, time.UTC)
+	_, _ = time.ParseDuration("3ms")
+	_ = time.Unix(0, int64(virtualNow))
+}
+
+func waivedInline() {
+	time.Now() //biscuitvet:walltime-ok — host-side progress display
+	//biscuitvet:walltime-ok — covers the next line
+	time.Sleep(time.Millisecond)
+}

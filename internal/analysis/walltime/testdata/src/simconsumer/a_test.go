@@ -1,0 +1,6 @@
+package simconsumer
+
+import "time"
+
+// Test files may use the wall clock (timeouts, benchmarks).
+func helperUsedByTests() time.Time { return time.Now() }

@@ -42,7 +42,7 @@ func RunFig10(cfg Config) Fig10 {
 	var data *tpch.Data
 	sys.Run(func(h *biscuit.Host) {
 		var err error
-		data, err = tpch.Gen{SF: cfg.Fig10SF, Seed: cfg.Seed}.Load(h, d)
+		data, err = tpch.Gen{SF: cfg.Fig10SF}.Load(h, d, biscuit.SeededRand(cfg.Seed))
 		if err != nil {
 			panic(err)
 		}

@@ -101,7 +101,7 @@ func RunFig8(cfg Config) Fig8 {
 	var data *tpch.Data
 	sys.Run(func(h *biscuit.Host) {
 		var err error
-		data, err = tpch.Gen{SF: cfg.Fig8SF, Seed: cfg.Seed}.Load(h, d)
+		data, err = tpch.Gen{SF: cfg.Fig8SF}.Load(h, d, biscuit.SeededRand(cfg.Seed))
 		if err != nil {
 			panic(err)
 		}

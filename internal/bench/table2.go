@@ -45,7 +45,9 @@ func (echoLet) Run(c *biscuit.Context) error {
 		}
 		*args.recv = append(*args.recv, c.Now())
 		*args.ackT = append(*args.ackT, c.Now())
-		out.Put(pkt)
+		if !out.Put(pkt) {
+			break
+		}
 	}
 	return nil
 }
@@ -75,7 +77,9 @@ func (sendLet) Run(c *biscuit.Context) error {
 	}
 	for i := 0; i < args.n; i++ {
 		*args.sendT = append(*args.sendT, c.Now())
-		out.Put("x")
+		if !out.Put("x") {
+			break
+		}
 		// Wait for the ack so exactly one item is ever in flight —
 		// we are measuring latency, not throughput.
 		if _, ok := in.Get(); !ok {
@@ -113,7 +117,9 @@ func (recvLet) Run(c *biscuit.Context) error {
 			break
 		}
 		*args.recvT = append(*args.recvT, c.Now())
-		out.Put(v)
+		if !out.Put(v) {
+			break
+		}
 	}
 	return nil
 }
@@ -137,7 +143,9 @@ func (pktSendLet) Run(c *biscuit.Context) error {
 	}
 	for i := 0; i < args.n; i++ {
 		*args.sendT = append(*args.sendT, c.Now())
-		out.Put(biscuit.NewPacket([]byte{1}))
+		if !out.Put(biscuit.NewPacket([]byte{1})) {
+			break
+		}
 		if _, ok := in.Get(); !ok {
 			break
 		}
@@ -167,7 +175,9 @@ func (pktRecvLet) Run(c *biscuit.Context) error {
 			break
 		}
 		*args.recvT = append(*args.recvT, c.Now())
-		out.Put(v)
+		if !out.Put(v) {
+			break
+		}
 	}
 	return nil
 }
@@ -224,18 +234,24 @@ func RunTable2() Table2 {
 		if err != nil {
 			panic(err)
 		}
-		app.Start()
+		if err := app.Start(); err != nil {
+			panic(err)
+		}
 		var hostSend, hostRecv []sim.Time
 		for i := 0; i < iters; i++ {
 			hostSend = append(hostSend, h.Now())
-			down.Put(biscuit.NewPacket([]byte{1}))
+			if !down.Put(biscuit.NewPacket([]byte{1})) {
+				break
+			}
 			if _, ok := up.GetPacket(); !ok {
 				break
 			}
 			hostRecv = append(hostRecv, h.Now())
 		}
 		down.Close()
-		app.Wait()
+		if err := app.Wait(); err != nil {
+			panic(err)
+		}
 		out.H2D = meanGap(hostSend, devRecv)
 		out.D2H = meanGap(devSend, hostRecv)
 	})
@@ -256,8 +272,12 @@ func RunTable2() Table2 {
 		if err := app.Connect(r.Out(0), s.In(0)); err != nil {
 			panic(err)
 		}
-		app.Start()
-		app.Wait()
+		if err := app.Start(); err != nil {
+			panic(err)
+		}
+		if err := app.Wait(); err != nil {
+			panic(err)
+		}
 		out.InterSSDlet = meanGap(sendT, recvT)
 	})
 
@@ -278,10 +298,18 @@ func RunTable2() Table2 {
 		if err := a2.ConnectApps(r.Out(0), a1, s.In(0)); err != nil {
 			panic(err)
 		}
-		a1.Start()
-		a2.Start()
-		a1.Wait()
-		a2.Wait()
+		if err := a1.Start(); err != nil {
+			panic(err)
+		}
+		if err := a2.Start(); err != nil {
+			panic(err)
+		}
+		if err := a1.Wait(); err != nil {
+			panic(err)
+		}
+		if err := a2.Wait(); err != nil {
+			panic(err)
+		}
 		out.InterApp = meanGap(sendT, recvT)
 	})
 	return out

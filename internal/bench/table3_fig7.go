@@ -23,7 +23,9 @@ func RunTable3() Table3 {
 		if err != nil {
 			panic(err)
 		}
-		h.SSD().WriteFile(f, 0, make([]byte, 1<<20))
+		if err := h.SSD().WriteFile(f, 0, make([]byte, 1<<20)); err != nil {
+			panic(err)
+		}
 		segs, _ := f.Segments(0, 1<<20)
 		base := segs[0].FTLOff
 
@@ -70,7 +72,9 @@ func RunFig7() Fig7 {
 		if err != nil {
 			panic(err)
 		}
-		h.SSD().WriteFile(f, 0, make([]byte, span))
+		if err := h.SSD().WriteFile(f, 0, make([]byte, span)); err != nil {
+			panic(err)
+		}
 		segs, _ := f.Segments(0, span)
 		base := segs[0].FTLOff
 

@@ -28,7 +28,7 @@ func RunTable4(cfg Config) Table4 {
 	sys := newSystem()
 	sys.Install(graph.Image())
 	sys.Run(func(h *biscuit.Host) {
-		s, err := graph.Generate(h, cfg.GraphNodes, cfg.Seed)
+		s, err := graph.Generate(h, cfg.GraphNodes, biscuit.SeededRand(cfg.Seed))
 		if err != nil {
 			panic(err)
 		}
@@ -37,7 +37,7 @@ func RunTable4(cfg Config) Table4 {
 			lg.Start(threads)
 			row := LoadSweepRow{Threads: threads}
 			row.Conv = timeIt(h, func() {
-				if _, err := s.ChaseConv(h, cfg.Walks, cfg.Hops, cfg.Seed); err != nil {
+				if _, err := s.ChaseConv(h, cfg.Walks, cfg.Hops, biscuit.SeededRand(cfg.Seed)); err != nil {
 					panic(err)
 				}
 			})
@@ -65,7 +65,7 @@ func RunTable5(cfg Config) Table5 {
 	sys := newSystem()
 	sys.Run(func(h *biscuit.Host) {
 		const needle = "XNEEDLEX"
-		if _, _, err := weblog.Generate(h, cfg.WeblogBytes, needle, 1000, cfg.Seed); err != nil {
+		if _, _, err := weblog.Generate(h, cfg.WeblogBytes, needle, 1000, biscuit.SeededRand(cfg.Seed)); err != nil {
 			panic(err)
 		}
 		lg := loadgen.New(h.System().Plat)

@@ -127,7 +127,9 @@ func (r *Runtime) ConnectToHost(p *sim.Proc, prod *letInstance, oi int) (*HostIn
 			})
 			r.chanMgr.transfers++
 			r.chanMgr.bytesUp += int64(pkt.Len())
-			ch.hostQ.Put(f, pkt)
+			if !ch.hostQ.Put(f, pkt) {
+				break // host endpoint closed; stop pumping
+			}
 		}
 		ch.hostQ.Close()
 		r.chanMgr.release()
@@ -170,7 +172,9 @@ func (r *Runtime) ConnectFromHost(p *sim.Proc, cons *letInstance, ii int) (*Host
 			f.Compute(cfg.ChanMgrDevRecvCycles)
 			r.chanMgr.transfers++
 			r.chanMgr.bytesDown += int64(pkt.Len())
-			cn.q.Put(f, pkt)
+			if !cn.q.Put(f, pkt) {
+				break // consumer side closed; stop pumping
+			}
 		}
 		cn.q.Close()
 		r.chanMgr.release()

@@ -179,11 +179,15 @@ func (r *Runtime) LoadModule(p *sim.Proc, name string) (*Module, error) {
 		if n > 0 {
 			buf := make([]byte, n)
 			done := r.Env().NewEvent()
+			var readErr error
 			r.Env().Spawn("modload-read", func(rp *sim.Proc) {
-				f.Read(rp, 0, buf)
+				_, readErr = f.Read(rp, 0, buf)
 				done.Fire()
 			})
 			p.Wait(done)
+			if readErr != nil {
+				return nil, fmt.Errorf("core: reading module %q off media: %w", name, readErr)
+			}
 		}
 	}
 	// Relocation on the device cores.

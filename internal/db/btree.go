@@ -96,7 +96,9 @@ func (d *Database) BuildIndex(ex *Exec, t *Table, col string) (*Index, error) {
 	idxName := t.FileName + "." + col + ".idx"
 	// Replace an existing index file.
 	for _, existing := range listLike(d, idxName) {
-		d.Sys.RT.FS.Remove(existing)
+		if err := d.Sys.RT.FS.Remove(existing); err != nil {
+			return nil, fmt.Errorf("db: replacing index %s: %w", existing, err)
+		}
 	}
 	idxFile, err := ex.H.SSD().CreateFile(idxName)
 	if err != nil {

@@ -139,8 +139,8 @@ func (ndpAggLet) Run(c *biscuit.Context) error {
 		}
 		batch = EncodeRow(batch, outSch, row)
 	}
-	if len(batch) > 0 {
-		out.Put(biscuit.NewPacket(batch))
+	if len(batch) > 0 && !out.Put(biscuit.NewPacket(batch)) {
+		return fmt.Errorf("db: aggregate result dropped: output port closed")
 	}
 	return nil
 }

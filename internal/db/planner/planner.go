@@ -30,13 +30,15 @@ type Planner struct {
 	MinKeyLen int
 	// Samples is the number of pages the sampling probe reads.
 	Samples int
-	// Seed makes the sampling probe deterministic.
-	Seed int64
+	// Rand drives the sampling probe. It must be an explicitly seeded
+	// source so planning decisions are reproducible; a nil Rand falls
+	// back to the calibrated default seed.
+	Rand *rand.Rand
 }
 
 // Default returns the calibrated policy.
 func Default() *Planner {
-	return &Planner{Threshold: 0.25, MinPages: 16, MinKeyLen: 2, Samples: 24, Seed: 42}
+	return &Planner{Threshold: 0.25, MinPages: 16, MinKeyLen: 2, Samples: 24, Rand: rand.New(rand.NewSource(42))}
 }
 
 // Decision records why a scan was or was not offloaded — the raw
@@ -332,7 +334,11 @@ func (pl *Planner) SampleSelectivity(ex *db.Exec, t *db.Table, keys []string) (f
 	if int64(n) > t.Pages {
 		n = int(t.Pages)
 	}
-	rng := rand.New(rand.NewSource(pl.Seed))
+	rng := pl.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(42))
+		pl.Rand = rng
+	}
 	hitPages := 0
 	buf := make([]byte, t.PageSize)
 	for i := 0; i < n; i++ {

@@ -43,8 +43,9 @@ type Store struct {
 // Generate builds a power-law graph with n nodes and writes it to the
 // device. Out-degrees follow a Zipf distribution (exponent ~1.2,
 // capped), neighbors are uniform random — the synthetic stand-in for the
-// Twitter social graph.
-func Generate(h *biscuit.Host, n int, seed int64) (*Store, error) {
+// Twitter social graph. The caller injects the seeded rng, so the store
+// layout is a pure function of (n, rng state).
+func Generate(h *biscuit.Host, n int, rng *rand.Rand) (*Store, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("graph: need at least 2 nodes")
 	}
@@ -52,7 +53,6 @@ func Generate(h *biscuit.Host, n int, seed int64) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
 	zipf := rand.NewZipf(rng, 1.2, 1.0, NodeFanout-1)
 	buf := make([]byte, 0, 1<<20)
 	rec := make([]byte, NodeRecordSize)
@@ -120,10 +120,11 @@ type WalkResult struct {
 
 // ChaseConv performs the pointer-chasing benchmark on the host: every
 // hop is a conventional read across the NVMe interface plus host-side
-// traversal logic that slows under memory contention.
-func (s *Store) ChaseConv(h *biscuit.Host, walks, hops int, seed int64) (WalkResult, error) {
+// traversal logic that slows under memory contention. rng picks the
+// walk start nodes; give ChaseNDP a seed drawn from the same source to
+// compare like with like.
+func (s *Store) ChaseConv(h *biscuit.Host, walks, hops int, rng *rand.Rand) (WalkResult, error) {
 	plat := s.sys.Plat
-	rng := rand.New(rand.NewSource(seed))
 	res := WalkResult{Walks: walks}
 	rec := make([]byte, NodeRecordSize)
 	// Host-side per-hop traversal work (record decode, next-address
@@ -204,7 +205,9 @@ func (chaserLet) Run(c *biscuit.Context) error {
 	if err != nil {
 		return err
 	}
-	out.Put(pkt)
+	if !out.Put(pkt) {
+		return fmt.Errorf("graph: walk result dropped: output port closed")
+	}
 	return nil
 }
 
@@ -217,13 +220,16 @@ func Image() *biscuit.ModuleImage {
 // ChaseNDP performs the same traversal entirely inside the SSD: the
 // data-dependent loop never crosses the host interface, so each hop
 // costs the internal read latency and is insensitive to host load.
+// Unlike the host-side APIs, it takes a seed rather than a *rand.Rand:
+// the walker runs device-side and its arguments cross the host/device
+// boundary as serialized values, so the seed is the random state.
 func (s *Store) ChaseNDP(h *biscuit.Host, walks, hops int, seed int64) (WalkResult, error) {
 	ssd := h.SSD()
 	m, err := ssd.LoadModule(ModuleName)
 	if err != nil {
 		return WalkResult{}, err
 	}
-	defer ssd.UnloadModule(m)
+	defer func() { _ = ssd.UnloadModule(m) }() // best-effort teardown
 	app := ssd.NewApplication()
 	let, err := app.NewSSDLet(m, ChaserID, chaserArgs{Nodes: s.Nodes, Walks: walks, Hops: hops, Seed: seed})
 	if err != nil {

@@ -19,11 +19,11 @@ func newSys() *biscuit.System {
 func TestConvAndNDPWalksAgree(t *testing.T) {
 	sys := newSys()
 	sys.Run(func(h *biscuit.Host) {
-		s, err := Generate(h, 2000, 3)
+		s, err := Generate(h, 2000, biscuit.SeededRand(3))
 		if err != nil {
 			t.Fatal(err)
 		}
-		conv, err := s.ChaseConv(h, 10, 20, 99)
+		conv, err := s.ChaseConv(h, 10, 20, biscuit.SeededRand(99))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +44,7 @@ func TestNDPWalkFasterAndLoadInsensitive(t *testing.T) {
 	sys := newSys()
 	var convIdle, convLoaded, ndpIdle, ndpLoaded sim.Time
 	sys.Run(func(h *biscuit.Host) {
-		s, err := Generate(h, 2000, 3)
+		s, err := Generate(h, 2000, biscuit.SeededRand(3))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,10 +55,10 @@ func TestNDPWalkFasterAndLoadInsensitive(t *testing.T) {
 			}
 			return h.Now() - start
 		}
-		convIdle = run(func() error { _, err := s.ChaseConv(h, 10, 50, 1); return err })
+		convIdle = run(func() error { _, err := s.ChaseConv(h, 10, 50, biscuit.SeededRand(1)); return err })
 		ndpIdle = run(func() error { _, err := s.ChaseNDP(h, 10, 50, 1); return err })
 		h.System().Plat.SetHostLoad(24)
-		convLoaded = run(func() error { _, err := s.ChaseConv(h, 10, 50, 1); return err })
+		convLoaded = run(func() error { _, err := s.ChaseConv(h, 10, 50, biscuit.SeededRand(1)); return err })
 		ndpLoaded = run(func() error { _, err := s.ChaseNDP(h, 10, 50, 1); return err })
 		h.System().Plat.SetHostLoad(0)
 	})
@@ -82,7 +82,7 @@ func TestNDPWalkFasterAndLoadInsensitive(t *testing.T) {
 func TestGenerateRejectsTinyGraph(t *testing.T) {
 	sys := newSys()
 	sys.Run(func(h *biscuit.Host) {
-		if _, err := Generate(h, 1, 1); err == nil {
+		if _, err := Generate(h, 1, biscuit.SeededRand(1)); err == nil {
 			t.Fatal("expected error")
 		}
 	})
@@ -93,7 +93,7 @@ func TestWalkDeterministic(t *testing.T) {
 		sys := newSys()
 		var sum int64
 		sys.Run(func(h *biscuit.Host) {
-			s, _ := Generate(h, 500, 3)
+			s, _ := Generate(h, 500, biscuit.SeededRand(3))
 			res, err := s.ChaseNDP(h, 5, 10, 42)
 			if err != nil {
 				t.Fatal(err)

@@ -12,7 +12,10 @@
 // run is fully deterministic.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Time is a point in virtual time, in nanoseconds since the start of the
 // simulation. It is a distinct type (not time.Duration) to keep virtual
@@ -41,6 +44,17 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
 // FromMicros converts floating-point microseconds to a Time.
 func FromMicros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// FromDuration converts a wall-clock duration to virtual time. It is
+// the one sanctioned crossing from time.Duration to Time: both are
+// int64 nanosecond counts, but writing sim.Time(d) elsewhere defeats
+// the type separation (and is flagged by the simtimemix analyzer).
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// AsDuration converts a virtual time to a wall-clock duration, e.g. to
+// format a simulated latency with time.Duration's printer. It is the
+// sanctioned inverse of FromDuration.
+func (t Time) AsDuration() time.Duration { return time.Duration(int64(t)) }
 
 func (t Time) String() string {
 	switch {

@@ -122,7 +122,7 @@ func rig(t *testing.T) (*biscuit.System, *db.Database, *tpch.Data) {
 	var data *tpch.Data
 	sys.Run(func(h *biscuit.Host) {
 		var err error
-		data, err = tpch.Gen{SF: 0.002, Seed: 7}.Load(h, d)
+		data, err = tpch.Gen{SF: 0.002}.Load(h, d, biscuit.SeededRand(7))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +251,7 @@ func TestRunWithPlannerOffloads(t *testing.T) {
 	sys := biscuit.NewSystem(cfg)
 	d := db.Open(sys)
 	sys.Run(func(h *biscuit.Host) {
-		if _, err := (tpch.Gen{SF: 0.01, Seed: 7}).Load(h, d); err != nil {
+		if _, err := (tpch.Gen{SF: 0.01}).Load(h, d, biscuit.SeededRand(7)); err != nil {
 			t.Fatal(err)
 		}
 	})

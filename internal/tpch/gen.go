@@ -24,8 +24,7 @@ import (
 
 // Gen configures the generator.
 type Gen struct {
-	SF   float64
-	Seed int64
+	SF float64
 }
 
 // Data holds the loaded catalog.
@@ -192,9 +191,10 @@ func phone(rng *rand.Rand, nation int) string {
 	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nation, 100+rng.Intn(900), 100+rng.Intn(900), 1000+rng.Intn(9000))
 }
 
-// Load generates all eight tables at g.SF into d.
-func (g Gen) Load(h *biscuit.Host, d *db.Database) (*Data, error) {
-	rng := rand.New(rand.NewSource(g.Seed))
+// Load generates all eight tables at g.SF into d. The caller injects
+// the seeded rng, so table contents are a pure function of
+// (SF, rng state) — see TestLoadDeterministic.
+func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error) {
 	out := &Data{DB: d}
 
 	// region

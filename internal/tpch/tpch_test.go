@@ -19,7 +19,7 @@ func testData(t *testing.T) (*biscuit.System, *Data) {
 	var data *Data
 	sys.Run(func(h *biscuit.Host) {
 		var err error
-		data, err = Gen{SF: 0.002, Seed: 7}.Load(h, d)
+		data, err = Gen{SF: 0.002}.Load(h, d, biscuit.SeededRand(7))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +187,7 @@ func TestOffloadCategorization(t *testing.T) {
 	var data *Data
 	sys.Run(func(h *biscuit.Host) {
 		var err error
-		data, err = Gen{SF: 0.01, Seed: 7}.Load(h, dbase)
+		data, err = Gen{SF: 0.01}.Load(h, dbase, biscuit.SeededRand(7))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -35,13 +35,14 @@ var (
 
 // Generate writes approximately size bytes of log lines, planting the
 // needle string every needleEvery lines (0 = never). It returns the
-// actual corpus size and the number of planted needles.
-func Generate(h *biscuit.Host, size int64, needle string, needleEvery int, seed int64) (int64, int64, error) {
+// actual corpus size and the number of planted needles. The caller
+// injects the seeded rng, so the corpus is a pure function of
+// (size, needle, needleEvery, rng state).
+func Generate(h *biscuit.Host, size int64, needle string, needleEvery int, rng *rand.Rand) (int64, int64, error) {
 	f, err := h.SSD().CreateFile(LogFile)
 	if err != nil {
 		return 0, 0, err
 	}
-	rng := rand.New(rand.NewSource(seed))
 	var off int64
 	var planted int64
 	buf := make([]byte, 0, 1<<20)
@@ -128,7 +129,7 @@ func SearchNDP(h *biscuit.Host, needles ...string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer ssd.UnloadModule(m)
+	defer func() { _ = ssd.UnloadModule(m) }() // best-effort teardown
 	app := ssd.NewApplication()
 	let, err := app.NewSSDLet(m, biscuit.ScannerID, biscuit.ScanArgs{File: LogFile, Keys: needles, Mode: biscuit.ScanCount})
 	if err != nil {

@@ -18,7 +18,7 @@ func TestConvAndNDPCountsMatchPlanted(t *testing.T) {
 	sys := newSys()
 	sys.Run(func(h *biscuit.Host) {
 		const needle = "XNEEDLEX"
-		_, planted, err := Generate(h, 2<<20, needle, 100, 5)
+		_, planted, err := Generate(h, 2<<20, needle, 100, biscuit.SeededRand(5))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +44,7 @@ func TestNDPSearchFasterAndLoadInsensitive(t *testing.T) {
 	var convIdle, convLoaded, ndpIdle, ndpLoaded sim.Time
 	sys.Run(func(h *biscuit.Host) {
 		const needle = "XNEEDLEX"
-		if _, _, err := Generate(h, 8<<20, needle, 500, 5); err != nil {
+		if _, _, err := Generate(h, 8<<20, needle, 500, biscuit.SeededRand(5)); err != nil {
 			t.Fatal(err)
 		}
 		run := func(fn func() (int64, error)) sim.Time {
