@@ -9,7 +9,7 @@ VETTOOL := bin/biscuitvet
 # dangerous kind.
 TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
 
-.PHONY: all build test race vet fmt check clean
+.PHONY: all build test race vet fmt check faulttest clean
 
 all: build
 
@@ -21,6 +21,19 @@ test:
 
 race:
 	$(GO) test -race $(TIER1)
+
+# Failure-path suite (DESIGN.md "Fault model"): the fault engine's own
+# tests plus every fault/corruption/retry/degradation test across the
+# stack, run twice to catch schedule nondeterminism, then a short fuzz
+# smoke of the fault-plan parser.
+FAULTRUN := 'Fault|Corrupt|Retr|Retir|Timeout|Stall|FallsBack|MediaError|Erase|Unmapped|Backoff|ProgramFailure|GCRelocation|ReadThrough|Q1Q6|SearchCounts'
+FAULTPKGS := ./internal/ftl/... ./internal/hostif/... ./internal/isfs/... \
+	./internal/db ./internal/tpch/... ./internal/weblog/...
+
+faulttest:
+	$(GO) test -count=2 ./internal/fault/...
+	$(GO) test -count=2 -run $(FAULTRUN) $(FAULTPKGS)
+	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault
 
 # vet = stock go vet + the biscuitvet analyzer suite (walltime,
 # detrand, nogoroutine, portcheck, simtimemix — see DESIGN.md

@@ -479,12 +479,14 @@ func BenchmarkAblationAsyncFileAPI(b *testing.B) {
 			}
 			syncT = h.Now() - start
 			start = h.Now()
-			evs := make([]*sim.Event, 0, total/chunk)
+			evs := make([]*sim.Completion, 0, total/chunk)
 			buf := make([]byte, chunk)
 			for off := 0; off < total; off += chunk {
 				evs = append(evs, plat.FTL.ReadRangeAsyncInto(h.Proc(), base+int64(off), buf))
 			}
-			h.Proc().WaitAll(evs...)
+			for _, c := range evs {
+				h.Proc().Wait(c.Event())
+			}
 			asyncT = h.Now() - start
 		})
 	}

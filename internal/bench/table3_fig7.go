@@ -116,31 +116,31 @@ func RunFig7() Fig7 {
 			const qd = 32
 			apt := Fig7Point{ReqSize: size}
 			el = timeIt(h, func() {
-				inflight := make([]*sim.Event, 0, qd)
+				inflight := make([]*sim.Completion, 0, qd)
 				for i := 0; i < reqs; i++ {
 					if len(inflight) >= qd {
-						h.Proc().Wait(inflight[0])
+						h.Proc().Wait(inflight[0].Event())
 						inflight = inflight[1:]
 					}
 					inflight = append(inflight, plat.HostIF.ReadAsync(h.Proc(), base+int64(i*size), buf))
 				}
-				for _, ev := range inflight {
-					h.Proc().Wait(ev)
+				for _, c := range inflight {
+					h.Proc().Wait(c.Event())
 				}
 			})
 			apt.Conv = float64(total) / el.Seconds() / 1e9
 			el = timeIt(h, func() {
-				inflight := make([]*sim.Event, 0, qd)
+				inflight := make([]*sim.Completion, 0, qd)
 				dst := make([]byte, size)
 				for i := 0; i < reqs; i++ {
 					if len(inflight) >= qd {
-						h.Proc().Wait(inflight[0])
+						h.Proc().Wait(inflight[0].Event())
 						inflight = inflight[1:]
 					}
 					inflight = append(inflight, plat.FTL.ReadRangeAsyncInto(h.Proc(), base+int64(i*size), dst))
 				}
-				for _, ev := range inflight {
-					h.Proc().Wait(ev)
+				for _, c := range inflight {
+					h.Proc().Wait(c.Event())
 				}
 			})
 			apt.Biscuit = float64(total) / el.Seconds() / 1e9

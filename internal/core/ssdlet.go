@@ -107,14 +107,16 @@ func (c *Context) ReadFile(f *isfs.File, off int64, buf []byte) (int, error) {
 }
 
 // ReadFileAsync issues an internal read without blocking the fiber. Wait
-// on the returned event with WaitIO.
-func (c *Context) ReadFileAsync(f *isfs.File, off int64, buf []byte) (*sim.Event, error) {
+// on the returned completion with WaitIO.
+func (c *Context) ReadFileAsync(f *isfs.File, off int64, buf []byte) (*sim.Completion, error) {
 	return f.ReadAsync(c.fiber.Proc(), off, buf)
 }
 
-// WaitIO blocks the fiber on an asynchronous I/O completion event.
-func (c *Context) WaitIO(ev *sim.Event) {
-	c.fiber.Block(func(p *sim.Proc) { p.Wait(ev) })
+// WaitIO blocks the fiber on an asynchronous I/O completion and returns
+// its status: nil, or the first error among the I/O's page commands.
+func (c *Context) WaitIO(cm *sim.Completion) error {
+	c.fiber.Block(func(p *sim.Proc) { cm.Wait(p) })
+	return cm.Err()
 }
 
 // WriteFile issues an asynchronous write (§III-D: async write API).
@@ -122,9 +124,12 @@ func (c *Context) WriteFile(f *isfs.File, off int64, data []byte) error {
 	return f.Write(c.fiber.Proc(), off, data)
 }
 
-// FlushFile synchronously flushes outstanding writes on f.
-func (c *Context) FlushFile(f *isfs.File) {
-	c.fiber.Block(func(p *sim.Proc) { f.Flush(p) })
+// FlushFile synchronously flushes outstanding writes on f, surfacing
+// any deferred write error (see isfs.File.Flush).
+func (c *Context) FlushFile(f *isfs.File) error {
+	var err error
+	c.fiber.Block(func(p *sim.Proc) { err = f.Flush(p) })
+	return err
 }
 
 // ScanFile streams [off, off+n) of f through the per-channel hardware

@@ -189,7 +189,9 @@ func (d *Database) BuildIndex(ex *Exec, t *Table, col string) (*Index, error) {
 	if err := idxFile.Write(ex.H.Proc(), 0, blob); err != nil {
 		return nil, err
 	}
-	idxFile.Flush(ex.H.Proc())
+	if err := idxFile.Flush(ex.H.Proc()); err != nil {
+		return nil, err
+	}
 
 	return &Index{T: t, ColIdx: colIdx, FileName: idxName, pageSize: ps,
 		root: root, height: height, entries: int64(len(entries)),

@@ -49,6 +49,9 @@ type Stats struct {
 	RowsEmitted   int64
 	NDPScans      int64
 	ConvScans     int64
+	// NDPFallbacks counts offloaded scans that hit an uncorrectable
+	// device error and transparently degraded to the Conv path.
+	NDPFallbacks int64
 }
 
 // Exec is the execution context of one query run.

@@ -5,10 +5,13 @@ import (
 	"testing"
 
 	"biscuit"
+	"biscuit/internal/fault"
 )
 
 // Failure injection: the engine must turn corrupted media content into
 // errors, never panics, on both the Conv and the device-side paths.
+// Corrupt page images are declared via fault.Corruption rather than
+// hand-rolled, so the scenarios are deterministic and self-describing.
 
 func TestConvScanSurvivesCorruptPage(t *testing.T) {
 	sys := quickSys()
@@ -21,16 +24,13 @@ func TestConvScanSurvivesCorruptPage(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		garbage := make([]byte, tab.PageSize)
-		garbage[0] = 0xFF
-		garbage[1] = 0xFF // row count 65535
-		for i := 4; i < len(garbage); i++ {
-			garbage[i] = byte(i * 31)
-		}
+		garbage := fault.Corruption{Page: 1, RowCount: 0xFFFF, Seed: 31}.Render(tab.PageSize)
 		if err := f.Write(h.Proc(), int64(tab.PageSize), garbage); err != nil {
 			t.Fatal(err)
 		}
-		f.Flush(h.Proc())
+		if err := f.Flush(h.Proc()); err != nil {
+			t.Fatal(err)
+		}
 
 		ex := NewExec(h, d)
 		_, err = Collect(ex.NewConvScan(tab, nil))
@@ -49,14 +49,15 @@ func TestNDPScanSurfacesCorruptPageAsContainedFailure(t *testing.T) {
 	sys.Run(func(h *biscuit.Host) {
 		tab := loadFixture(t, h, d, 2000, 50)
 		f, _ := h.SSD().OpenFile(tab.FileName, false)
-		garbage := make([]byte, tab.PageSize)
-		garbage[0] = 0xFF
-		garbage[1] = 0x7F
-		// Make sure the matcher fires on the corrupt page so the device
-		// CPU actually decodes it.
-		copy(garbage[100:], "TARGETKEY")
-		f.Write(h.Proc(), 0, garbage)
-		f.Flush(h.Proc())
+		// Forge a 32767-row header and plant the needle so the matcher
+		// fires on the corrupt page and the device CPU actually decodes it.
+		garbage := fault.Corruption{RowCount: 0x7FFF, Plant: "TARGETKEY", PlantOff: 100, Seed: 7}.Render(tab.PageSize)
+		if err := f.Write(h.Proc(), 0, garbage); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Flush(h.Proc()); err != nil {
+			t.Fatal(err)
+		}
 
 		ex := NewExec(h, d)
 		_, err := Collect(ex.NewNDPScan(tab, []string{"TARGETKEY"}, EqS(tab.Sch, "note", "TARGETKEY")))

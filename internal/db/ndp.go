@@ -1,11 +1,13 @@
 package db
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"biscuit"
 	"biscuit/internal/core"
+	"biscuit/internal/fault"
 	"biscuit/internal/isfs"
 	"biscuit/internal/match"
 )
@@ -189,10 +191,13 @@ type NDPScan struct {
 	// Software selects the no-matcher ablation path.
 	Software bool
 
-	app   *biscuit.Application
-	port  *biscuit.HostIn[biscuit.Packet]
-	batch []byte
-	recvd int64
+	app     *biscuit.Application
+	port    *biscuit.HostIn[biscuit.Packet]
+	batch   []byte
+	recvd   int64
+	emitted int64     // rows already handed to the consumer
+	fb      *ConvScan // engaged when the device scan dies on a media error
+	waited  bool      // app.Wait already consumed
 }
 
 // NewNDPScan builds an offloaded scan; keys must satisfy the hardware
@@ -234,14 +239,30 @@ func (s *NDPScan) Open() error {
 	s.port = port
 	s.batch = nil
 	s.recvd = 0
+	s.emitted = 0
+	s.fb = nil
+	s.waited = false
 	s.Ex.St.NDPScans++
 	s.Ex.St.PagesInternal += s.T.Pages
 	return nil
 }
 
-// Next decodes the next shipped row.
+// Next decodes the next shipped row. When the device scan dies on an
+// uncorrectable media error, the scan transparently degrades to the
+// conventional host path: a ConvScan is opened, already-delivered rows
+// are skipped (both paths emit predicate-passing rows in file order)
+// and the stream continues without the consumer noticing — the paper's
+// graceful-degradation story for NDP offload. Non-media device failures
+// (bugs, bad arguments) still surface as errors.
 func (s *NDPScan) Next() (Row, bool, error) {
 	for {
+		if s.fb != nil {
+			r, ok, err := s.fb.Next()
+			if ok {
+				s.emitted++
+			}
+			return r, ok, err
+		}
 		if len(s.batch) > 0 {
 			r, n, err := DecodeRow(s.batch, s.T.Sch)
 			if err != nil {
@@ -250,15 +271,67 @@ func (s *NDPScan) Next() (Row, bool, error) {
 			s.batch = s.batch[n:]
 			s.Ex.chargeHost(s.Ex.Cost.HostDecodeCPB * float64(n))
 			s.Ex.St.RowsScanned++
+			s.emitted++
 			return r, true, nil
 		}
 		pkt, ok := s.port.GetPacket()
 		if !ok {
-			return nil, false, nil
+			err := s.finishApp()
+			if err == nil {
+				return nil, false, nil
+			}
+			if !errors.Is(err, fault.ErrUncorrectable) {
+				return nil, false, err
+			}
+			if ferr := s.engageFallback(); ferr != nil {
+				return nil, false, ferr
+			}
+			continue
 		}
 		s.batch = pkt.Bytes()
 		s.recvd += int64(pkt.Len())
 	}
+}
+
+// finishApp reaps the device application exactly once and reports its
+// first contained failure.
+func (s *NDPScan) finishApp() error {
+	if s.app == nil || s.waited {
+		return nil
+	}
+	s.waited = true
+	if err := s.app.Wait(); err != nil {
+		return err
+	}
+	for _, err := range s.app.Failed() {
+		return fmt.Errorf("db: device scan failed: %w", err)
+	}
+	return nil
+}
+
+// engageFallback switches the iterator onto a ConvScan after a device
+// media failure, fast-forwarding past the rows the NDP path already
+// delivered. The event is visible in Stats.NDPFallbacks and in the
+// injector's fault schedule.
+func (s *NDPScan) engageFallback() error {
+	s.Ex.St.NDPFallbacks++
+	plat := s.Ex.H.System().Plat
+	plat.Ctrs.Add("db.ndp.fallback", 1)
+	plat.Inj.Record(fault.Fallback, "db.ndpscan "+s.T.Name)
+	fb := s.Ex.NewConvScan(s.T, s.Pred)
+	if err := fb.Open(); err != nil {
+		return err
+	}
+	for skip := s.emitted; skip > 0; skip-- {
+		if _, ok, err := fb.Next(); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	s.batch = nil
+	s.fb = fb
+	return nil
 }
 
 // Close waits for the device application and accounts link traffic.
@@ -266,23 +339,32 @@ func (s *NDPScan) Close() error {
 	if s.app == nil {
 		return nil
 	}
-	// Drain any unread packets so a blocked device producer can finish
-	// (the consumer may have stopped early, e.g. under a LIMIT).
-	for {
-		pkt, ok := s.port.GetPacket()
-		if !ok {
-			break
+	var firstErr error
+	if s.fb != nil {
+		firstErr = s.fb.Close()
+		s.fb = nil
+	} else {
+		// Drain any unread packets so a blocked device producer can
+		// finish (the consumer may have stopped early, e.g. under a
+		// LIMIT).
+		for {
+			pkt, ok := s.port.GetPacket()
+			if !ok {
+				break
+			}
+			s.recvd += int64(pkt.Len())
 		}
-		s.recvd += int64(pkt.Len())
-	}
-	if err := s.app.Wait(); err != nil {
-		return err
-	}
-	for _, err := range s.app.Failed() {
-		return fmt.Errorf("db: device scan failed: %w", err)
+		if err := s.finishApp(); err != nil && !errors.Is(err, fault.ErrUncorrectable) {
+			// An uncorrectable media error after the consumer stopped
+			// early is moot: every requested row was delivered.
+			firstErr = err
+		}
 	}
 	ps := int64(s.T.PageSize)
 	s.Ex.St.PagesOverLink += (s.recvd + ps - 1) / ps
 	s.app = nil
+	if firstErr != nil {
+		return firstErr
+	}
 	return nil
 }

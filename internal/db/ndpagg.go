@@ -178,6 +178,12 @@ func ndpAggOutSchema(args NDPAggArgs) *Schema {
 }
 
 // NDPAggScan is the host-side iterator over a device-aggregated scan.
+// Unlike NDPScan it has no Conv fallback: partial aggregates cannot be
+// resumed on the host after a mid-scan media failure (the device holds
+// the accumulator state), so an uncorrectable error surfaces to the
+// caller, who reruns the query on the Conv plan; the FTL's read-retry
+// and the interface's command retry have already absorbed everything
+// absorbable by then.
 type NDPAggScan struct {
 	Ex   *Exec
 	T    *Table

@@ -114,13 +114,14 @@ func (l *Loader) writeBatch() {
 	}
 	l.off += int64(len(l.batch))
 	l.batch = l.batch[:0]
-	l.file.Flush(l.h.Proc())
+	if err := l.file.Flush(l.h.Proc()); err != nil {
+		panic("db: load flush: " + err.Error())
+	}
 }
 
 // Close flushes all buffered pages and finalizes the table.
 func (l *Loader) Close() error {
 	l.flushPage()
 	l.writeBatch()
-	l.file.Flush(l.h.Proc())
-	return nil
+	return l.file.Flush(l.h.Proc())
 }

@@ -12,12 +12,14 @@ package device
 
 import (
 	"biscuit/internal/cpu"
+	"biscuit/internal/fault"
 	"biscuit/internal/fibers"
 	"biscuit/internal/ftl"
 	"biscuit/internal/hostif"
 	"biscuit/internal/mem"
 	"biscuit/internal/nand"
 	"biscuit/internal/sim"
+	"biscuit/internal/stats"
 )
 
 // Config aggregates every component configuration plus the Biscuit
@@ -71,6 +73,11 @@ type Config struct {
 	// dispatch to the fiber); Table III's 75.9 us internal read is
 	// firmware+NAND+this.
 	InternalReadOverhead sim.Time
+
+	// Fault declares the platform's fault campaign (internal/fault).
+	// The zero plan — the default — models perfectly reliable media and
+	// interface, matching the paper platform's calibration runs.
+	Fault fault.Plan
 }
 
 // DefaultConfig returns the calibrated paper platform. The NAND
@@ -128,6 +135,15 @@ type Platform struct {
 	HostIF *hostif.Interface
 	DevRT  *fibers.Runtime
 	DevMem *mem.DeviceMemory
+
+	// Inj is the platform's fault injector; nil when Cfg.Fault is the
+	// zero plan. It is shared by the NAND array and the host interface,
+	// so one schedule covers the whole device.
+	Inj *fault.Injector
+
+	// Ctrs records operational events (fault-path events in particular)
+	// for the evaluation's counter dumps. Always non-nil.
+	Ctrs *stats.Counters
 }
 
 // New builds a platform in env with the given configuration.
@@ -142,7 +158,7 @@ func New(env *sim.Env, cfg Config) *Platform {
 // Fig. 1(b), where one server fronts several SSDs. Each platform still
 // gets its own PCIe link, media and device cores.
 func NewShared(env *sim.Env, cfg Config, hostCPU *cpu.CPU, hostMem *sim.SharedBW) *Platform {
-	p := &Platform{Env: env, Cfg: cfg}
+	p := &Platform{Env: env, Cfg: cfg, Ctrs: stats.NewCounters()}
 	p.HostCPU = hostCPU
 	p.HostMem = hostMem
 	p.Array = nand.New(env, cfg.NAND)
@@ -151,6 +167,15 @@ func NewShared(env *sim.Env, cfg Config, hostCPU *cpu.CPU, hostMem *sim.SharedBW
 	// cores are managed by the fiber runtime.
 	devCmd := cpu.New(env, "dev-nvme", 1, cfg.DevHz)
 	p.HostIF = hostif.New(env, cfg.Host, p.FTL, p.HostCPU, devCmd)
+	if cfg.Fault.Enabled() {
+		inj, err := fault.NewInjector(env, cfg.Fault)
+		if err != nil {
+			panic(err)
+		}
+		p.Inj = inj
+		p.Array.SetInjector(inj)
+		p.HostIF.SetInjector(inj)
+	}
 	p.DevRT = fibers.New(env, fibers.Config{Cores: cfg.DevCores, Hz: cfg.DevHz, CSW: cfg.FiberCSW})
 	dm, err := mem.NewDeviceMemory(cfg.SystemHeap, cfg.UserHeap)
 	if err != nil {
@@ -166,11 +191,13 @@ func Default() *Platform {
 }
 
 // InternalRead performs a Biscuit-internal read (no host interface): the
-// path an SSDlet's File.Read takes. Table III's right column.
-func (p *Platform) InternalRead(proc *sim.Proc, off int64, n int) []byte {
-	data := p.FTL.ReadRange(proc, off, n)
+// path an SSDlet's File.Read takes. Table III's right column. Media
+// errors surface directly — there is no command-level retry inside the
+// device, so this path degrades before the conventional one does.
+func (p *Platform) InternalRead(proc *sim.Proc, off int64, n int) ([]byte, error) {
+	data, err := p.FTL.ReadRange(proc, off, n)
 	proc.Sleep(p.Cfg.InternalReadOverhead)
-	return data
+	return data, err
 }
 
 // SetHostLoad sets the number of StreamBench-style background threads

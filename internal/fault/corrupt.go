@@ -1,0 +1,57 @@
+package fault
+
+import "math/rand"
+
+// Corruption declares a content-corruption scenario for tests:
+// "overwrite page N of a file with garbage that forges this header and
+// plants this byte string". Before this type existed, failure tests
+// hand-rolled garbage pages inline; declaring the scenario keeps the
+// corrupt image deterministic, self-describing, and reusable across the
+// Conv and NDP decode paths.
+//
+// Corruption is content damage (what the bytes say), complementary to
+// the Injector's operational faults (whether the op succeeds). Injected
+// read faults never silently alter stored bytes — that is what makes
+// retry and fallback correctness-preserving — so tests that need a page
+// whose *content* lies use Render and write the image through the
+// normal file API.
+type Corruption struct {
+	// Page is the page index within the file to overwrite.
+	Page int
+	// RowCount is the forged value of the page header's row-count field
+	// (little-endian uint16 at bytes [0:2] of a db slotted page).
+	RowCount uint16
+	// UsedBytes is the forged used-bytes header field (bytes [2:4]).
+	UsedBytes uint16
+	// Plant, when non-empty, is copied into the body at PlantOff, e.g.
+	// a needle that forces the pattern matcher to fire on the garbage.
+	Plant    string
+	PlantOff int
+	// Seed drives the pseudo-random body fill.
+	Seed int64
+}
+
+// Render produces the deterministic corrupt page image of size
+// pageSize: forged 4-byte header, seeded pseudo-random body, and the
+// planted needle (if any) copied over it.
+func (c Corruption) Render(pageSize int) []byte {
+	if pageSize < 4 {
+		panic("fault: corrupt page smaller than its header")
+	}
+	page := make([]byte, pageSize)
+	page[0] = byte(c.RowCount)
+	page[1] = byte(c.RowCount >> 8)
+	page[2] = byte(c.UsedBytes)
+	page[3] = byte(c.UsedBytes >> 8)
+	rng := rand.New(rand.NewSource(mix(c.Seed, int64(c.Page))))
+	body := page[4:]
+	rng.Read(body)
+	if c.Plant != "" {
+		off := c.PlantOff
+		if off < 0 || off+len(c.Plant) > pageSize {
+			panic("fault: planted needle outside the page")
+		}
+		copy(page[off:], c.Plant)
+	}
+	return page
+}

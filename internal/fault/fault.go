@@ -1,0 +1,249 @@
+// Package fault is the deterministic fault-injection engine of the
+// simulated SSD. Real enterprise NAND routinely exhibits ECC-correctable
+// bit flips, uncorrectable read errors, program/erase failures that grow
+// the bad-block list, and command-level stalls; a simulator that models
+// perfectly reliable media never exercises the runtime's error paths.
+//
+// A Plan declares per-operation fault probabilities and latencies. An
+// Injector turns a Plan into per-operation decisions drawn from
+// independent seeded streams (one per fault kind, whitened from the plan
+// seed), so the fault schedule is a pure function of (plan, workload):
+// two runs with the same seed produce identical fault schedules,
+// identical retry traffic and identical virtual-time results. Every
+// injected fault — and every consequence an upper layer reports back
+// (fallback, GC data recovery) — is appended to an ordered event log
+// whose Signature pins schedules in determinism regression tests.
+//
+// The injector is consulted by internal/nand (media ops), internal/ftl
+// (which reacts with read-retry, bad-block retirement and remap) and
+// internal/hostif (command timeouts, port backpressure). A nil *Injector
+// is a valid, disabled injector: all decision methods report "no fault",
+// so fault-free construction paths pass nil and pay no overhead.
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"biscuit/internal/sim"
+)
+
+// Typed fault statuses. Layers wrap these with context (address, lpn,
+// command) so callers can both read the story and classify with
+// errors.Is — the degradation ladder in internal/db keys off
+// ErrUncorrectable.
+var (
+	// ErrUncorrectable is a media read whose ECC decode failed.
+	ErrUncorrectable = errors.New("uncorrectable media error")
+	// ErrProgramFail is a NAND program (page write) failure.
+	ErrProgramFail = errors.New("program failure")
+	// ErrEraseFail is a NAND block erase failure.
+	ErrEraseFail = errors.New("erase failure")
+	// ErrTimeout is a host-interface command timeout.
+	ErrTimeout = errors.New("command timeout")
+)
+
+// Kind enumerates the fault classes an Injector schedules plus the
+// consequence events upper layers record into the same log.
+type Kind int
+
+// Fault kinds (injected) and consequence kinds (recorded).
+const (
+	ECCCorrectable    Kind = iota // read succeeds after extra correction latency
+	ReadUncorrectable             // read fails ECC; FTL retries, then errors
+	ProgramFail                   // program fails; FTL retires the block and remaps
+	EraseFail                     // erase fails; FTL retires the block
+	CmdTimeout                    // host command lost; hostif retries with backoff
+	PortStall                     // host-interface backpressure stall
+	Fallback                      // consequence: NDP offload fell back to the host path
+	GCRecover                     // consequence: GC relocation recovered data after retries
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"ecc-correctable", "read-uncorrectable", "program-fail", "erase-fail",
+	"cmd-timeout", "port-stall", "fallback", "gc-recover",
+}
+
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("fault.Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Event is one entry of the fault schedule: an injected fault or a
+// recorded consequence, stamped with the virtual time it occurred.
+type Event struct {
+	Seq  int      // position in the schedule
+	At   sim.Time // virtual time of occurrence
+	Kind Kind
+	Site string // where it struck, e.g. "nand.read ch0/w1/b3/p4"
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d t=%v %s @%s", e.Seq, e.At, e.Kind, e.Site)
+}
+
+// ReadDecision is the injector's verdict on one media read.
+type ReadDecision struct {
+	Correctable   bool // ECC corrected it; charge extra latency
+	Uncorrectable bool // ECC failed; the read op errors
+}
+
+// Injector draws per-operation fault decisions from a Plan. It must be
+// used from simulation context only (the sim kernel serializes all
+// processes), which makes the decision sequence — and therefore the
+// fault schedule — deterministic for a deterministic workload.
+//
+// The zero of *Injector (nil) is a disabled injector.
+type Injector struct {
+	env      *sim.Env
+	plan     Plan
+	streams  [numKinds]*rand.Rand
+	counts   [numKinds]int64
+	injected int // faults charged against MaxFaults (consequences excluded)
+	events   []Event
+}
+
+// NewInjector builds an injector for plan. env stamps event times and
+// may be nil (events then carry time zero).
+func NewInjector(env *sim.Env, plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{env: env, plan: plan}
+	for k := range in.streams {
+		in.streams[k] = rand.New(rand.NewSource(mix(plan.Seed, int64(k))))
+	}
+	return in, nil
+}
+
+// mix whitens (seed, stream index) through the splitmix64 finalizer so
+// per-kind decision streams stay decorrelated even for adjacent seeds.
+func mix(seed, k int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(k+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Enabled reports whether the injector can produce any fault.
+func (in *Injector) Enabled() bool { return in != nil && in.plan.Enabled() }
+
+// Plan returns the plan the injector was built from (zero Plan if nil).
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// roll draws one decision for kind k. site is only evaluated when the
+// fault fires, so disabled or miss paths cost no formatting.
+func (in *Injector) roll(k Kind, prob float64, site func() string) bool {
+	if in == nil || prob <= 0 {
+		return false
+	}
+	if in.plan.MaxFaults > 0 && in.injected >= in.plan.MaxFaults {
+		return false
+	}
+	if in.streams[k].Float64() >= prob {
+		return false
+	}
+	in.injected++
+	in.record(k, site())
+	return true
+}
+
+func (in *Injector) record(k Kind, site string) {
+	in.counts[k]++
+	var at sim.Time
+	if in.env != nil {
+		at = in.env.Now()
+	}
+	in.events = append(in.events, Event{Seq: len(in.events), At: at, Kind: k, Site: site})
+}
+
+// Read decides the fate of one media read at site.
+func (in *Injector) Read(site func() string) ReadDecision {
+	var d ReadDecision
+	if in == nil {
+		return d
+	}
+	d.Uncorrectable = in.roll(ReadUncorrectable, in.plan.UncorrectableProb, site)
+	if !d.Uncorrectable {
+		d.Correctable = in.roll(ECCCorrectable, in.plan.CorrectableProb, site)
+	}
+	return d
+}
+
+// Program decides whether one NAND program fails.
+func (in *Injector) Program(site func() string) bool {
+	return in != nil && in.roll(ProgramFail, in.plan.ProgramFailProb, site)
+}
+
+// Erase decides whether one block erase fails.
+func (in *Injector) Erase(site func() string) bool {
+	return in != nil && in.roll(EraseFail, in.plan.EraseFailProb, site)
+}
+
+// Timeout decides whether one host command is lost.
+func (in *Injector) Timeout(site func() string) bool {
+	return in != nil && in.roll(CmdTimeout, in.plan.TimeoutProb, site)
+}
+
+// Stall decides whether one host-interface transfer hits backpressure.
+func (in *Injector) Stall(site func() string) bool {
+	return in != nil && in.roll(PortStall, in.plan.StallProb, site)
+}
+
+// Record appends a consequence event (Fallback, GCRecover, ...) reported
+// by an upper layer into the schedule. Consequences don't count against
+// MaxFaults. A nil injector ignores the call.
+func (in *Injector) Record(k Kind, site string) {
+	if in == nil {
+		return
+	}
+	in.record(k, site)
+}
+
+// Count returns how many events of kind k occurred.
+func (in *Injector) Count(k Kind) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.counts[k]
+}
+
+// Total returns the number of injected faults (consequences excluded).
+func (in *Injector) Total() int {
+	if in == nil {
+		return 0
+	}
+	return in.injected
+}
+
+// Events returns a copy of the fault schedule in occurrence order.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	return append([]Event(nil), in.events...)
+}
+
+// Signature digests the full schedule (order, times, kinds, sites) into
+// a stable hex string; determinism regression tests compare signatures
+// of same-seed runs.
+func (in *Injector) Signature() string {
+	h := sha256.New()
+	if in != nil {
+		for _, e := range in.events {
+			fmt.Fprintf(h, "%d|%d|%d|%s\n", e.Seq, int64(e.At), int(e.Kind), e.Site)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,37 @@
+package fault
+
+import "testing"
+
+// FuzzFaultPlan hammers the plan parser: arbitrary input must never
+// panic, and every accepted plan must be valid and survive a
+// String→ParsePlan round trip unchanged (the canonical form really is
+// canonical).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42")
+	f.Add(DefaultPlan(7).String())
+	f.Add("seed=42, uncorrectable=5e-4 correctable=0.01\ncorrectable-latency=60us")
+	f.Add("timeout=1 timeout-delay=5ms stall=0.5 stall-delay=200us max-faults=3")
+	f.Add("seed=-1\tprogram-fail=1e-9 erase-fail=0.25")
+	f.Add("seed")
+	f.Add("sneed=1")
+	f.Add("uncorrectable=NaN")
+	f.Add("correctable-latency=-60us")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) accepted invalid plan: %v", s, verr)
+		}
+		canon := p.String()
+		q, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not parse: %v", canon, s, err)
+		}
+		if q != p {
+			t.Fatalf("round trip of %q: %+v != %+v", s, q, p)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"biscuit/internal/sim"
+)
+
+// Plan declares a deterministic fault campaign: per-operation fault
+// probabilities, the latencies faults cost, and the seed the schedule is
+// drawn from. The zero Plan injects nothing.
+type Plan struct {
+	// Seed drives every per-kind decision stream. Two injectors built
+	// from equal plans produce identical fault schedules for identical
+	// workloads.
+	Seed int64
+
+	// CorrectableProb is the per-page-read probability of an
+	// ECC-correctable error: the read succeeds after CorrectableLatency
+	// of extra decode time.
+	CorrectableProb float64
+	// UncorrectableProb is the per-page-read probability that ECC fails
+	// and the read errors (subject to FTL read-retry).
+	UncorrectableProb float64
+	// ProgramFailProb is the per-page-program failure probability; the
+	// FTL retires the block and remaps the write.
+	ProgramFailProb float64
+	// EraseFailProb is the per-block-erase failure probability; the FTL
+	// retires the block.
+	EraseFailProb float64
+	// TimeoutProb is the per-host-command probability the command is
+	// lost and must be retried after TimeoutDelay.
+	TimeoutProb float64
+	// StallProb is the per-transfer probability of a backpressure stall
+	// on the host link costing StallDelay.
+	StallProb float64
+
+	// CorrectableLatency is the extra decode time of a correctable error.
+	CorrectableLatency sim.Time
+	// TimeoutDelay is how long a lost command occupies its queue slot
+	// before the host gives up and retries.
+	TimeoutDelay sim.Time
+	// StallDelay is the length of one backpressure stall.
+	StallDelay sim.Time
+
+	// MaxFaults, when positive, caps the number of injected faults
+	// (consequence events are exempt). Useful for single-shot scenarios.
+	MaxFaults int
+}
+
+// DefaultPlan returns a moderately hostile plan: every fault kind is
+// exercised on workloads of a few thousand operations, yet rates stay
+// low enough that bounded retry almost always succeeds.
+func DefaultPlan(seed int64) Plan {
+	return Plan{
+		Seed:               seed,
+		CorrectableProb:    0.01,
+		UncorrectableProb:  5e-4,
+		ProgramFailProb:    5e-4,
+		EraseFailProb:      2e-4,
+		TimeoutProb:        5e-4,
+		StallProb:          1e-3,
+		CorrectableLatency: sim.FromDuration(60 * time.Microsecond),
+		TimeoutDelay:       sim.FromDuration(5 * time.Millisecond),
+		StallDelay:         sim.FromDuration(200 * time.Microsecond),
+	}
+}
+
+// Enabled reports whether the plan can produce any fault.
+func (p Plan) Enabled() bool {
+	return p.CorrectableProb > 0 || p.UncorrectableProb > 0 ||
+		p.ProgramFailProb > 0 || p.EraseFailProb > 0 ||
+		p.TimeoutProb > 0 || p.StallProb > 0
+}
+
+// Validate checks that probabilities are in [0,1] and latencies are
+// non-negative.
+func (p Plan) Validate() error {
+	probs := []struct {
+		name string
+		v    float64
+	}{
+		{"correctable", p.CorrectableProb},
+		{"uncorrectable", p.UncorrectableProb},
+		{"program-fail", p.ProgramFailProb},
+		{"erase-fail", p.EraseFailProb},
+		{"timeout", p.TimeoutProb},
+		{"stall", p.StallProb},
+	}
+	for _, pr := range probs {
+		if pr.v < 0 || pr.v > 1 || pr.v != pr.v {
+			return fmt.Errorf("fault: %s probability %v outside [0,1]", pr.name, pr.v)
+		}
+	}
+	lats := []struct {
+		name string
+		v    sim.Time
+	}{
+		{"correctable-latency", p.CorrectableLatency},
+		{"timeout-delay", p.TimeoutDelay},
+		{"stall-delay", p.StallDelay},
+	}
+	for _, l := range lats {
+		if l.v < 0 {
+			return fmt.Errorf("fault: %s %v negative", l.name, l.v)
+		}
+	}
+	if p.MaxFaults < 0 {
+		return fmt.Errorf("fault: max-faults %d negative", p.MaxFaults)
+	}
+	return nil
+}
+
+// Plan text format: space- or comma-separated key=value pairs, e.g.
+//
+//	seed=42 uncorrectable=5e-4 correctable=0.01 correctable-latency=60us
+//
+// Probability keys take floats; latency keys take time.ParseDuration
+// strings; seed and max-faults take integers. Keys are matched
+// case-insensitively. Unknown keys and duplicate keys are errors so that
+// typos fail loudly instead of silently injecting nothing.
+const (
+	keySeed               = "seed"
+	keyCorrectable        = "correctable"
+	keyUncorrectable      = "uncorrectable"
+	keyProgramFail        = "program-fail"
+	keyEraseFail          = "erase-fail"
+	keyTimeout            = "timeout"
+	keyStall              = "stall"
+	keyCorrectableLatency = "correctable-latency"
+	keyTimeoutDelay       = "timeout-delay"
+	keyStallDelay         = "stall-delay"
+	keyMaxFaults          = "max-faults"
+)
+
+// String renders the plan in the canonical ParsePlan format: keys in a
+// fixed order, zero-valued fields omitted (the zero plan renders as
+// "seed=0"). ParsePlan(p.String()) reproduces p exactly.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s=%d", keySeed, p.Seed)
+	prob := func(k string, v float64) {
+		if v != 0 {
+			fmt.Fprintf(&b, " %s=%s", k, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	lat := func(k string, v sim.Time) {
+		if v != 0 {
+			fmt.Fprintf(&b, " %s=%s", k, v.AsDuration())
+		}
+	}
+	prob(keyCorrectable, p.CorrectableProb)
+	prob(keyUncorrectable, p.UncorrectableProb)
+	prob(keyProgramFail, p.ProgramFailProb)
+	prob(keyEraseFail, p.EraseFailProb)
+	prob(keyTimeout, p.TimeoutProb)
+	prob(keyStall, p.StallProb)
+	lat(keyCorrectableLatency, p.CorrectableLatency)
+	lat(keyTimeoutDelay, p.TimeoutDelay)
+	lat(keyStallDelay, p.StallDelay)
+	if p.MaxFaults != 0 {
+		fmt.Fprintf(&b, " %s=%d", keyMaxFaults, p.MaxFaults)
+	}
+	return b.String()
+}
+
+// ParsePlan parses the key=value plan format described above and
+// validates the result.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	seen := map[string]bool{}
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == ','
+	})
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: %q is not key=value", f)
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		if seen[k] {
+			return Plan{}, fmt.Errorf("fault: duplicate key %q", k)
+		}
+		seen[k] = true
+		var err error
+		switch k {
+		case keySeed:
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		case keyCorrectable:
+			p.CorrectableProb, err = parseProb(v)
+		case keyUncorrectable:
+			p.UncorrectableProb, err = parseProb(v)
+		case keyProgramFail:
+			p.ProgramFailProb, err = parseProb(v)
+		case keyEraseFail:
+			p.EraseFailProb, err = parseProb(v)
+		case keyTimeout:
+			p.TimeoutProb, err = parseProb(v)
+		case keyStall:
+			p.StallProb, err = parseProb(v)
+		case keyCorrectableLatency:
+			p.CorrectableLatency, err = parseLatency(v)
+		case keyTimeoutDelay:
+			p.TimeoutDelay, err = parseLatency(v)
+		case keyStallDelay:
+			p.StallDelay, err = parseLatency(v)
+		case keyMaxFaults:
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			p.MaxFaults = int(n)
+			if int64(p.MaxFaults) != n {
+				err = fmt.Errorf("overflows int")
+			}
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown key %q (known: %s)", k, strings.Join(knownKeys(), ", "))
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad value for %s: %v", k, err)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+func parseProb(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	return f, nil
+}
+
+func parseLatency(v string) (sim.Time, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, err
+	}
+	return sim.FromDuration(d), nil
+}
+
+func knownKeys() []string {
+	ks := []string{
+		keySeed, keyCorrectable, keyUncorrectable, keyProgramFail,
+		keyEraseFail, keyTimeout, keyStall, keyCorrectableLatency,
+		keyTimeoutDelay, keyStallDelay, keyMaxFaults,
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -10,9 +10,11 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
 	"biscuit/internal/cpu"
+	"biscuit/internal/fault"
 	"biscuit/internal/nand"
 	"biscuit/internal/sim"
 )
@@ -33,6 +35,17 @@ type Config struct {
 	// I/O path (separate from the two cores Biscuit may use).
 	FirmwareThreads int
 	FirmwareHz      float64
+
+	// ReadRetries is how many times an uncorrectable page read is
+	// reissued (with adjusted read-reference voltages on real NAND)
+	// before the error is surfaced. Each retry costs RetryLatency on
+	// top of the repeated media timing.
+	ReadRetries  int
+	RetryLatency sim.Time
+	// ProgramRetries bounds how many sibling blocks a failed program is
+	// remapped to (each failure retires the failing block) before the
+	// write errors out.
+	ProgramRetries int
 }
 
 // DefaultConfig returns parameters matching an enterprise drive: 7 % OP
@@ -46,6 +59,9 @@ func DefaultConfig() Config {
 		FirmwareWriteCycles: 3750, // 5us
 		FirmwareThreads:     4,
 		FirmwareHz:          750e6,
+		ReadRetries:         2,
+		RetryLatency:        20 * sim.Microsecond,
+		ProgramRetries:      3,
 	}
 }
 
@@ -63,6 +79,7 @@ type dieState struct {
 type blockMeta struct {
 	valid int   // number of valid pages
 	lpns  []int // reverse map page -> lpn (-1 invalid)
+	bad   bool  // retired after a program/erase failure; never reused
 }
 
 // FTL is a page-mapped flash translation layer over a NAND array.
@@ -81,6 +98,12 @@ type FTL struct {
 	gcRounds int64
 	reads    int64
 	writes   int64
+
+	readRetries  int64 // reissued page reads after uncorrectable errors
+	readErrors   int64 // reads that stayed uncorrectable after retries
+	programFails int64 // program failures remapped to another block
+	gcRecovers   int64 // GC relocations recovered after unreadable source
+	badBlocks    int64 // blocks retired for program/erase failures
 }
 
 // New builds an FTL over arr.
@@ -140,6 +163,16 @@ func (f *FTL) GCStats() (rounds, pageMoves int64) { return f.gcRounds, f.gcMoves
 // IOStats reports page-level read/write counts.
 func (f *FTL) IOStats() (reads, writes int64) { return f.reads, f.writes }
 
+// FaultStats reports fault-handling activity: read retries issued,
+// reads left uncorrectable after retry, program failures remapped, and
+// GC relocations that needed reconstruction.
+func (f *FTL) FaultStats() (readRetries, readErrors, programFails, gcRecovers int64) {
+	return f.readRetries, f.readErrors, f.programFails, f.gcRecovers
+}
+
+// BadBlocks reports how many blocks have been retired.
+func (f *FTL) BadBlocks() int64 { return f.badBlocks }
+
 func (f *FTL) checkLPN(lpn int) {
 	if lpn < 0 || lpn >= f.nLPN {
 		panic(fmt.Sprintf("ftl: lpn %d out of range [0,%d)", lpn, f.nLPN))
@@ -174,31 +207,74 @@ func (f *FTL) Mapped(lpn int) bool {
 }
 
 // Read reads length bytes at offset within logical page lpn. Unmapped
-// pages read back as zeroes.
-func (f *FTL) Read(p *sim.Proc, lpn, offset, length int) []byte {
+// pages read back as zeroes. Uncorrectable media errors are retried
+// ReadRetries times before being surfaced (wrapped
+// fault.ErrUncorrectable).
+func (f *FTL) Read(p *sim.Proc, lpn, offset, length int) ([]byte, error) {
 	f.checkLPN(lpn)
 	f.fw.Exec(p, f.cfg.FirmwareReadCycles)
 	f.reads++
 	ppi := f.l2p[lpn]
 	if ppi < 0 {
-		return make([]byte, length)
+		return make([]byte, length), nil
 	}
-	return f.arr.Read(p, f.ppa(ppi), offset, length)
+	return f.readRetry(p, f.ppa(ppi), offset, length)
+}
+
+// readRetry issues the media read with the retry policy: each reissue
+// (adjusted read-reference voltages on real NAND) costs RetryLatency on
+// top of the repeated media timing and rolls the fault dice afresh.
+func (f *FTL) readRetry(p *sim.Proc, addr nand.PPA, offset, length int) ([]byte, error) {
+	var err error
+	for try := 0; try <= f.cfg.ReadRetries; try++ {
+		if try > 0 {
+			f.readRetries++
+			p.Sleep(f.cfg.RetryLatency)
+		}
+		var data []byte
+		data, err = f.arr.Read(p, addr, offset, length)
+		if err == nil {
+			return data, nil
+		}
+		if !errors.Is(err, fault.ErrUncorrectable) {
+			break
+		}
+	}
+	f.readErrors++
+	return nil, err
 }
 
 // ReadThrough streams length bytes of the logical page through sink while
 // the data crosses the channel bus — the pattern-matcher data path.
-// ipOverhead is the per-command hardware-IP control cost.
-func (f *FTL) ReadThrough(p *sim.Proc, lpn, offset, length int, ipOverhead sim.Time, sink func([]byte)) {
+// ipOverhead is the per-command hardware-IP control cost. If the matcher
+// stream fails ECC, the FTL degrades to the plain (buffered) read path
+// with retries and hands the recovered bytes to sink, so a transient
+// media error costs latency, never correctness.
+func (f *FTL) ReadThrough(p *sim.Proc, lpn, offset, length int, ipOverhead sim.Time, sink func([]byte)) error {
 	f.checkLPN(lpn)
 	f.fw.Exec(p, f.cfg.FirmwareReadCycles)
 	f.reads++
 	ppi := f.l2p[lpn]
 	if ppi < 0 {
 		sink(make([]byte, length))
-		return
+		return nil
 	}
-	f.arr.ReadThrough(p, f.ppa(ppi), offset, length, ipOverhead, sink)
+	addr := f.ppa(ppi)
+	err := f.arr.ReadThrough(p, addr, offset, length, ipOverhead, sink)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, fault.ErrUncorrectable) {
+		return err
+	}
+	f.readRetries++
+	p.Sleep(f.cfg.RetryLatency)
+	data, err := f.readRetry(p, addr, offset, length)
+	if err != nil {
+		return err
+	}
+	sink(data)
+	return nil
 }
 
 // Peek copies logical-page contents without advancing simulated time
@@ -251,8 +327,12 @@ func (f *FTL) invalidate(ppi int) {
 }
 
 // Write stores data (at most one page) at logical page lpn. Partial
-// writes read-modify-write the page, as a page-mapped FTL must.
-func (f *FTL) Write(p *sim.Proc, lpn int, offset int, data []byte) {
+// writes read-modify-write the page, as a page-mapped FTL must. A
+// program failure retires the failing block and remaps the write to a
+// sibling block, transparently up to ProgramRetries times; only then
+// does the error surface. The old mapping is invalidated after the new
+// copy lands, so a failed write never loses the previous contents.
+func (f *FTL) Write(p *sim.Proc, lpn int, offset int, data []byte) error {
 	f.checkLPN(lpn)
 	ps := f.PageSize()
 	if offset < 0 || offset+len(data) > ps {
@@ -263,25 +343,75 @@ func (f *FTL) Write(p *sim.Proc, lpn int, offset int, data []byte) {
 
 	page := make([]byte, ps)
 	if old := f.l2p[lpn]; old >= 0 && (offset != 0 || len(data) != ps) {
-		copy(page, f.arr.Read(p, f.ppa(old), 0, ps))
+		prev, err := f.readRetry(p, f.ppa(old), 0, ps)
+		if err != nil {
+			return fmt.Errorf("ftl: rmw read of lpn %d: %w", lpn, err)
+		}
+		copy(page, prev)
 	}
 	copy(page[offset:], data)
 
-	if old := f.l2p[lpn]; old >= 0 {
-		f.invalidate(old)
-	}
 	dieIdx := f.wrDie
 	f.wrDie = (f.wrDie + 1) % len(f.dies)
 	d := f.dies[dieIdx]
 	d.wlock.Acquire(p)
-	ppi := f.allocate(p, dieIdx)
-	f.arr.Program(p, f.ppa(ppi), page)
+	ppi, err := f.programRetry(p, dieIdx, page)
 	d.wlock.Release()
+	if err != nil {
+		return fmt.Errorf("ftl: write lpn %d: %w", lpn, err)
+	}
+	// Re-read the mapping: GC may have relocated the old copy while the
+	// program was in flight.
+	if old := f.l2p[lpn]; old >= 0 {
+		f.invalidate(old)
+	}
 	f.l2p[lpn] = ppi
 	die, block, pg := f.decode(ppi)
 	bm := &f.dies[die].blockMeta[block]
 	bm.lpns[pg] = lpn
 	bm.valid++
+	return nil
+}
+
+// programRetry allocates a frontier page on die dieIdx and programs it,
+// remapping to a fresh block on program failure: the failing block is
+// retired (kept readable for its earlier valid pages, never reused) and
+// the write moves to the next allocation.
+func (f *FTL) programRetry(p *sim.Proc, dieIdx int, page []byte) (int, error) {
+	tries := f.cfg.ProgramRetries
+	if tries < 1 {
+		tries = 1
+	}
+	var err error
+	for try := 0; try < tries; try++ {
+		ppi := f.allocate(p, dieIdx)
+		err = f.arr.Program(p, f.ppa(ppi), page)
+		if err == nil {
+			return ppi, nil
+		}
+		if !errors.Is(err, fault.ErrProgramFail) {
+			return -1, err
+		}
+		f.programFails++
+		_, block, _ := f.decode(ppi)
+		f.retire(dieIdx, block)
+	}
+	return -1, fmt.Errorf("ftl: die %d: %d program attempts failed: %w", dieIdx, tries, err)
+}
+
+// retire marks a block bad: it is closed as the write frontier and
+// excluded from reuse forever. Its earlier valid pages stay readable
+// until GC relocates them.
+func (f *FTL) retire(dieIdx, block int) {
+	d := f.dies[dieIdx]
+	bm := &d.blockMeta[block]
+	if !bm.bad {
+		bm.bad = true
+		f.badBlocks++
+	}
+	if d.open == block {
+		d.open = -1
+	}
 }
 
 // Trim discards the logical page's contents (used by file deletion).
@@ -294,7 +424,10 @@ func (f *FTL) Trim(lpn int) {
 }
 
 // maybeGC refills die dieIdx's free list to the high-water mark using
-// greedy victim selection (fewest valid pages first).
+// greedy victim selection (fewest valid pages first). Bad blocks with
+// valid pages remain eligible as victims — their data must still be
+// moved off — but are never erased or reused; fully-drained bad blocks
+// are excluded, so every round makes progress even on worn dies.
 func (f *FTL) maybeGC(p *sim.Proc, dieIdx int) {
 	d := f.dies[dieIdx]
 	nc := f.arr.Config()
@@ -304,7 +437,11 @@ func (f *FTL) maybeGC(p *sim.Proc, dieIdx int) {
 			if b == d.open || f.isFree(d, b) {
 				continue
 			}
-			if v := d.blockMeta[b].valid; v < bestValid {
+			bm := &d.blockMeta[b]
+			if bm.bad && bm.valid == 0 {
+				continue // retired and drained: nothing to reclaim
+			}
+			if v := bm.valid; v < bestValid {
 				victim, bestValid = b, v
 			}
 		}
@@ -320,9 +457,26 @@ func (f *FTL) maybeGC(p *sim.Proc, dieIdx int) {
 			}
 			// Relocate the valid page to this die's frontier.
 			src := f.ppa(f.encode(dieIdx, victim, pg))
-			data := f.arr.Read(p, src, 0, nc.PageSize)
-			dst := f.allocate(p, dieIdx)
-			f.arr.Program(p, f.ppa(dst), data)
+			data, err := f.readRetry(p, src, 0, nc.PageSize)
+			if err != nil {
+				// Retries exhausted on the relocation read. A real drive
+				// reconstructs the stripe from RAIN parity; the model
+				// recovers the bytes from the authoritative store and
+				// charges one more retry's worth of rebuild time, so GC
+				// degrades data availability into latency, never loss.
+				data = make([]byte, nc.PageSize)
+				f.arr.Peek(src, 0, data)
+				p.Sleep(f.cfg.RetryLatency)
+				f.gcRecovers++
+				f.arr.Injector().Record(fault.GCRecover, "ftl.gc "+src.String())
+			}
+			dst, err := f.programRetry(p, dieIdx, data)
+			if err != nil {
+				// Every candidate block on the die failed to program; the
+				// die is unusable, which the FTL treats like running out
+				// of space.
+				panic(fmt.Sprintf("ftl: gc relocation on die %d: %v", dieIdx, err))
+			}
 			bm.lpns[pg] = -1
 			bm.valid--
 			ndie, nblock, npg := f.decode(dst)
@@ -332,7 +486,14 @@ func (f *FTL) maybeGC(p *sim.Proc, dieIdx int) {
 			f.l2p[lpn] = dst
 			f.gcMoves++
 		}
-		f.arr.Erase(p, nand.BlockAddr{Channel: dieIdx / nc.WaysPerChannel, Way: dieIdx % nc.WaysPerChannel, Block: victim})
+		if bm.bad {
+			continue // retired: relocated its data, but never erase or reuse
+		}
+		addr := nand.BlockAddr{Channel: dieIdx / nc.WaysPerChannel, Way: dieIdx % nc.WaysPerChannel, Block: victim}
+		if err := f.arr.Erase(p, addr); err != nil {
+			f.retire(dieIdx, victim)
+			continue // erase failure retires the block instead of freeing it
+		}
 		d.free = append(d.free, victim)
 	}
 }

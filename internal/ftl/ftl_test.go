@@ -48,7 +48,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	want := bytes.Repeat([]byte{7}, 4096)
 	e.Spawn("io", func(p *sim.Proc) {
 		f.Write(p, 5, 0, want)
-		if got := f.Read(p, 5, 0, 4096); !bytes.Equal(got, want) {
+		if got, _ := f.Read(p, 5, 0, 4096); !bytes.Equal(got, want) {
 			t.Error("round trip mismatch")
 		}
 	})
@@ -60,7 +60,7 @@ func TestPartialWriteReadModifyWrite(t *testing.T) {
 	e.Spawn("io", func(p *sim.Proc) {
 		f.Write(p, 0, 0, bytes.Repeat([]byte{1}, 4096))
 		f.Write(p, 0, 100, []byte{9, 9, 9})
-		got := f.Read(p, 0, 98, 7)
+		got, _ := f.Read(p, 0, 98, 7)
 		want := []byte{1, 1, 9, 9, 9, 1, 1}
 		if !bytes.Equal(got, want) {
 			t.Errorf("got %v want %v", got, want)
@@ -72,7 +72,7 @@ func TestPartialWriteReadModifyWrite(t *testing.T) {
 func TestUnmappedReadsZero(t *testing.T) {
 	e, f := newFTL(t)
 	e.Spawn("io", func(p *sim.Proc) {
-		got := f.Read(p, 17, 0, 8)
+		got, _ := f.Read(p, 17, 0, 8)
 		if !bytes.Equal(got, make([]byte, 8)) {
 			t.Error("unmapped page must read zero")
 		}
@@ -91,7 +91,7 @@ func TestTrimUnmaps(t *testing.T) {
 		if f.Mapped(3) {
 			t.Error("trimmed page still mapped")
 		}
-		if got := f.Read(p, 3, 0, 3); !bytes.Equal(got, []byte{0, 0, 0}) {
+		if got, _ := f.Read(p, 3, 0, 3); !bytes.Equal(got, []byte{0, 0, 0}) {
 			t.Error("trimmed page must read zero")
 		}
 	})
@@ -103,7 +103,7 @@ func TestOverwriteInvalidatesOld(t *testing.T) {
 	e.Spawn("io", func(p *sim.Proc) {
 		f.Write(p, 2, 0, bytes.Repeat([]byte{1}, 4096))
 		f.Write(p, 2, 0, bytes.Repeat([]byte{2}, 4096))
-		got := f.Read(p, 2, 0, 1)
+		got, _ := f.Read(p, 2, 0, 1)
 		if got[0] != 2 {
 			t.Errorf("read %d after overwrite, want 2", got[0])
 		}
@@ -126,7 +126,7 @@ func TestGCReclaimsSpaceAndPreservesData(t *testing.T) {
 			latest[lpn] = v
 		}
 		for lpn, v := range latest {
-			got := f.Read(p, lpn, 0, 64)
+			got, _ := f.Read(p, lpn, 0, 64)
 			for _, b := range got {
 				if b != v {
 					t.Errorf("lpn %d corrupted after GC: got %d want %d", lpn, b, v)
@@ -152,11 +152,11 @@ func TestReadRangeSpansPages(t *testing.T) {
 	}
 	e.Spawn("io", func(p *sim.Proc) {
 		f.WriteRange(p, 0, data)
-		got := f.ReadRange(p, int64(ps)-10, 20) // crosses page boundary
+		got, _ := f.ReadRange(p, int64(ps)-10, 20) // crosses page boundary
 		if !bytes.Equal(got, data[ps-10:ps+10]) {
 			t.Error("cross-page read mismatch")
 		}
-		all := f.ReadRange(p, 0, len(data))
+		all, _ := f.ReadRange(p, 0, len(data))
 		if !bytes.Equal(all, data) {
 			t.Error("full range mismatch")
 		}
@@ -224,7 +224,7 @@ func TestWriteRangeRandomOffsetsProperty(t *testing.T) {
 				copy(shadow[off:], chunk)
 				f.WriteRange(p, int64(off), chunk)
 			}
-			got := f.ReadRange(p, 0, len(shadow))
+			got, _ := f.ReadRange(p, 0, len(shadow))
 			ok = bytes.Equal(got, shadow)
 		})
 		e.Run()

@@ -5,24 +5,26 @@ import "biscuit/internal/sim"
 // Range I/O: multi-page operations that fan out across channels. A large
 // request is split into page commands issued concurrently, so bandwidth
 // grows with request size until all channels are saturated — the shape of
-// the paper's Fig. 7.
+// the paper's Fig. 7. Each page command can fail independently; a range
+// operation completes when every command has, and reports the first
+// error (one status per request, as NVMe does).
 
 // ReadRange reads length bytes starting at byte offset off in the logical
 // address space, issuing all page reads in parallel and returning the
 // assembled buffer.
-func (f *FTL) ReadRange(p *sim.Proc, off int64, length int) []byte {
+func (f *FTL) ReadRange(p *sim.Proc, off int64, length int) ([]byte, error) {
 	buf := make([]byte, length)
-	ev := f.ReadRangeAsyncInto(p, off, buf)
-	p.Wait(ev)
-	return buf
+	if err := f.ReadRangeAsyncInto(p, off, buf).Wait(p); err != nil {
+		return nil, err
+	}
+	return buf, nil
 }
 
 // ReadRangeAsyncInto starts a parallel read of len(buf) bytes at byte
-// offset off into buf and returns an event fired on completion. Multiple
-// outstanding calls overlap, which is how the asynchronous file API
-// reaches full internal bandwidth at smaller request sizes.
-func (f *FTL) ReadRangeAsyncInto(p *sim.Proc, off int64, buf []byte) *sim.Event {
-	done := f.env.NewEvent()
+// offset off into buf and returns its completion. Multiple outstanding
+// calls overlap, which is how the asynchronous file API reaches full
+// internal bandwidth at smaller request sizes.
+func (f *FTL) ReadRangeAsyncInto(p *sim.Proc, off int64, buf []byte) *sim.Completion {
 	ps := int64(f.PageSize())
 	type piece struct {
 		lpn, pageOff, n int
@@ -40,19 +42,15 @@ func (f *FTL) ReadRangeAsyncInto(p *sim.Proc, off int64, buf []byte) *sim.Event 
 		cur += int64(n)
 		rem -= int64(n)
 	}
-	if len(pieces) == 0 {
-		done.Fire()
-		return done
-	}
-	remaining := len(pieces)
+	done := sim.NewCompletion(f.env, len(pieces))
 	for _, pc := range pieces {
 		pc := pc
 		f.env.Spawn("ftl-read", func(rp *sim.Proc) {
-			copy(pc.dst, f.Read(rp, pc.lpn, pc.pageOff, pc.n))
-			remaining--
-			if remaining == 0 {
-				done.Fire()
+			data, err := f.Read(rp, pc.lpn, pc.pageOff, pc.n)
+			if err == nil {
+				copy(pc.dst, data)
 			}
+			done.Done(err)
 		})
 	}
 	return done
@@ -62,10 +60,12 @@ func (f *FTL) ReadRangeAsyncInto(p *sim.Proc, off int64, buf []byte) *sim.Event 
 // per-channel pattern matcher path: page commands fan out across
 // channels and each page's bytes are handed to sink as they cross the
 // bus. Sink invocation order follows completion order; callers that need
-// positions receive the page's starting byte offset.
-func (f *FTL) ReadRangeThrough(p *sim.Proc, off int64, length int, ipOverhead sim.Time, sink func(pageOff int64, data []byte)) {
+// positions receive the page's starting byte offset. Pages whose matcher
+// stream fails ECC are recovered through the buffered retry path inside
+// ReadThrough; only retry-exhausted pages make the call error (sink is
+// never handed bytes from a failed page).
+func (f *FTL) ReadRangeThrough(p *sim.Proc, off int64, length int, ipOverhead sim.Time, sink func(pageOff int64, data []byte)) error {
 	ps := int64(f.PageSize())
-	done := f.env.NewEvent()
 	type piece struct {
 		lpn, pageOff, n int
 		at              int64
@@ -82,38 +82,29 @@ func (f *FTL) ReadRangeThrough(p *sim.Proc, off int64, length int, ipOverhead si
 		cur += int64(n)
 		rem -= int64(n)
 	}
-	if len(pieces) == 0 {
-		return
-	}
-	remaining := len(pieces)
+	done := sim.NewCompletion(f.env, len(pieces))
 	for _, pc := range pieces {
 		pc := pc
 		f.env.Spawn("ftl-match", func(rp *sim.Proc) {
-			f.ReadThrough(rp, pc.lpn, pc.pageOff, pc.n, ipOverhead, func(b []byte) {
+			done.Done(f.ReadThrough(rp, pc.lpn, pc.pageOff, pc.n, ipOverhead, func(b []byte) {
 				sink(pc.at, b)
-			})
-			remaining--
-			if remaining == 0 {
-				done.Fire()
-			}
+			}))
 		})
 	}
-	p.Wait(done)
+	return done.Wait(p)
 }
 
 // WriteRange writes buf at byte offset off, one page at a time. Page-
 // aligned full-page writes avoid read-modify-write. Writes are issued in
 // parallel across the frontier dies.
-func (f *FTL) WriteRange(p *sim.Proc, off int64, buf []byte) {
-	ev := f.WriteRangeAsync(p, off, buf)
-	p.Wait(ev)
+func (f *FTL) WriteRange(p *sim.Proc, off int64, buf []byte) error {
+	return f.WriteRangeAsync(p, off, buf).Wait(p)
 }
 
-// WriteRangeAsync starts a parallel write and returns its completion
-// event. The logical->die assignment still happens in issue order, so
-// data layout remains deterministic.
-func (f *FTL) WriteRangeAsync(p *sim.Proc, off int64, buf []byte) *sim.Event {
-	done := f.env.NewEvent()
+// WriteRangeAsync starts a parallel write and returns its completion.
+// The logical->die assignment still happens in issue order, so data
+// layout remains deterministic.
+func (f *FTL) WriteRangeAsync(p *sim.Proc, off int64, buf []byte) *sim.Completion {
 	ps := int64(f.PageSize())
 	type piece struct {
 		lpn, pageOff int
@@ -131,19 +122,11 @@ func (f *FTL) WriteRangeAsync(p *sim.Proc, off int64, buf []byte) *sim.Event {
 		cur += int64(n)
 		rem -= int64(n)
 	}
-	if len(pieces) == 0 {
-		done.Fire()
-		return done
-	}
-	remaining := len(pieces)
+	done := sim.NewCompletion(f.env, len(pieces))
 	for _, pc := range pieces {
 		pc := pc
 		f.env.Spawn("ftl-write", func(wp *sim.Proc) {
-			f.Write(wp, pc.lpn, pc.pageOff, pc.data)
-			remaining--
-			if remaining == 0 {
-				done.Fire()
-			}
+			done.Done(f.Write(wp, pc.lpn, pc.pageOff, pc.data))
 		})
 	}
 	return done

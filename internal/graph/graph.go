@@ -73,14 +73,18 @@ func Generate(h *biscuit.Host, n int, rng *rand.Rand) (*Store, error) {
 			}
 			off += int64(len(buf))
 			buf = buf[:0]
-			f.Flush(h.Proc())
+			if err := f.Flush(h.Proc()); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if len(buf) > 0 {
 		if err := f.Write(h.Proc(), off, buf); err != nil {
 			return nil, err
 		}
-		f.Flush(h.Proc())
+		if err := f.Flush(h.Proc()); err != nil {
+			return nil, err
+		}
 	}
 	return &Store{sys: h.System(), file: f, Nodes: n}, nil
 }

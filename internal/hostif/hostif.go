@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"biscuit/internal/cpu"
+	"biscuit/internal/fault"
 	"biscuit/internal/ftl"
 	"biscuit/internal/sim"
 )
@@ -28,6 +29,12 @@ type Config struct {
 	DeviceCmdCycles    float64 // firmware: fetch/parse/queue a host command
 
 	MaxQueueDepth int // admission limit for outstanding host commands
+
+	// CmdRetries bounds how many times a failed host command (timeout
+	// or media error) is reissued; RetryBackoff is the first reissue
+	// delay, doubled per attempt (exponential backoff in sim-time).
+	CmdRetries   int
+	RetryBackoff sim.Time
 
 	// NetBW/NetLatency, when NetBW > 0, place a network hop between the
 	// host and the storage node holding the SSD — the paper's Fig. 1(c)
@@ -51,6 +58,8 @@ func DefaultConfig() Config {
 		HostCompleteCycles: 15000, // 6.0 us @ 2.5 GHz (IRQ + wakeup)
 		DeviceCmdCycles:    1500,  // 2.0 us @ 750 MHz
 		MaxQueueDepth:      256,
+		CmdRetries:         4,
+		RetryBackoff:       10 * sim.Microsecond,
 	}
 }
 
@@ -66,8 +75,10 @@ type Interface struct {
 	netDown *sim.Link // nil in the direct-attached organization
 	netUp   *sim.Link
 	qd      *sim.Resource
+	inj     *fault.Injector // nil = perfectly reliable interface
 
 	cmds, bytesUp, bytesDown int64
+	timeouts, stalls, redos  int64
 }
 
 // New creates an interface in front of f. hostCPU is charged for driver
@@ -90,9 +101,23 @@ func New(env *sim.Env, cfg Config, f *ftl.FTL, hostCPU, devCPU *cpu.CPU) *Interf
 	return i
 }
 
+// SetInjector installs the fault injector consulted for command
+// timeouts and backpressure stalls. Nil (the default) disables both.
+func (i *Interface) SetInjector(in *fault.Injector) { i.inj = in }
+
+// stall models an injected backpressure hiccup on the host link: the
+// transfer holds for the plan's stall delay before data moves.
+func (i *Interface) stall(p *sim.Proc, dir string) {
+	if i.inj.Stall(func() string { return "hostif." + dir }) {
+		i.stalls++
+		p.Sleep(i.inj.Plan().StallDelay)
+	}
+}
+
 // xferDown moves n bytes host->device across the network hop (if any)
 // and the PCIe link in series.
 func (i *Interface) xferDown(p *sim.Proc, n int64) {
+	i.stall(p, "h2d")
 	if i.netDown != nil {
 		i.netDown.Transfer(p, n)
 	}
@@ -101,6 +126,7 @@ func (i *Interface) xferDown(p *sim.Proc, n int64) {
 
 // xferUp moves n bytes device->host.
 func (i *Interface) xferUp(p *sim.Proc, n int64) {
+	i.stall(p, "d2h")
 	i.up.Transfer(p, n)
 	if i.netUp != nil {
 		i.netUp.Transfer(p, n)
@@ -121,15 +147,32 @@ func (i *Interface) Stats() (cmds, bytesToHost, bytesToDevice int64) {
 	return i.cmds, i.bytesUp, i.bytesDown
 }
 
+// FaultStats reports fault-handling activity: commands lost to injected
+// timeouts, backpressure stalls absorbed, and commands reissued by the
+// retry policy.
+func (i *Interface) FaultStats() (timeouts, stalls, retries int64) {
+	return i.timeouts, i.stalls, i.redos
+}
+
 // submit performs the host-side command issue sequence: driver work,
-// doorbell, command fetch by the device.
-func (i *Interface) submit(p *sim.Proc) {
+// doorbell, command fetch by the device. An injected timeout models a
+// command lost between doorbell and fetch: the host waits out the
+// plan's timeout delay, frees the queue slot and reports
+// fault.ErrTimeout for the retry policy to handle.
+func (i *Interface) submit(p *sim.Proc) error {
 	i.qd.Acquire(p)
 	i.hostCPU.Exec(p, i.cfg.HostSubmitCycles)
 	p.Sleep(i.cfg.DoorbellCost)
+	if i.inj.Timeout(func() string { return "hostif.submit" }) {
+		i.timeouts++
+		p.Sleep(i.inj.Plan().TimeoutDelay)
+		i.qd.Release()
+		return fmt.Errorf("hostif: %w", fault.ErrTimeout)
+	}
 	i.xferDown(p, int64(i.cfg.CommandBytes))
 	i.devCPU.Exec(p, i.cfg.DeviceCmdCycles)
 	i.cmds++
+	return nil
 }
 
 // complete performs the completion sequence back to the host.
@@ -139,46 +182,84 @@ func (i *Interface) complete(p *sim.Proc) {
 	i.qd.Release()
 }
 
+// retry runs one command op under the bounded retry policy: a failed
+// command (timeout or media error) is reissued after an exponential
+// sim-time backoff, up to CmdRetries extra attempts. Media retries at
+// this level roll fresh FTL read-retries, which is why the conventional
+// path survives fault plans that defeat a single internal read.
+func (i *Interface) retry(p *sim.Proc, what string, op func() error) error {
+	backoff := i.cfg.RetryBackoff
+	var err error
+	for try := 0; ; try++ {
+		err = op()
+		if err == nil || try >= i.cfg.CmdRetries {
+			break
+		}
+		i.redos++
+		p.Sleep(backoff)
+		backoff *= 2
+	}
+	if err != nil {
+		return fmt.Errorf("hostif: %s failed after %d attempts: %w", what, i.cfg.CmdRetries+1, err)
+	}
+	return nil
+}
+
 // Read performs one conventional host read of len(buf) bytes at byte
 // offset off: submit, media read (parallel across channels via the FTL),
-// DMA to host, complete.
-func (i *Interface) Read(p *sim.Proc, off int64, buf []byte) {
-	i.submit(p)
-	data := i.ftl.ReadRange(p, off, len(buf))
-	copy(buf, data)
-	i.xferUp(p, int64(len(buf)))
-	i.bytesUp += int64(len(buf))
-	i.complete(p)
+// DMA to host, complete — reissued on failure per the retry policy.
+func (i *Interface) Read(p *sim.Proc, off int64, buf []byte) error {
+	return i.retry(p, "read", func() error { return i.readOnce(p, off, buf) })
+}
+
+func (i *Interface) readOnce(p *sim.Proc, off int64, buf []byte) error {
+	if err := i.submit(p); err != nil {
+		return err
+	}
+	data, err := i.ftl.ReadRange(p, off, len(buf))
+	if err == nil {
+		copy(buf, data)
+		i.xferUp(p, int64(len(buf)))
+		i.bytesUp += int64(len(buf))
+	}
+	i.complete(p) // an error status still posts a CQ entry
+	return err
 }
 
 // ReadAsync issues a conventional read without blocking the caller and
-// returns its completion event. Outstanding reads overlap, which is how
+// returns its completion. Outstanding reads overlap, which is how
 // queue-depth-32 reaches link saturation at small request sizes (Fig. 7).
-func (i *Interface) ReadAsync(p *sim.Proc, off int64, buf []byte) *sim.Event {
-	done := i.env.NewEvent()
+func (i *Interface) ReadAsync(p *sim.Proc, off int64, buf []byte) *sim.Completion {
+	done := sim.NewCompletion(i.env, 1)
 	i.env.Spawn("nvme-read", func(rp *sim.Proc) {
-		i.Read(rp, off, buf)
-		done.Fire()
+		done.Done(i.Read(rp, off, buf))
 	})
 	return done
 }
 
 // Write performs one conventional host write: submit, DMA from host,
-// media program, complete.
-func (i *Interface) Write(p *sim.Proc, off int64, data []byte) {
-	i.submit(p)
+// media program, complete — reissued on failure per the retry policy
+// (rewriting the same logical pages is idempotent in a page-mapped FTL).
+func (i *Interface) Write(p *sim.Proc, off int64, data []byte) error {
+	return i.retry(p, "write", func() error { return i.writeOnce(p, off, data) })
+}
+
+func (i *Interface) writeOnce(p *sim.Proc, off int64, data []byte) error {
+	if err := i.submit(p); err != nil {
+		return err
+	}
 	i.xferDown(p, int64(len(data)))
 	i.bytesDown += int64(len(data))
-	i.ftl.WriteRange(p, off, data)
+	err := i.ftl.WriteRange(p, off, data)
 	i.complete(p)
+	return err
 }
 
 // WriteAsync issues a conventional write without blocking the caller.
-func (i *Interface) WriteAsync(p *sim.Proc, off int64, data []byte) *sim.Event {
-	done := i.env.NewEvent()
+func (i *Interface) WriteAsync(p *sim.Proc, off int64, data []byte) *sim.Completion {
+	done := sim.NewCompletion(i.env, 1)
 	i.env.Spawn("nvme-write", func(wp *sim.Proc) {
-		i.Write(wp, off, data)
-		done.Fire()
+		done.Done(i.Write(wp, off, data))
 	})
 	return done
 }

@@ -79,11 +79,13 @@ func TestAsyncReadsOverlap(t *testing.T) {
 		}
 		syncTime = p.Now() - start
 		start = p.Now()
-		evs := make([]*sim.Event, n)
+		evs := make([]*sim.Completion, n)
 		for j := 0; j < n; j++ {
 			evs[j] = hi.ReadAsync(p, int64(j*4096), make([]byte, 4096))
 		}
-		p.WaitAll(evs...)
+		for _, c := range evs {
+			p.Wait(c.Event())
+		}
 		asyncTime = p.Now() - start
 	})
 	e.Run()
@@ -106,11 +108,13 @@ func TestConvBandwidthCappedByLink(t *testing.T) {
 		f2.WriteRange(p, 0, make([]byte, total)) // preload media directly
 		start := p.Now()
 		const chunk = 1 << 20
-		evs := make([]*sim.Event, 0, total/chunk)
+		evs := make([]*sim.Completion, 0, total/chunk)
 		for off := int64(0); off < total; off += chunk {
 			evs = append(evs, hi2.ReadAsync(p, off, make([]byte, chunk)))
 		}
-		p.WaitAll(evs...)
+		for _, c := range evs {
+			p.Wait(c.Event())
+		}
 		elapsed = p.Now() - start
 	})
 	e2.Run()
@@ -145,7 +149,7 @@ func TestQueueDepthLimitsAdmission(t *testing.T) {
 			start := p.Now()
 			ev1 := hi1.ReadAsync(p, 0, make([]byte, 4096))
 			ev2 := hi1.ReadAsync(p, 4096, make([]byte, 4096))
-			p.WaitAll(ev1, ev2)
+			p.WaitAll(ev1.Event(), ev2.Event())
 			qd1 = p.Now() - start
 			_ = qdN
 			_ = qd1

@@ -1,0 +1,140 @@
+package isfs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"biscuit/internal/fault"
+	"biscuit/internal/sim"
+)
+
+// armedFS formats a filesystem whose array carries the given plan,
+// writes data into name fault-free first, then arms the injector.
+func armedFS(t *testing.T, plan fault.Plan, name string, data []byte) (*sim.Env, *FS, *fault.Injector) {
+	t.Helper()
+	e, f, fs := newFS(t)
+	e.Spawn("setup", func(p *sim.Proc) {
+		fh, err := fs.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fh.Write(p, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := fh.Flush(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	e.Run()
+	inj, err := fault.NewInjector(e, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Array().SetInjector(inj)
+	return e, fs, inj
+}
+
+func TestFileReadRecoversTransientMediaError(t *testing.T) {
+	data := bytes.Repeat([]byte("retryable"), 1000)
+	e, fs, inj := armedFS(t, fault.Plan{Seed: 1, UncorrectableProb: 1, MaxFaults: 1},
+		"log.bin", data)
+	run(t, e, func(p *sim.Proc) {
+		f, err := fs.Open("log.bin", ReadOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if _, err := f.Read(p, 0, got); err != nil {
+			t.Fatalf("FTL retry should hide a single transient error: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("retried file read returned wrong bytes")
+		}
+	})
+	if inj.Count(fault.ReadUncorrectable) != 1 {
+		t.Fatalf("injected %d uncorrectables, want exactly 1", inj.Count(fault.ReadUncorrectable))
+	}
+}
+
+func TestFileReadSurfacesPersistentMediaError(t *testing.T) {
+	data := bytes.Repeat([]byte{0xEE}, 8192)
+	e, fs, _ := armedFS(t, fault.Plan{Seed: 2, UncorrectableProb: 1}, "doomed.bin", data)
+	run(t, e, func(p *sim.Proc) {
+		f, err := fs.Open("doomed.bin", ReadOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = f.Read(p, 0, make([]byte, len(data)))
+		if !errors.Is(err, fault.ErrUncorrectable) {
+			t.Fatalf("want wrapped ErrUncorrectable, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "doomed.bin") {
+			t.Fatalf("error must name the file: %v", err)
+		}
+	})
+}
+
+func TestFileReadAsyncCompletionCarriesMediaError(t *testing.T) {
+	data := bytes.Repeat([]byte{0x42}, 4096)
+	e, fs, _ := armedFS(t, fault.Plan{Seed: 3, UncorrectableProb: 1}, "async.bin", data)
+	run(t, e, func(p *sim.Proc) {
+		f, err := fs.Open("async.bin", ReadOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := f.ReadAsync(p, 0, make([]byte, len(data)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Wait(p); !errors.Is(err, fault.ErrUncorrectable) {
+			t.Fatalf("async completion must carry the media error, got %v", err)
+		}
+	})
+}
+
+func TestReadThroughDegradesButDelivers(t *testing.T) {
+	// A single transient fault on the matcher path degrades that page to
+	// a buffered retried read; the sink still sees every byte in order.
+	data := bytes.Repeat([]byte("streamed-content"), 2048) // 32 KiB
+	e, fs, _ := armedFS(t, fault.Plan{Seed: 4, UncorrectableProb: 1, MaxFaults: 1},
+		"scan.bin", data)
+	run(t, e, func(p *sim.Proc) {
+		f, err := fs.Open("scan.bin", ReadOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chunks arrive interleaved across channels; reassemble by offset.
+		got := make([]byte, len(data))
+		var n int
+		err = f.ReadThrough(p, 0, len(data), 0, func(off int64, chunk []byte) {
+			copy(got[off:], chunk)
+			n += len(chunk)
+		})
+		if err != nil {
+			t.Fatalf("degraded scan must still succeed: %v", err)
+		}
+		if n != len(data) || !bytes.Equal(got, data) {
+			t.Errorf("degraded scan delivered %d/%d bytes or wrong content", n, len(data))
+		}
+	})
+}
+
+func TestReadThroughSurfacesPersistentMediaError(t *testing.T) {
+	data := bytes.Repeat([]byte{0x11}, 16384)
+	e, fs, _ := armedFS(t, fault.Plan{Seed: 5, UncorrectableProb: 1}, "scan2.bin", data)
+	run(t, e, func(p *sim.Proc) {
+		f, err := fs.Open("scan2.bin", ReadOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = f.ReadThrough(p, 0, len(data), 0, func(int64, []byte) {})
+		if !errors.Is(err, fault.ErrUncorrectable) {
+			t.Fatalf("want wrapped ErrUncorrectable, got %v", err)
+		}
+		if !strings.Contains(err.Error(), "isfs: scan") {
+			t.Fatalf("error must identify the scan path: %v", err)
+		}
+	})
+}

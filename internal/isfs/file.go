@@ -15,7 +15,7 @@ type File struct {
 	ino  *inode
 	mode Mode
 
-	pending []*sim.Event // outstanding async writes, drained by Flush
+	pending []*sim.Completion // outstanding async writes, drained by Flush
 }
 
 // Name returns the file name.
@@ -76,40 +76,35 @@ func merge(segs []Segment) []Segment {
 
 // Read fills buf from byte offset off, synchronously, via the device-
 // internal path (no host interface). Segments are fetched in parallel
-// across channels.
+// across channels. Media errors that survive the FTL's read-retry
+// surface here, named after the file that hit them.
 func (f *File) Read(p *sim.Proc, off int64, buf []byte) (int, error) {
-	ev, err := f.ReadAsync(p, off, buf)
+	c, err := f.ReadAsync(p, off, buf)
 	if err != nil {
 		return 0, err
 	}
-	p.Wait(ev)
+	if err := c.Wait(p); err != nil {
+		return 0, fmt.Errorf("isfs: read %s @%d: %w", f.ino.Name, off, err)
+	}
 	return len(buf), nil
 }
 
-// ReadAsync starts an internal read and returns its completion event.
+// ReadAsync starts an internal read and returns its completion.
 // Issuing several before waiting overlaps media accesses — the paper's
 // recommendation for high-bandwidth SSDlet file I/O (§III-D).
-func (f *File) ReadAsync(p *sim.Proc, off int64, buf []byte) (*sim.Event, error) {
+func (f *File) ReadAsync(p *sim.Proc, off int64, buf []byte) (*sim.Completion, error) {
 	segs, err := f.Segments(off, len(buf))
 	if err != nil {
 		return nil, err
 	}
-	done := f.fs.f.Env().NewEvent()
-	if len(segs) == 0 {
-		done.Fire()
-		return done, nil
-	}
-	remaining := len(segs)
+	env := f.fs.f.Env()
+	done := sim.NewCompletion(env, len(segs))
 	at := 0
 	for _, s := range segs {
 		sub := f.fs.f.ReadRangeAsyncInto(p, s.FTLOff, buf[at:at+s.N])
 		at += s.N
-		f.fs.f.Env().Spawn("isfs-read-seg", func(sp *sim.Proc) {
-			sp.Wait(sub)
-			remaining--
-			if remaining == 0 {
-				done.Fire()
-			}
+		env.Spawn("isfs-read-seg", func(sp *sim.Proc) {
+			done.Done(sub.Wait(sp))
 		})
 	}
 	return done, nil
@@ -153,9 +148,12 @@ func (f *File) ReadThrough(p *sim.Proc, off int64, n int, ipOverhead sim.Time, s
 	for _, s := range segs {
 		base := fileOff
 		ftlBase := s.FTLOff
-		f.fs.f.ReadRangeThrough(p, s.FTLOff, s.N, ipOverhead, func(pageOff int64, data []byte) {
+		err := f.fs.f.ReadRangeThrough(p, s.FTLOff, s.N, ipOverhead, func(pageOff int64, data []byte) {
 			sink(base+(pageOff-ftlBase), data)
 		})
+		if err != nil {
+			return fmt.Errorf("isfs: scan %s @%d: %w", f.ino.Name, base, err)
+		}
 		fileOff += int64(s.N)
 	}
 	return nil
@@ -205,21 +203,30 @@ func (f *File) Write(p *sim.Proc, off int64, data []byte) error {
 	}
 	at := 0
 	for _, s := range segs {
-		ev := f.fs.f.WriteRangeAsync(p, s.FTLOff, data[at:at+s.N])
+		c := f.fs.f.WriteRangeAsync(p, s.FTLOff, data[at:at+s.N])
 		at += s.N
-		f.pending = append(f.pending, ev)
+		f.pending = append(f.pending, c)
 	}
 	return nil
 }
 
 // Flush blocks until every asynchronous write issued through this handle
-// has reached the media, then persists metadata.
-func (f *File) Flush(p *sim.Proc) {
-	for _, ev := range f.pending {
-		p.Wait(ev)
+// has reached the media, then persists metadata. Write errors — program
+// retries exhausted even after block retirement — are deferred to here,
+// matching the asynchronous-write / synchronous-flush split: a write's
+// status isn't known until it is durable.
+func (f *File) Flush(p *sim.Proc) error {
+	var first error
+	for _, c := range f.pending {
+		if err := c.Wait(p); err != nil && first == nil {
+			first = err
+		}
 	}
 	f.pending = f.pending[:0]
-	f.fs.Sync(p)
+	if first != nil {
+		return fmt.Errorf("isfs: flush %s: %w", f.ino.Name, first)
+	}
+	return f.fs.Sync(p)
 }
 
 // Truncate shrinks the file to size bytes, releasing whole pages beyond
@@ -313,7 +320,9 @@ func (f *File) zeroRange(p *sim.Proc, off int64, n int) error {
 		if k > n-done {
 			k = n - done
 		}
-		f.fs.f.Write(p, int(lpn), po, make([]byte, k))
+		if err := f.fs.f.Write(p, int(lpn), po, make([]byte, k)); err != nil {
+			return err
+		}
 		done += k
 	}
 	return nil

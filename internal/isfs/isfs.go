@@ -68,18 +68,25 @@ type FS struct {
 }
 
 // Format initializes an empty file system on f and returns it mounted.
+// A media failure this early (program retries exhausted on a brand-new
+// drive) leaves nothing to salvage, so Format panics rather than limp on.
 func Format(p *sim.Proc, f *ftl.FTL) *FS {
 	fs := &FS{f: f, inodes: make(map[string]*inode)}
 	fs.free = []extent{{Start: metaPages, Count: f.NumPages() - metaPages}}
 	fs.dirty = true
-	fs.Sync(p)
+	if err := fs.Sync(p); err != nil {
+		panic("isfs: format: " + err.Error())
+	}
 	return fs
 }
 
 // Mount loads an existing file system from f.
 func Mount(p *sim.Proc, f *ftl.FTL) (*FS, error) {
 	ps := int64(f.PageSize())
-	head := f.ReadRange(p, 0, len(superMagic)+8)
+	head, err := f.ReadRange(p, 0, len(superMagic)+8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: superblock: %v", ErrBadMount, err)
+	}
 	if !bytes.Equal(head[:len(superMagic)], superMagic) {
 		return nil, ErrBadMount
 	}
@@ -90,7 +97,10 @@ func Mount(p *sim.Proc, f *ftl.FTL) (*FS, error) {
 	if n <= 0 || n > ps*metaPages {
 		return nil, fmt.Errorf("%w: metadata length %d", ErrBadMount, n)
 	}
-	blob := f.ReadRange(p, int64(len(superMagic)+8), int(n))
+	blob, err := f.ReadRange(p, int64(len(superMagic)+8), int(n))
+	if err != nil {
+		return nil, fmt.Errorf("%w: metadata: %v", ErrBadMount, err)
+	}
 	var disk diskMeta
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&disk); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMount, err)
@@ -108,10 +118,12 @@ type diskMeta struct {
 	Free   []extent
 }
 
-// Sync persists metadata to the reserved region if it changed.
-func (fs *FS) Sync(p *sim.Proc) {
+// Sync persists metadata to the reserved region if it changed. On a
+// media error the metadata stays dirty, so a later Sync retries the
+// whole write.
+func (fs *FS) Sync(p *sim.Proc) error {
 	if !fs.dirty {
-		return
+		return nil
 	}
 	var disk diskMeta
 	names := make([]string, 0, len(fs.inodes))
@@ -136,8 +148,11 @@ func (fs *FS) Sync(p *sim.Proc) {
 	for i := 0; i < 8; i++ {
 		head[len(superMagic)+i] = byte(int64(len(blob)) >> (8 * (7 - i)))
 	}
-	fs.f.WriteRange(p, 0, append(head, blob...))
+	if err := fs.f.WriteRange(p, 0, append(head, blob...)); err != nil {
+		return fmt.Errorf("isfs: metadata sync: %w", err)
+	}
 	fs.dirty = false
+	return nil
 }
 
 // List returns the names of all files, sorted.

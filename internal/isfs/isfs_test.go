@@ -305,7 +305,7 @@ func TestAsyncReadsOverlapAcrossFiles(t *testing.T) {
 		// Async: issue all, wait once.
 		start = p.Now()
 		bufs := make([][]byte, 8)
-		evs := make([]*sim.Event, 8)
+		evs := make([]*sim.Completion, 8)
 		for i := range evs {
 			bufs[i] = make([]byte, 4096)
 			ev, err := f.ReadAsync(p, int64(i*4096), bufs[i])
@@ -314,7 +314,9 @@ func TestAsyncReadsOverlapAcrossFiles(t *testing.T) {
 			}
 			evs[i] = ev
 		}
-		p.WaitAll(evs...)
+		for _, c := range evs {
+			p.Wait(c.Event())
+		}
 		asyncT := p.Now() - start
 		if asyncT*2 > syncT {
 			t.Fatalf("async %v should beat sync %v by >2x", asyncT, syncT)

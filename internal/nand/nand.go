@@ -13,6 +13,7 @@ package nand
 import (
 	"fmt"
 
+	"biscuit/internal/fault"
 	"biscuit/internal/sim"
 )
 
@@ -111,6 +112,7 @@ type Array struct {
 	channels []*sim.Resource // bus occupancy, one per channel
 	dies     []*die          // [channel*ways + way]
 	data     map[uint64][]byte
+	inj      *fault.Injector // nil = perfectly reliable media
 
 	reads, programs, erases int64
 	bytesRead               int64
@@ -138,6 +140,13 @@ func New(env *sim.Env, cfg Config) *Array {
 
 // Config returns the array configuration.
 func (a *Array) Config() Config { return a.cfg }
+
+// SetInjector installs the fault injector consulted on every media
+// operation. A nil injector (the default) models perfect media.
+func (a *Array) SetInjector(in *fault.Injector) { a.inj = in }
+
+// Injector returns the installed fault injector (possibly nil).
+func (a *Array) Injector() *fault.Injector { return a.inj }
 
 // ChannelBus exposes channel ch's bus resource (the pattern matcher
 // streams through it).
@@ -182,17 +191,27 @@ func (a *Array) EraseCount(b BlockAddr) int {
 // Read senses the page (die busy for tR) and transfers length bytes from
 // offset over the channel bus. It returns a fresh copy of the data;
 // never-programmed pages read back as zeroes.
-func (a *Array) Read(p *sim.Proc, addr PPA, offset, length int) []byte {
+//
+// An injected ECC-correctable error extends the sense phase by the
+// plan's correction latency; an uncorrectable error still pays the full
+// command timing (the controller only learns the ECC verdict after the
+// transfer) and returns fault.ErrUncorrectable. Stored bytes are never
+// altered, so a retry or a remapped copy observes the true data.
+func (a *Array) Read(p *sim.Proc, addr PPA, offset, length int) ([]byte, error) {
 	a.check(addr)
 	if offset < 0 || length < 0 || offset+length > a.cfg.PageSize {
 		panic(fmt.Sprintf("nand: read [%d,%d) out of page bounds", offset, offset+length))
 	}
+	dec := a.inj.Read(func() string { return "nand.read " + addr.String() })
 	// The die holds the data in its page register until the transfer
 	// completes, so it stays busy across both phases; only the bus is
 	// freed for other ways the moment the transfer ends.
 	d := a.die(addr)
 	d.busy.Acquire(p)
 	p.Sleep(a.cfg.ReadLatency)
+	if dec.Correctable {
+		p.Sleep(a.inj.Plan().CorrectableLatency)
+	}
 	bus := a.channels[addr.Channel]
 	bus.Acquire(p)
 	p.Sleep(a.cfg.ChannelCmdCost + sim.TransferTime(int64(length), a.cfg.ChannelBW))
@@ -201,11 +220,14 @@ func (a *Array) Read(p *sim.Proc, addr PPA, offset, length int) []byte {
 
 	a.reads++
 	a.bytesRead += int64(length)
+	if dec.Uncorrectable {
+		return nil, fmt.Errorf("nand: read %v: %w", addr, fault.ErrUncorrectable)
+	}
 	out := make([]byte, length)
 	if page, ok := a.data[a.key(addr)]; ok {
 		copy(out, page[offset:offset+length])
 	}
-	return out
+	return out, nil
 }
 
 // ReadThrough is like Read but, instead of returning the bytes over the
@@ -215,14 +237,21 @@ func (a *Array) Read(p *sim.Proc, addr PPA, offset, length int) []byte {
 // The extra occupancy charged per command models the IP-control software
 // overhead that places "Biscuit w/ matcher" below raw internal bandwidth
 // in Fig. 7.
-func (a *Array) ReadThrough(p *sim.Proc, addr PPA, offset, length int, ipOverhead sim.Time, sink func([]byte)) {
+// On an injected uncorrectable error the sink is never invoked — the
+// matcher IP discards a stream whose ECC check fails — and the error is
+// returned for the FTL to retry or recover.
+func (a *Array) ReadThrough(p *sim.Proc, addr PPA, offset, length int, ipOverhead sim.Time, sink func([]byte)) error {
 	a.check(addr)
 	if offset < 0 || length < 0 || offset+length > a.cfg.PageSize {
 		panic(fmt.Sprintf("nand: readthrough [%d,%d) out of page bounds", offset, offset+length))
 	}
+	dec := a.inj.Read(func() string { return "nand.readthrough " + addr.String() })
 	d := a.die(addr)
 	d.busy.Acquire(p)
 	p.Sleep(a.cfg.ReadLatency)
+	if dec.Correctable {
+		p.Sleep(a.inj.Plan().CorrectableLatency)
+	}
 	bus := a.channels[addr.Channel]
 	bus.Acquire(p)
 	p.Sleep(a.cfg.ChannelCmdCost + ipOverhead + sim.TransferTime(int64(length), a.cfg.ChannelBW))
@@ -231,11 +260,15 @@ func (a *Array) ReadThrough(p *sim.Proc, addr PPA, offset, length int, ipOverhea
 
 	a.reads++
 	a.bytesRead += int64(length)
+	if dec.Uncorrectable {
+		return fmt.Errorf("nand: readthrough %v: %w", addr, fault.ErrUncorrectable)
+	}
 	buf := make([]byte, length)
 	if page, ok := a.data[a.key(addr)]; ok {
 		copy(buf, page[offset:offset+length])
 	}
 	sink(buf)
+	return nil
 }
 
 // Peek copies page contents without advancing simulated time. It exists
@@ -257,7 +290,13 @@ func (a *Array) Peek(addr PPA, offset int, dst []byte) {
 
 // Program writes a full page. Pages within a block must be programmed in
 // order and only once per erase cycle, as on real NAND.
-func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) {
+//
+// An injected program failure pays the full command timing and returns
+// fault.ErrProgramFail, leaving the page unwritten (reads back zeroes).
+// The page still counts as consumed — real NAND cannot re-program a
+// failed word line — so the in-order invariant holds and the FTL must
+// retire the block frontier and remap elsewhere.
+func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) error {
 	a.check(addr)
 	if len(data) > a.cfg.PageSize {
 		panic("nand: program data exceeds page size")
@@ -267,6 +306,7 @@ func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) {
 	if st.programmed != addr.Page {
 		panic(fmt.Sprintf("nand: out-of-order program of %v (next programmable page is %d)", addr, st.programmed))
 	}
+	fail := a.inj.Program(func() string { return "nand.program " + addr.String() })
 
 	d.busy.Acquire(p)
 	bus := a.channels[addr.Channel]
@@ -276,24 +316,36 @@ func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) {
 	p.Sleep(a.cfg.ProgramLatency)
 	d.busy.Release()
 
+	st.programmed++
+	if fail {
+		return fmt.Errorf("nand: program %v: %w", addr, fault.ErrProgramFail)
+	}
 	page := make([]byte, a.cfg.PageSize)
 	copy(page, data)
 	a.data[a.key(addr)] = page
-	st.programmed++
 	a.programs++
+	return nil
 }
 
-// Erase wipes a block, allowing it to be programmed again.
-func (a *Array) Erase(p *sim.Proc, b BlockAddr) {
+// Erase wipes a block, allowing it to be programmed again. An injected
+// erase failure pays the full tBERS, leaves the block contents intact
+// (still readable for relocation) and returns fault.ErrEraseFail; the
+// FTL retires such a block.
+func (a *Array) Erase(p *sim.Proc, b BlockAddr) error {
 	addr := PPA{b.Channel, b.Way, b.Block, 0}
 	a.check(addr)
+	fail := a.inj.Erase(func() string { return fmt.Sprintf("nand.erase ch%d/w%d/b%d", b.Channel, b.Way, b.Block) })
 	d := a.die(addr)
 	d.busy.Use(p, a.cfg.EraseLatency)
 	st := &d.blocks[b.Block]
+	if fail {
+		return fmt.Errorf("nand: erase ch%d/w%d/b%d: %w", b.Channel, b.Way, b.Block, fault.ErrEraseFail)
+	}
 	for pg := 0; pg < st.programmed; pg++ {
 		delete(a.data, a.key(PPA{b.Channel, b.Way, b.Block, pg}))
 	}
 	st.programmed = 0
 	st.erases++
 	a.erases++
+	return nil
 }

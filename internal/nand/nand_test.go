@@ -43,11 +43,11 @@ func TestProgramReadRoundTrip(t *testing.T) {
 	e.Spawn("io", func(p *sim.Proc) {
 		addr := PPA{Channel: 1, Way: 0, Block: 2, Page: 0}
 		a.Program(p, addr, want)
-		got := a.Read(p, addr, 0, 4096)
+		got, _ := a.Read(p, addr, 0, 4096)
 		if !bytes.Equal(got, want) {
 			t.Error("read back mismatch")
 		}
-		if sub := a.Read(p, addr, 100, 16); !bytes.Equal(sub, want[100:116]) {
+		if sub, _ := a.Read(p, addr, 100, 16); !bytes.Equal(sub, want[100:116]) {
 			t.Error("partial read mismatch")
 		}
 	})
@@ -58,7 +58,7 @@ func TestUnwrittenPageReadsZero(t *testing.T) {
 	e := sim.NewEnv()
 	a := New(e, smallConfig())
 	e.Spawn("io", func(p *sim.Proc) {
-		got := a.Read(p, PPA{0, 0, 0, 3}, 0, 64)
+		got, _ := a.Read(p, PPA{0, 0, 0, 3}, 0, 64)
 		for _, b := range got {
 			if b != 0 {
 				t.Error("unwritten page must read zero")
@@ -96,7 +96,7 @@ func TestEraseResetsBlock(t *testing.T) {
 		addr := PPA{0, 1, 1, 0}
 		a.Program(p, addr, []byte{1, 2, 3})
 		a.Erase(p, addr.BlockAddr())
-		got := a.Read(p, addr, 0, 3)
+		got, _ := a.Read(p, addr, 0, 3)
 		if !bytes.Equal(got, []byte{0, 0, 0}) {
 			t.Error("erased page must read zero")
 		}
@@ -236,7 +236,7 @@ func TestRoundTripProperty(t *testing.T) {
 				a.Erase(p, addr.BlockAddr())
 			}
 			a.Program(p, addr, data)
-			got := a.Read(p, addr, 0, len(data))
+			got, _ := a.Read(p, addr, 0, len(data))
 			ok = bytes.Equal(got, data)
 		})
 		e.Run()

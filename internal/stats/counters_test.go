@@ -1,0 +1,34 @@
+package stats
+
+import "testing"
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Add("x", 5) // must not panic
+	if c.Get("x") != 0 {
+		t.Fatal("nil counters must read zero")
+	}
+	if c.Snapshot() != nil {
+		t.Fatal("nil counters must snapshot empty")
+	}
+}
+
+func TestCountersAccumulateAndSnapshotSorted(t *testing.T) {
+	c := NewCounters()
+	c.Add("z.last", 1)
+	c.Add("a.first", 2)
+	c.Add("a.first", 3)
+	if c.Get("a.first") != 5 || c.Get("z.last") != 1 {
+		t.Fatalf("a.first=%d z.last=%d", c.Get("a.first"), c.Get("z.last"))
+	}
+	if c.Get("missing") != 0 {
+		t.Fatal("unknown counter must read zero")
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a.first" || snap[1].Name != "z.last" {
+		t.Fatalf("snapshot not sorted: %v", snap)
+	}
+	if snap[0].Value != 5 || snap[1].Value != 1 {
+		t.Fatalf("snapshot values wrong: %v", snap)
+	}
+}

@@ -1,0 +1,140 @@
+package tpch
+
+import (
+	"errors"
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/db"
+	"biscuit/internal/db/planner"
+	"biscuit/internal/fault"
+	"biscuit/internal/sim"
+)
+
+// Failure-path suite: seeded fault plans over Q1 and Q6 (the paper's
+// headline scan/aggregate queries) must never change query results —
+// only latency, statistics, and which rung of the degradation ladder
+// did the work.
+
+// faultData is testData with a fault campaign armed on the platform.
+func faultData(t *testing.T, plan fault.Plan) (*biscuit.System, *Data) {
+	t.Helper()
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 256
+	cfg.NAND.PagesPerBlock = 64
+	cfg.Fault = plan
+	sys := biscuit.NewSystem(cfg)
+	d := db.Open(sys)
+	var data *Data
+	sys.Run(func(h *biscuit.Host) {
+		var err error
+		data, err = Gen{SF: 0.002}.Load(h, d, biscuit.SeededRand(7))
+		if err != nil {
+			t.Fatalf("load under plan %q: %v", plan, err)
+		}
+	})
+	return sys, data
+}
+
+// runWithLadder executes a query under the offload planner. Offloaded
+// row scans fall back to Conv internally; offloaded aggregations cannot
+// (partial device-side aggregates are unrecoverable on the host), so an
+// uncorrectable media error surfaces and the caller reruns the Conv
+// plan — the last rung of the documented degradation ladder. Any
+// non-media failure is a bug.
+func runWithLadder(t *testing.T, h *biscuit.Host, data *Data, q Query) ([]db.Row, bool) {
+	t.Helper()
+	bisc := &QCtx{Ex: db.NewExec(h, data.DB), D: data, Pl: planner.Default()}
+	rows, err := q.Run(bisc)
+	if err == nil {
+		return rows, false
+	}
+	if !errors.Is(err, fault.ErrUncorrectable) {
+		t.Fatalf("Q%d: non-media failure under fault plan: %v", q.ID, err)
+	}
+	conv := &QCtx{Ex: db.NewExec(h, data.DB), D: data}
+	rows, err = q.Run(conv)
+	if err != nil {
+		t.Fatalf("Q%d: conv rerun after media error must succeed: %v", q.ID, err)
+	}
+	return rows, true
+}
+
+func TestQ1Q6ResultsUnchangedUnderFaultPlans(t *testing.T) {
+	// Fault-free baseline, Conv plans only.
+	baseline := map[int][]db.Row{}
+	sys, data := testData(t)
+	sys.Run(func(h *biscuit.Host) {
+		for _, id := range []int{1, 6} {
+			q := ByID(id)
+			rows, err := q.Run(&QCtx{Ex: db.NewExec(h, data.DB), D: data})
+			if err != nil {
+				t.Fatalf("baseline Q%d: %v", id, err)
+			}
+			baseline[id] = rows
+		}
+	})
+
+	plans := []struct {
+		name string
+		plan fault.Plan
+	}{
+		{"background-noise", fault.DefaultPlan(11)},
+		{"uncorrectable-storm", fault.Plan{Seed: 2, UncorrectableProb: 0.35}},
+		{"timeout-stall", fault.Plan{Seed: 3,
+			TimeoutProb: 0.05, TimeoutDelay: 2 * sim.Millisecond,
+			StallProb: 0.2, StallDelay: 100 * sim.Microsecond}},
+		{"program-erase-wear", fault.Plan{Seed: 4,
+			ProgramFailProb: 0.15, EraseFailProb: 0.05}},
+	}
+	for _, tc := range plans {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fsys, fdata := faultData(t, tc.plan)
+			fsys.Run(func(h *biscuit.Host) {
+				for _, id := range []int{1, 6} {
+					rows, reran := runWithLadder(t, h, fdata, ByID(id))
+					if !rowsEqual(rows, baseline[id]) {
+						t.Errorf("Q%d rows diverged under %s (conv rerun=%v)", id, tc.name, reran)
+					}
+				}
+			})
+			if fsys.Plat.Inj == nil || fsys.Plat.Inj.Total() == 0 {
+				t.Fatalf("plan %s injected nothing; test exercised no fault path", tc.name)
+			}
+		})
+	}
+}
+
+func TestFaultScheduleDeterminismAcrossFullQueryRun(t *testing.T) {
+	// Two identically-seeded campaigns over load + Q1 + Q6 must produce
+	// the same fault schedule, the same ladder decisions, and the same
+	// rows — the regression gate for determinism of the whole stack.
+	run := func() (string, [2]bool, [][]db.Row) {
+		plan := fault.Plan{Seed: 2, UncorrectableProb: 0.35}
+		sys, data := faultData(t, plan)
+		var rerans [2]bool
+		var rows [][]db.Row
+		sys.Run(func(h *biscuit.Host) {
+			for i, id := range []int{1, 6} {
+				r, reran := runWithLadder(t, h, data, ByID(id))
+				rerans[i] = reran
+				rows = append(rows, r)
+			}
+		})
+		return sys.Plat.Inj.Signature(), rerans, rows
+	}
+	sig1, re1, rows1 := run()
+	sig2, re2, rows2 := run()
+	if sig1 != sig2 {
+		t.Fatal("same-seed campaigns produced different fault schedules")
+	}
+	if re1 != re2 {
+		t.Fatalf("ladder decisions diverged: %v vs %v", re1, re2)
+	}
+	for i := range rows1 {
+		if !rowsEqual(rows1[i], rows2[i]) {
+			t.Fatalf("query %d rows diverged between same-seed runs", i)
+		}
+	}
+}

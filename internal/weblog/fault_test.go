@@ -1,0 +1,111 @@
+package weblog
+
+import (
+	"errors"
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/fault"
+	"biscuit/internal/sim"
+)
+
+// Failure-path suite for the weblog workload: injected faults may slow
+// a search down or push it onto another rung of the degradation ladder,
+// but the match count must always equal the planted count.
+
+func faultSys(plan fault.Plan) *biscuit.System {
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 256
+	cfg.NAND.PagesPerBlock = 64
+	cfg.Fault = plan
+	return biscuit.NewSystem(cfg)
+}
+
+// searchNDPLadder degrades an NDP search that dies of an uncorrectable
+// media error to the Conv path, mirroring the db engine's fallback.
+func searchNDPLadder(t *testing.T, h *biscuit.Host, needle string) (int64, bool) {
+	t.Helper()
+	n, err := SearchNDP(h, needle)
+	if err == nil {
+		return n, false
+	}
+	if !errors.Is(err, fault.ErrUncorrectable) {
+		t.Fatalf("non-media NDP search failure: %v", err)
+	}
+	n, err = SearchConv(h, needle)
+	if err != nil {
+		t.Fatalf("conv search after media error must succeed: %v", err)
+	}
+	return n, true
+}
+
+func TestSearchCountsUnchangedUnderFaultPlans(t *testing.T) {
+	plans := []struct {
+		name string
+		plan fault.Plan
+	}{
+		{"background-noise", fault.DefaultPlan(21)},
+		// Kept mild: Conv search reads MiB-sized commands spanning ~128
+		// NAND pages, so the command-level retry only shields rates where
+		// u^3 * pages stays well under 1.
+		{"read-noise", fault.Plan{Seed: 22, UncorrectableProb: 0.1,
+			CorrectableProb: 0.05, CorrectableLatency: 60 * sim.Microsecond}},
+		{"timeout-stall", fault.Plan{Seed: 23,
+			TimeoutProb: 0.05, TimeoutDelay: 2 * sim.Millisecond,
+			StallProb: 0.2, StallDelay: 100 * sim.Microsecond}},
+	}
+	for _, tc := range plans {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sys := faultSys(tc.plan)
+			sys.Run(func(h *biscuit.Host) {
+				const needle = "XNEEDLEX"
+				_, planted, err := Generate(h, 2<<20, needle, 100, biscuit.SeededRand(5))
+				if err != nil {
+					t.Fatalf("generate under %s: %v", tc.name, err)
+				}
+				if planted == 0 {
+					t.Fatal("no needles planted")
+				}
+				conv, err := SearchConv(h, needle)
+				if err != nil {
+					t.Fatalf("conv search under %s: %v", tc.name, err)
+				}
+				ndp, degraded := searchNDPLadder(t, h, needle)
+				if conv != planted || ndp != planted {
+					t.Fatalf("planted=%d conv=%d ndp=%d (degraded=%v)", planted, conv, ndp, degraded)
+				}
+			})
+			if sys.Plat.Inj.Total() == 0 {
+				t.Fatalf("plan %s injected nothing; test exercised no fault path", tc.name)
+			}
+		})
+	}
+}
+
+func TestWeblogFaultDeterminism(t *testing.T) {
+	run := func() (string, int64, int64) {
+		sys := faultSys(fault.Plan{Seed: 22, UncorrectableProb: 0.1})
+		var conv, ndp int64
+		sys.Run(func(h *biscuit.Host) {
+			const needle = "XNEEDLEX"
+			if _, _, err := Generate(h, 2<<20, needle, 100, biscuit.SeededRand(5)); err != nil {
+				t.Fatal(err)
+			}
+			var err error
+			if conv, err = SearchConv(h, needle); err != nil {
+				t.Fatal(err)
+			}
+			ndp, _ = searchNDPLadder(t, h, needle)
+		})
+		return sys.Plat.Inj.Signature(), conv, ndp
+	}
+	sig1, c1, n1 := run()
+	sig2, c2, n2 := run()
+	if sig1 != sig2 {
+		t.Fatal("same-seed weblog fault schedules diverged")
+	}
+	if c1 != c2 || n1 != n2 {
+		t.Fatalf("counts diverged: conv %d/%d ndp %d/%d", c1, c2, n1, n2)
+	}
+}

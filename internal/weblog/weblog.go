@@ -65,7 +65,9 @@ func Generate(h *biscuit.Host, size int64, needle string, needleEvery int, rng *
 			}
 			off += int64(len(buf))
 			buf = buf[:0]
-			f.Flush(h.Proc())
+			if err := f.Flush(h.Proc()); err != nil {
+				return 0, 0, err
+			}
 		}
 	}
 	if len(buf) > 0 {
@@ -73,7 +75,9 @@ func Generate(h *biscuit.Host, size int64, needle string, needleEvery int, rng *
 			return 0, 0, err
 		}
 		off += int64(len(buf))
-		f.Flush(h.Proc())
+		if err := f.Flush(h.Proc()); err != nil {
+			return 0, 0, err
+		}
 	}
 	return off, planted, nil
 }

@@ -44,12 +44,12 @@ func (s *SSD) WriteFile(f *File, off int64, data []byte) error {
 	if err := f.Write(s.h.p, off, data); err != nil {
 		return err
 	}
-	f.Flush(s.h.p)
-	return nil
+	return f.Flush(s.h.p)
 }
 
 // ReadFileConv reads a file range over the conventional host I/O path:
 // NVMe submit, media read, DMA over PCIe — what a normal pread costs.
+// Device errors that survive the interface's command retry surface here.
 func (s *SSD) ReadFileConv(f *File, off int64, buf []byte) error {
 	segs, err := f.Segments(off, len(buf))
 	if err != nil {
@@ -57,7 +57,9 @@ func (s *SSD) ReadFileConv(f *File, off int64, buf []byte) error {
 	}
 	at := 0
 	for _, seg := range segs {
-		s.h.sys.Plat.HostIF.Read(s.h.p, seg.FTLOff, buf[at:at+seg.N])
+		if err := s.h.sys.Plat.HostIF.Read(s.h.p, seg.FTLOff, buf[at:at+seg.N]); err != nil {
+			return err
+		}
 		at += seg.N
 	}
 	return nil
@@ -87,18 +89,24 @@ func (s *SSD) ReadFileConvAsync(f *File, off int64, buf []byte, chunk, depth int
 		}
 		at += seg.N
 	}
-	inflight := make([]*sim.Event, 0, depth)
+	inflight := make([]*sim.Completion, 0, depth)
+	var first error
+	drain := func(c *sim.Completion) {
+		if err := c.Wait(s.h.p); err != nil && first == nil {
+			first = err
+		}
+	}
 	for _, pc := range pieces {
 		if len(inflight) >= depth {
-			s.h.p.Wait(inflight[0])
+			drain(inflight[0])
 			inflight = inflight[1:]
 		}
 		inflight = append(inflight, s.h.sys.Plat.HostIF.ReadAsync(s.h.p, pc.ftlOff, pc.dst))
 	}
-	for _, ev := range inflight {
-		s.h.p.Wait(ev)
+	for _, c := range inflight {
+		drain(c)
 	}
-	return nil
+	return first
 }
 
 // Application coordinates a group of SSDlets (the paper's Application
