@@ -9,7 +9,7 @@ VETTOOL := bin/biscuitvet
 # dangerous kind.
 TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
 
-.PHONY: all build test race vet fmt check faulttest clean
+.PHONY: all build test race vet fmt check faulttest benchsmoke clean
 
 all: build
 
@@ -35,9 +35,15 @@ faulttest:
 	$(GO) test -count=2 -run $(FAULTRUN) $(FAULTPKGS)
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault
 
+# Benchmark smoke: run the executor benchmarks once (-benchtime=1x) so
+# CI catches bit-rot in the benchmark harness without paying for a real
+# measurement run.
+benchsmoke:
+	$(GO) test -run '^$$' -bench BenchmarkExecBatch -benchtime=1x ./internal/db
+
 # vet = stock go vet + the biscuitvet analyzer suite (walltime,
-# detrand, nogoroutine, portcheck, simtimemix — see DESIGN.md
-# "Invariants"). biscuitvet runs through the standard vettool
+# detrand, fiberyield, nogoroutine, portcheck, simtimemix — see
+# DESIGN.md "Invariants"). biscuitvet runs through the standard vettool
 # protocol, so suppressions use //biscuitvet:<name>-ok directives.
 vet: $(VETTOOL)
 	$(GO) vet ./...

@@ -7,12 +7,15 @@
 //	biscuitbench -exp table2,table3
 //	biscuitbench -exp fig10 -sf 0.02 -joinbuf 512
 //	biscuitbench -exp fig9 -csv fig9.csv
+//	biscuitbench -exp fig8 -json out/      # writes out/BENCH_fig8.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"biscuit/internal/bench"
@@ -25,6 +28,7 @@ func main() {
 		joinbuf = flag.Int("joinbuf", 0, "join buffer rows override for fig10")
 		quick   = flag.Bool("quick", false, "use reduced experiment sizes")
 		csv     = flag.String("csv", "", "write fig7/fig9/fig10 series as CSV to this file")
+		jsonDir = flag.String("json", "", "write each experiment's result struct as BENCH_<exp>.json into this directory")
 	)
 	flag.Parse()
 
@@ -50,6 +54,7 @@ func main() {
 
 	if all || want["table2"] {
 		t2 := bench.RunTable2()
+		writeJSON(*jsonDir, "table2", t2)
 		fmt.Println("Table II — measured latency for different I/O port types")
 		fmt.Printf("  %-18s %-10s %-14s %-12s\n", "Host-to-device", "", "Inter-SSDlet", "Inter-app.")
 		fmt.Printf("  %-8s %-9s\n", "H2D", "D2H")
@@ -58,11 +63,13 @@ func main() {
 	}
 	if all || want["table3"] {
 		t3 := bench.RunTable3()
+		writeJSON(*jsonDir, "table3", t3)
 		fmt.Println("Table III — measured data read latency (4 KiB)")
 		fmt.Printf("  Conv %.1f us   Biscuit %.1f us   (paper: 90.0 / 75.9)\n\n", t3.Conv.Micros(), t3.Biscuit.Micros())
 	}
 	if all || want["fig7"] {
 		f7 := bench.RunFig7()
+		writeJSON(*jsonDir, "fig7", f7)
 		fmt.Println("Fig. 7 — read bandwidth vs request size (GB/s)")
 		fmt.Printf("  %-10s | %-26s | %-26s\n", "", "synchronous", "asynchronous (QD 32)")
 		fmt.Printf("  %-10s | %8s %8s %8s | %8s %8s %8s\n", "req size", "Conv", "Biscuit", "w/ PM", "Conv", "Biscuit", "w/ PM")
@@ -76,16 +83,19 @@ func main() {
 	}
 	if all || want["table4"] {
 		t4 := bench.RunTable4(cfg)
+		writeJSON(*jsonDir, "table4", t4)
 		fmt.Println("Table IV — execution time for pointer chasing (s)")
 		printSweep(t4.Rows)
 	}
 	if all || want["table5"] {
 		t5 := bench.RunTable5(cfg)
+		writeJSON(*jsonDir, "table5", t5)
 		fmt.Printf("Table V — execution time for string matching (s), %d matches\n", t5.Matches)
 		printSweep(t5.Rows)
 	}
 	if all || want["fig8"] {
 		f8 := bench.RunFig8(cfg)
+		writeJSON(*jsonDir, "fig8", f8)
 		fmt.Printf("Fig. 8 — SQL queries on lineitem (SF %.3f, %d reps, mean ± 95%% CI)\n", cfg.Fig8SF, cfg.Fig8Reps)
 		pr := func(name string, s bench.Fig8Series) {
 			fmt.Printf("  %-12s %10.4fs ± %.4f (%d rows)\n", name, s.MeanS, s.CI95S, s.RowsOut)
@@ -99,6 +109,7 @@ func main() {
 	}
 	if all || want["fig9"] || want["table6"] {
 		f9 := bench.RunFig9(cfg)
+		writeJSON(*jsonDir, "fig9", f9)
 		fmt.Println("Fig. 9 / Table VI — system power during Query 1")
 		fmt.Printf("  idle %.0f W\n", f9.IdleW)
 		fmt.Printf("  Conv:    exec %.4fs  avg %.1f W  energy %.3f J\n", f9.Conv.ExecS, f9.Conv.AvgW, f9.Conv.EnergyJ)
@@ -113,6 +124,7 @@ func main() {
 	}
 	if all || want["fig10"] {
 		f10 := bench.RunFig10(cfg)
+		writeJSON(*jsonDir, "fig10", f10)
 		fmt.Printf("Fig. 10 — TPC-H relative performance (SF %.3f, join buffer %d rows)\n", cfg.Fig10SF, cfg.JoinBufferRows)
 		fmt.Printf("  %-4s %-36s %12s %12s %9s %8s  %s\n", "Q", "title", "Conv", "Biscuit", "speedup", "I/O red.", "decision")
 		for _, r := range f10.Rows {
@@ -133,6 +145,31 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *csv)
 	}
+}
+
+// writeJSON marshals one experiment's result struct to
+// <dir>/BENCH_<exp>.json so CI and plotting scripts consume results
+// without scraping the human-oriented table output. Durations and
+// sim.Time values marshal as integer nanoseconds / picoseconds.
+func writeJSON(dir, exp string, v any) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "json:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "json:", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(dir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "json:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func printSweep(rows []bench.LoadSweepRow) {

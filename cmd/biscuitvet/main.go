@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"biscuit/internal/analysis/detrand"
+	"biscuit/internal/analysis/fiberyield"
 	"biscuit/internal/analysis/framework"
 	"biscuit/internal/analysis/nogoroutine"
 	"biscuit/internal/analysis/portcheck"
@@ -46,6 +47,7 @@ import (
 // diagnostics, keeping output deterministic.
 var analyzers = []*framework.Analyzer{
 	detrand.Analyzer,
+	fiberyield.Analyzer,
 	nogoroutine.Analyzer,
 	portcheck.Analyzer,
 	simtimemix.Analyzer,

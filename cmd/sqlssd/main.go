@@ -26,6 +26,7 @@ func main() {
 		q       = flag.String("q", "", "query to run (default: read from stdin, ';'-separated)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		maxRows = flag.Int("rows", 20, "max rows to print per query")
+		batch   = flag.Int("batch", 0, "executor batch size in rows (0 = default slab)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 			fmt.Printf("sql> %s\n", query)
 
 			exC := db.NewExec(h, d)
+			exC.BatchSize = *batch
 			start := h.Now()
 			conv, err := sql.Run(exC, d, nil, query)
 			if err != nil {
@@ -78,6 +80,7 @@ func main() {
 			convT := h.Now() - start
 
 			exB := db.NewExec(h, d)
+			exB.BatchSize = *batch
 			start = h.Now()
 			bisc, err := sql.Run(exB, d, planner.Default(), query)
 			if err != nil {

@@ -1,0 +1,12 @@
+package fiberyield_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/fiberyield"
+)
+
+func TestFiberyield(t *testing.T) {
+	analysistest.Run(t, "testdata", fiberyield.Analyzer, "devloop")
+}

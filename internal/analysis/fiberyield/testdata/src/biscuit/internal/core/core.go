@@ -1,0 +1,24 @@
+// Package core is a stub of the SSDlet runtime, just deep enough for
+// analyzer testdata to import it by path.
+package core
+
+// Context is the per-SSDlet runtime handle.
+type Context struct{}
+
+// Compute charges simulated device cycles (a yield point).
+func (c *Context) Compute(cycles float64) {}
+
+// Yield gives up the device CPU without charging cycles.
+func (c *Context) Yield() {}
+
+// ReadFile performs a blocking device read (a yield point).
+func (c *Context) ReadFile(f *File, off int64, buf []byte) (int, error) { return 0, nil }
+
+// File is a device file handle.
+type File struct{}
+
+// OutPort is an SSDlet output port; Put blocks (a yield point).
+type OutPort struct{}
+
+// Put enqueues v; false means the peer closed.
+func (p *OutPort) Put(v any) bool { return true }

@@ -103,6 +103,8 @@ type HashAggOp struct {
 	at   int
 }
 
+func (h *HashAggOp) exec() *Exec { return h.Ex }
+
 // Schema returns [group columns..., aggregate columns...]. Before Open
 // the column types are provisional (groups default to string, aggregates
 // to decimal); names — which is what plan construction needs — are
@@ -143,36 +145,40 @@ func (h *HashAggOp) Open() error {
 	defer h.In.Close()
 	groups := make(map[string]*aggGroup)
 	var order []string
+	in := NewRowBatch(h.Ex.batchCap())
 	for {
-		r, ok, err := h.In.Next()
+		n, err := h.In.NextBatch(in)
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		h.Ex.chargeHost(h.Ex.Cost.HostAggCPR)
-		var sb strings.Builder
-		keyRow := make(Row, len(h.GroupBy))
-		for i, g := range h.GroupBy {
-			v := g.Eval(r)
-			keyRow[i] = v
-			sb.WriteString(keyString(v))
-			sb.WriteByte(0)
-		}
-		k := sb.String()
-		grp, ok := groups[k]
-		if !ok {
-			grp = &aggGroup{key: k, keyRow: keyRow, states: make([]aggState, len(h.Aggs))}
-			groups[k] = grp
-			order = append(order, k)
-		}
-		for i, a := range h.Aggs {
-			v := Int(1)
-			if a.Arg != nil {
-				v = a.Arg.Eval(r)
+		h.Ex.chargeHost(h.Ex.Cost.HostAggCPR * float64(n))
+		for ri := 0; ri < n; ri++ {
+			r := in.Row(ri)
+			var sb strings.Builder
+			keyRow := make(Row, len(h.GroupBy))
+			for i, g := range h.GroupBy {
+				v := g.Eval(r)
+				keyRow[i] = v
+				sb.WriteString(keyString(v))
+				sb.WriteByte(0)
 			}
-			grp.states[i].add(a.F, v)
+			k := sb.String()
+			grp, ok := groups[k]
+			if !ok {
+				grp = &aggGroup{key: k, keyRow: keyRow, states: make([]aggState, len(h.Aggs))}
+				groups[k] = grp
+				order = append(order, k)
+			}
+			for i, a := range h.Aggs {
+				v := Int(1)
+				if a.Arg != nil {
+					v = a.Arg.Eval(r)
+				}
+				grp.states[i].add(a.F, v)
+			}
 		}
 	}
 	if len(h.GroupBy) == 0 && len(order) == 0 {
@@ -220,14 +226,16 @@ func (h *HashAggOp) Open() error {
 	return nil
 }
 
-// Next emits grouped rows in key order.
-func (h *HashAggOp) Next() (Row, bool, error) {
-	if h.at >= len(h.rows) {
-		return nil, false, nil
+// NextBatch emits grouped rows in key order.
+func (h *HashAggOp) NextBatch(b *RowBatch) (int, error) {
+	b.Reset()
+	n := 0
+	for h.at < len(h.rows) && !b.Full() {
+		b.AppendRow(h.rows[h.at])
+		h.at++
+		n++
 	}
-	r := h.rows[h.at]
-	h.at++
-	return r, true, nil
+	return n, nil
 }
 
 // Close releases group state.

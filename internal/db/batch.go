@@ -1,0 +1,325 @@
+package db
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Vectorized execution: operators exchange RowBatch slabs instead of
+// single rows, so the host Go process pays one interface call, one
+// bookkeeping pass and O(1) allocations per batch instead of per row —
+// the same per-row software cost the paper identifies as the Conv-path
+// bottleneck (§V-C), applied to the simulator's own hot loop.
+
+// DefaultBatchSize is the row capacity of a RowBatch when the caller
+// does not pick one (Exec.BatchSize == 0).
+const DefaultBatchSize = 1024
+
+// strFix records one string cell waiting for FinishStrings: the cell at
+// rows[row][col] holds a packed (offset, length) into the byte arena
+// instead of a materialized Go string.
+type strFix struct {
+	row int32
+	col int32
+}
+
+// RowBatch is a reusable, capacity-bounded slab of rows plus a
+// selection vector. Producers fill the physical rows; filters narrow
+// the live set by editing the selection vector without copying rows.
+//
+// Memory discipline: rows produced into a batch (via NewRow or
+// DecodeRowInto) live in arenas owned by the batch and are valid only
+// until the next Reset (equivalently: the next NextBatch call on the
+// producing operator). Consumers that retain rows must Clone them —
+// Collect does. Rows added by reference via AppendRow are owned by the
+// caller and follow the caller's lifetime.
+type RowBatch struct {
+	rows   []Row // physical row slab; len(rows) == capacity
+	n      int   // physical rows present
+	sel    []int // selection vector (indices into rows), if hasSel
+	hasSel bool
+
+	vals []Value // Value arena backing rows carved with NewRow
+	str  []byte  // byte arena for string cells pending FinishStrings
+	fix  []strFix
+}
+
+// NewRowBatch returns an empty batch holding up to capacity rows
+// (DefaultBatchSize if capacity <= 0).
+func NewRowBatch(capacity int) *RowBatch {
+	if capacity <= 0 {
+		capacity = DefaultBatchSize
+	}
+	return &RowBatch{rows: make([]Row, capacity)}
+}
+
+// Reset empties the batch for reuse. Rows previously carved from the
+// batch's arenas become invalid.
+func (b *RowBatch) Reset() {
+	b.n = 0
+	b.sel = b.sel[:0]
+	b.hasSel = false
+	b.vals = b.vals[:0]
+	b.str = b.str[:0]
+	b.fix = b.fix[:0]
+}
+
+// Cap returns the row capacity.
+func (b *RowBatch) Cap() int { return len(b.rows) }
+
+// Full reports whether another row can be appended.
+func (b *RowBatch) Full() bool { return b.n >= len(b.rows) }
+
+// Len returns the number of live (selected) rows.
+func (b *RowBatch) Len() int {
+	if b.hasSel {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// Row returns the i-th live row (through the selection vector).
+func (b *RowBatch) Row(i int) Row {
+	if b.hasSel {
+		return b.rows[b.sel[i]]
+	}
+	return b.rows[i]
+}
+
+// AppendRow adds a caller-owned row by reference (no copy).
+func (b *RowBatch) AppendRow(r Row) {
+	if b.Full() {
+		panic("db: RowBatch overflow")
+	}
+	b.rows[b.n] = r
+	if b.hasSel {
+		b.sel = append(b.sel, b.n)
+	}
+	b.n++
+}
+
+// NewRow appends and returns a zero row of ncols cells carved from the
+// batch's Value arena. The caller fills every cell.
+func (b *RowBatch) NewRow(ncols int) Row {
+	if b.Full() {
+		panic("db: RowBatch overflow")
+	}
+	if cap(b.vals)-len(b.vals) < ncols {
+		// Start a fresh arena; rows already carved keep the old backing
+		// array alive through their own slice headers.
+		size := len(b.rows) * ncols
+		if size < ncols {
+			size = ncols
+		}
+		b.vals = make([]Value, 0, size)
+	}
+	at := len(b.vals)
+	b.vals = b.vals[:at+ncols]
+	r := Row(b.vals[at : at+ncols : at+ncols])
+	for i := range r {
+		r[i] = Value{}
+	}
+	b.rows[b.n] = r
+	if b.hasSel {
+		b.sel = append(b.sel, b.n)
+	}
+	b.n++
+	return r
+}
+
+// unappend rolls back the most recent NewRow after a decode error,
+// dropping its arena cells and any pending string fixups.
+func (b *RowBatch) unappend(ncols int) {
+	b.n--
+	b.vals = b.vals[:len(b.vals)-ncols]
+	for len(b.fix) > 0 && int(b.fix[len(b.fix)-1].row) == b.n {
+		b.fix = b.fix[:len(b.fix)-1]
+	}
+	if b.hasSel && len(b.sel) > 0 && b.sel[len(b.sel)-1] == b.n {
+		b.sel = b.sel[:len(b.sel)-1]
+	}
+}
+
+// Filter narrows the live set to rows keep() accepts, editing the
+// selection vector in place (no row copying). It returns the new live
+// count.
+func (b *RowBatch) Filter(keep func(Row) bool) int {
+	if !b.hasSel {
+		b.sel = b.sel[:0]
+		for i := 0; i < b.n; i++ {
+			if keep(b.rows[i]) {
+				b.sel = append(b.sel, i)
+			}
+		}
+		b.hasSel = true
+		return len(b.sel)
+	}
+	kept := b.sel[:0]
+	for _, i := range b.sel {
+		if keep(b.rows[i]) {
+			kept = append(kept, i)
+		}
+	}
+	b.sel = kept
+	return len(b.sel)
+}
+
+// Keep truncates the live set to its first k rows (LIMIT cutting a
+// batch mid-way).
+func (b *RowBatch) Keep(k int) {
+	if k >= b.Len() {
+		return
+	}
+	if !b.hasSel {
+		b.sel = b.sel[:0]
+		for i := 0; i < k; i++ {
+			b.sel = append(b.sel, i)
+		}
+		b.hasSel = true
+		return
+	}
+	b.sel = b.sel[:k]
+}
+
+// Drop removes the first k live rows (fault-fallback resume cutting a
+// batch mid-way).
+func (b *RowBatch) Drop(k int) {
+	if k <= 0 {
+		return
+	}
+	if k >= b.Len() {
+		k = b.Len()
+	}
+	if !b.hasSel {
+		b.sel = b.sel[:0]
+		for i := k; i < b.n; i++ {
+			b.sel = append(b.sel, i)
+		}
+		b.hasSel = true
+		return
+	}
+	m := copy(b.sel, b.sel[k:])
+	b.sel = b.sel[:m]
+}
+
+// DecodeRowInto decodes one row off the front of buf into the batch
+// (schema sch), returning bytes consumed. It is DecodeRow with the
+// allocations amortized: cells land in the batch's Value arena and
+// string bytes in its byte arena. String cells are left packed until
+// FinishStrings materializes them — callers must FinishStrings before
+// any cell is read.
+func (b *RowBatch) DecodeRowInto(buf []byte, sch *Schema) (int, error) {
+	blen, n := binary.Uvarint(buf)
+	if n <= 0 || int(blen) > len(buf)-n {
+		return 0, fmt.Errorf("db: truncated row header")
+	}
+	body := buf[n : n+int(blen)]
+	ncols := len(sch.Cols)
+	r := b.NewRow(ncols)
+	rowIdx := int32(b.n - 1)
+	at := 0
+	for i, c := range sch.Cols {
+		switch c.T {
+		case TInt, TDecimal:
+			v, k := binary.Varint(body[at:])
+			if k <= 0 {
+				b.unappend(ncols)
+				return 0, fmt.Errorf("db: bad varint in column %s", c.Name)
+			}
+			r[i] = Value{T: c.T, I: v}
+			at += k
+		case TDate:
+			if at+10 > len(body) {
+				b.unappend(ncols)
+				return 0, fmt.Errorf("db: truncated date in column %s", c.Name)
+			}
+			d, err := parseDate(body[at : at+10])
+			if err != nil {
+				b.unappend(ncols)
+				return 0, err
+			}
+			r[i] = d
+			at += 10
+		case TString:
+			slen, k := binary.Uvarint(body[at:])
+			if k <= 0 || at+k+int(slen) > len(body) {
+				b.unappend(ncols)
+				return 0, fmt.Errorf("db: truncated string in column %s", c.Name)
+			}
+			start := len(b.str)
+			b.str = append(b.str, body[at+k:at+k+int(slen)]...)
+			r[i] = Value{T: TString, I: int64(start)<<32 | int64(slen)}
+			b.fix = append(b.fix, strFix{row: rowIdx, col: int32(i)})
+			at += k + int(slen)
+		}
+	}
+	return n + int(blen), nil
+}
+
+// FinishStrings materializes every string cell decoded since the last
+// Reset with a single allocation: one string conversion of the byte
+// arena, sliced per cell.
+func (b *RowBatch) FinishStrings() {
+	if len(b.fix) == 0 {
+		return
+	}
+	s := string(b.str)
+	for _, f := range b.fix {
+		cell := &b.rows[f.row][f.col]
+		start := int(cell.I >> 32)
+		n := int(cell.I & 0xffffffff)
+		*cell = Value{T: TString, S: s[start : start+n]}
+	}
+	b.fix = b.fix[:0]
+	b.str = b.str[:0]
+}
+
+// RowIterator adapts a batched Iterator back to row-at-a-time pulls —
+// the thin shim kept at top-level result drains so external callers
+// see the familiar contract and unchanged output order. The returned
+// row is valid until the Next call that crosses a batch boundary;
+// Clone to retain.
+type RowIterator struct {
+	It Iterator
+
+	b  *RowBatch
+	at int
+}
+
+// NewRowIterator wraps a batched iterator.
+func NewRowIterator(it Iterator) *RowIterator { return &RowIterator{It: it} }
+
+// Open opens the underlying iterator.
+func (ri *RowIterator) Open() error {
+	ri.b = NewRowBatch(batchCapOf(ri.It))
+	ri.at = 0
+	return ri.It.Open()
+}
+
+// Next returns the next row in pipeline order.
+func (ri *RowIterator) Next() (Row, bool, error) {
+	if ri.b == nil {
+		ri.b = NewRowBatch(batchCapOf(ri.It))
+	}
+	for {
+		if ri.at < ri.b.Len() {
+			r := ri.b.Row(ri.at)
+			ri.at++
+			return r, true, nil
+		}
+		n, err := ri.It.NextBatch(ri.b)
+		if err != nil {
+			return nil, false, err
+		}
+		if n == 0 {
+			return nil, false, nil
+		}
+		ri.at = 0
+	}
+}
+
+// Close closes the underlying iterator.
+func (ri *RowIterator) Close() error { return ri.It.Close() }
+
+// Schema passes through.
+func (ri *RowIterator) Schema() *Schema { return ri.It.Schema() }

@@ -1,0 +1,261 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"biscuit"
+)
+
+// RowBatch mechanics: selection-vector editing, arena-backed decode,
+// and the operator edge cases batching introduces (LIMIT cutting a
+// batch mid-way, sorts spanning batches, fault fallback resuming
+// mid-batch).
+
+func intRows(vals ...int64) []Row {
+	out := make([]Row, len(vals))
+	for i, v := range vals {
+		out[i] = Row{Int(v)}
+	}
+	return out
+}
+
+func TestRowBatchFilterKeepDrop(t *testing.T) {
+	b := NewRowBatch(8)
+	for i := int64(0); i < 8; i++ {
+		b.AppendRow(Row{Int(i)})
+	}
+	if b.Len() != 8 || !b.Full() {
+		t.Fatalf("len=%d full=%v", b.Len(), b.Full())
+	}
+	// Filter to even values, then drop the first and keep one.
+	if live := b.Filter(func(r Row) bool { return r[0].I%2 == 0 }); live != 4 {
+		t.Fatalf("filter: live=%d", live)
+	}
+	b.Drop(1)
+	if b.Len() != 3 || b.Row(0)[0].I != 2 {
+		t.Fatalf("after drop: len=%d first=%v", b.Len(), b.Row(0))
+	}
+	b.Keep(1)
+	if b.Len() != 1 || b.Row(0)[0].I != 2 {
+		t.Fatalf("after keep: len=%d first=%v", b.Len(), b.Row(0))
+	}
+	// Drop/Keep on an unfiltered batch materialize the selection.
+	b.Reset()
+	b.AppendRow(Row{Int(10)})
+	b.AppendRow(Row{Int(11)})
+	b.AppendRow(Row{Int(12)})
+	b.Drop(2)
+	if b.Len() != 1 || b.Row(0)[0].I != 12 {
+		t.Fatalf("drop on unselected batch: len=%d first=%v", b.Len(), b.Row(0))
+	}
+}
+
+func TestRowBatchDecodeRoundTrip(t *testing.T) {
+	sch := testSchema()
+	var buf []byte
+	want := make([]Row, 5)
+	for i := range want {
+		want[i] = sampleRow(i)
+		buf = EncodeRow(buf, sch, want[i])
+	}
+	b := NewRowBatch(8)
+	for len(buf) > 0 {
+		k, err := b.DecodeRowInto(buf, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = buf[k:]
+	}
+	b.FinishStrings()
+	if b.Len() != len(want) {
+		t.Fatalf("decoded %d rows, want %d", b.Len(), len(want))
+	}
+	for i := range want {
+		got := b.Row(i)
+		for c := range want[i] {
+			if !Equal(got[c], want[i][c]) {
+				t.Fatalf("row %d col %d: %v != %v", i, c, got[c], want[i][c])
+			}
+		}
+	}
+}
+
+func TestRowBatchDecodeErrorRollsBack(t *testing.T) {
+	sch := NewSchema(Column{"s", TString})
+	b := NewRowBatch(4)
+	good := EncodeRow(nil, sch, Row{Str("hello")})
+	if _, err := b.DecodeRowInto(good, sch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.DecodeRowInto(good[:2], sch); err == nil {
+		t.Fatal("truncated row must error")
+	}
+	b.FinishStrings()
+	if b.Len() != 1 || b.Row(0)[0].S != "hello" {
+		t.Fatalf("batch corrupted by failed decode: len=%d row=%v", b.Len(), b.Row(0))
+	}
+}
+
+func TestLimitOpCutsMidBatch(t *testing.T) {
+	// 20 input rows, batches of 7, LIMIT 10: batches of 7 and 3 (cut
+	// via the selection vector), then EOF.
+	l := &LimitOp{In: NewMemScan(NewSchema(Column{"v", TInt}), intRows(
+		0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19)), N: 10}
+	if err := l.Open(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewRowBatch(7)
+	var got []int64
+	for {
+		n, err := l.NextBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			got = append(got, b.Row(i)[0].I)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("limit emitted %d rows, want 10", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("row %d = %d", i, v)
+		}
+	}
+}
+
+func TestSortOpSpillsAcrossBatches(t *testing.T) {
+	sys := quickSys()
+	d := Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		tab := loadFixture(t, h, d, 500, 50)
+		ex := NewExec(h, d)
+		ex.BatchSize = 7 // sorted output spans many batches
+		s := &SortOp{Ex: ex, In: ex.NewConvScan(tab, nil),
+			Keys: []SortKey{{E: C(tab.Sch, "price"), Desc: true}, {E: C(tab.Sch, "id")}}}
+		rows, err := Collect(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 500 {
+			t.Fatalf("sorted %d rows, want 500", len(rows))
+		}
+		p, id := tab.Sch.Col("price"), tab.Sch.Col("id")
+		for i := 1; i < len(rows); i++ {
+			if rows[i][p].I > rows[i-1][p].I {
+				t.Fatalf("row %d out of order: %v after %v", i, rows[i], rows[i-1])
+			}
+			if rows[i][p].I == rows[i-1][p].I && rows[i][id].I < rows[i-1][id].I {
+				t.Fatalf("tie at row %d broken wrongly", i)
+			}
+		}
+	})
+}
+
+// ndpFixtureScanAt is ndpFixtureScan with an explicit pipeline batch
+// size (see fault_test.go).
+func ndpFixtureScanAt(t *testing.T, sys *biscuit.System, batch int) ([]Row, *Exec) {
+	t.Helper()
+	d := Open(sys)
+	var rows []Row
+	var ex *Exec
+	sys.Run(func(h *biscuit.Host) {
+		tab := loadFixture(t, h, d, 2000, 50)
+		ex = NewExec(h, d)
+		ex.BatchSize = batch
+		var err error
+		rows, err = Collect(ex.NewNDPScan(tab, []string{"TARGETKEY"}, EqS(tab.Sch, "note", "TARGETKEY")))
+		if err != nil {
+			t.Fatalf("scan must survive the fault plan: %v", err)
+		}
+	})
+	return rows, ex
+}
+
+// TestNDPScanFaultFallbackMidBatchResume runs the fallback scenario of
+// fault_test.go at batch sizes that force the already-emitted row count
+// to land mid-way through a fallback batch, exercising the Drop-based
+// batch-aligned resume.
+func TestNDPScanFaultFallbackMidBatchResume(t *testing.T) {
+	want, _ := ndpFixtureScanAt(t, quickSys(), 0)
+	if len(want) == 0 {
+		t.Fatal("fixture scan found no rows; test exercises nothing")
+	}
+	for _, batch := range []int{1, 3, 7, 0} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			got, ex := ndpFixtureScanAt(t, faultSys(scanPlan), batch)
+			sameRows(t, got, want)
+			if ex.St.NDPFallbacks < 1 {
+				t.Fatalf("NDPFallbacks=%d; the plan never killed the device scan", ex.St.NDPFallbacks)
+			}
+		})
+	}
+}
+
+// TestScanCountersMirroredOnPlatformRegistry pins the satellite
+// requirement that db.Stats scan counters land on the platform
+// stats.Counters registry.
+func TestScanCountersMirroredOnPlatformRegistry(t *testing.T) {
+	sys := quickSys()
+	d := Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		tab := loadFixture(t, h, d, 500, 50)
+		ex := NewExec(h, d)
+		if _, err := Collect(ex.NewConvScan(tab, nil)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Collect(ex.NewNDPScan(tab, []string{"TARGETKEY"}, EqS(tab.Sch, "note", "TARGETKEY"))); err != nil {
+			t.Fatal(err)
+		}
+		ctrs := sys.Plat.Ctrs
+		if n := ctrs.Get("db.scan.conv"); n != ex.St.ConvScans || n < 1 {
+			t.Fatalf("db.scan.conv=%d, St.ConvScans=%d", n, ex.St.ConvScans)
+		}
+		if n := ctrs.Get("db.scan.ndp"); n != ex.St.NDPScans || n < 1 {
+			t.Fatalf("db.scan.ndp=%d, St.NDPScans=%d", n, ex.St.NDPScans)
+		}
+		if n := ctrs.Get("db.pages.link"); n != ex.St.PagesOverLink || n < 1 {
+			t.Fatalf("db.pages.link=%d, St.PagesOverLink=%d", n, ex.St.PagesOverLink)
+		}
+	})
+}
+
+// TestRowIteratorDrain pins the compatibility adapter kept at top-level
+// result drains: row-at-a-time pulls see the same rows in the same
+// order as Collect.
+func TestRowIteratorDrain(t *testing.T) {
+	sys := quickSys()
+	d := Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		tab := loadFixture(t, h, d, 300, 50)
+		ex := NewExec(h, d)
+		want, err := Collect(ex.NewConvScan(tab, EqS(tab.Sch, "note", "TARGETKEY")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := NewRowIterator(ex.NewConvScan(tab, EqS(tab.Sch, "note", "TARGETKEY")))
+		if err := ri.Open(); err != nil {
+			t.Fatal(err)
+		}
+		var got []Row
+		for {
+			r, ok, err := ri.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, r.Clone())
+		}
+		if err := ri.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sameRows(t, got, want)
+	})
+}

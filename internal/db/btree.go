@@ -78,7 +78,7 @@ func (d *Database) BuildIndex(ex *Exec, t *Table, col string) (*Index, error) {
 		if err := ex.H.SSD().ReadFileConv(f, pg*int64(ps), buf); err != nil {
 			return nil, err
 		}
-		ex.St.PagesOverLink++
+		ex.AddLinkPages(1)
 		slot := 0
 		err := DecodePage(buf, t.Sch, func(r Row) error {
 			entries = append(entries, IndexEntry{Key: r[colIdx].I, Page: uint32(pg), Slot: uint16(slot)})
@@ -227,7 +227,7 @@ func (ix *Index) readNode(ex *Exec, page uint32, charged bool) ([]byte, error) {
 		if err := ex.H.SSD().ReadFileConv(f, int64(page)*int64(ix.pageSize), buf); err != nil {
 			return nil, err
 		}
-		ex.St.PagesOverLink++
+		ex.AddLinkPages(1)
 	} else {
 		// Buffer-pool hit: the bytes come from host memory; pay CPU only.
 		ex.chargeHost(200)
@@ -337,7 +337,7 @@ func (ix *Index) FetchRows(ex *Exec, entries []IndexEntry) ([]Row, error) {
 			if err := ex.H.SSD().ReadFileConv(f, int64(e.Page)*int64(ps), buf); err != nil {
 				return nil, err
 			}
-			ex.St.PagesOverLink++
+			ex.AddLinkPages(1)
 			ex.chargeHost(ex.Cost.HostDecodeCPB * float64(ps))
 			pageRows = pageRows[:0]
 			if err := DecodePage(buf, ix.T.Sch, func(r Row) error {
@@ -369,8 +369,13 @@ type INLJoin struct {
 
 	sch     *Schema
 	pending []Row
+	pendAt  int
 	scratch Row
+	outerB  *RowBatch
+	outerAt int
 }
+
+func (j *INLJoin) exec() *Exec { return j.Ex }
 
 // Schema returns outer ++ inner columns.
 func (j *INLJoin) Schema() *Schema {
@@ -384,32 +389,53 @@ func (j *INLJoin) Schema() *Schema {
 func (j *INLJoin) Open() error {
 	j.Schema()
 	j.pending = nil
+	j.pendAt = 0
+	j.outerB = nil
+	j.outerAt = 0
 	return j.Outer.Open()
 }
 
-// Next probes with the next outer row.
-func (j *INLJoin) Next() (Row, bool, error) {
+// NextBatch probes the index with outer rows until joined rows are
+// available, then emits them in probe order.
+func (j *INLJoin) NextBatch(b *RowBatch) (int, error) {
 	for {
-		if len(j.pending) > 0 {
-			r := j.pending[0]
-			j.pending = j.pending[1:]
-			return r, true, nil
+		if j.pendAt < len(j.pending) {
+			b.Reset()
+			n := 0
+			for j.pendAt < len(j.pending) && !b.Full() {
+				b.AppendRow(j.pending[j.pendAt])
+				j.pendAt++
+				n++
+			}
+			if j.pendAt >= len(j.pending) {
+				j.pending = j.pending[:0]
+				j.pendAt = 0
+			}
+			return n, nil
 		}
-		or, ok, err := j.Outer.Next()
-		if err != nil || !ok {
-			return nil, false, err
+		if j.outerB == nil {
+			j.outerB = NewRowBatch(j.Ex.batchCap())
 		}
+		if j.outerAt >= j.outerB.Len() {
+			n, err := j.Outer.NextBatch(j.outerB)
+			if err != nil || n == 0 {
+				return 0, err
+			}
+			j.outerAt = 0
+		}
+		or := j.outerB.Row(j.outerAt)
+		j.outerAt++
 		key := j.OuterKey.Eval(or)
 		entries, err := j.Ix.Lookup(j.Ex, key.I)
 		if err != nil {
-			return nil, false, err
+			return 0, err
 		}
 		if len(entries) == 0 {
 			continue
 		}
 		inner, err := j.Ix.FetchRows(j.Ex, entries)
 		if err != nil {
-			return nil, false, err
+			return 0, err
 		}
 		j.Ex.chargeHost(j.Ex.Cost.HostJoinCPR * float64(len(inner)))
 		for _, ir := range inner {

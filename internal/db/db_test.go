@@ -156,7 +156,7 @@ func quickSys() *biscuit.System {
 
 // loadFixture loads n rows of the test schema; every hitEvery-th row is
 // dated 1995-01-17 with note "TARGETKEY".
-func loadFixture(t *testing.T, h *biscuit.Host, d *Database, n, hitEvery int) *Table {
+func loadFixture(t testing.TB, h *biscuit.Host, d *Database, n, hitEvery int) *Table {
 	t.Helper()
 	sch := testSchema()
 	ld, err := d.NewLoader(h, "fixture", sch, 32)

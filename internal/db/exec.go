@@ -1,6 +1,7 @@
 package db
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -41,7 +42,11 @@ func DefaultCost() CostModel {
 }
 
 // Stats accumulates execution counters; Fig. 10's I/O-reduction ratio is
-// PagesOverLink(Conv run) / PagesOverLink(Biscuit run).
+// PagesOverLink(Conv run) / PagesOverLink(Biscuit run). The scan and
+// fallback counters are mirrored onto the platform stats.Counters
+// registry ("db.scan.conv", "db.scan.ndp", "db.pages.link",
+// "db.ndp.fallback") so one observability surface covers the device and
+// DB layers.
 type Stats struct {
 	PagesOverLink int64 // pages (equivalent) moved across the host interface
 	PagesInternal int64 // pages read inside the device (NDP scans)
@@ -69,6 +74,10 @@ type Exec struct {
 	// QueueDepth is the number of outstanding NVMe reads a Conv scan
 	// keeps in flight.
 	QueueDepth int
+	// BatchSize caps the rows per RowBatch exchanged between operators
+	// (0 = DefaultBatchSize). Small values are useful in tests; large
+	// values amortize per-batch overhead further.
+	BatchSize int
 
 	pendingCycles float64 // batched per-row CPU cost not yet paid
 }
@@ -78,32 +87,87 @@ func NewExec(h *biscuit.Host, d *Database) *Exec {
 	return &Exec{H: h, DB: d, Cost: DefaultCost(), JoinBufferRows: 4096, ReadChunk: 256 << 10, QueueDepth: 16}
 }
 
-// Iterator is the volcano operator interface.
+// batchCap returns the configured RowBatch row capacity.
+func (ex *Exec) batchCap() int {
+	if ex != nil && ex.BatchSize > 0 {
+		return ex.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// noteConvScan / noteNDPScan / noteNDPFallback / addLinkPages bump the
+// query stats and mirror them onto the platform counter registry.
+func (ex *Exec) noteConvScan() {
+	ex.St.ConvScans++
+	ex.H.System().Plat.Ctrs.Add("db.scan.conv", 1)
+}
+
+func (ex *Exec) noteNDPScan() {
+	ex.St.NDPScans++
+	ex.H.System().Plat.Ctrs.Add("db.scan.ndp", 1)
+}
+
+func (ex *Exec) noteNDPFallback() {
+	ex.St.NDPFallbacks++
+	ex.H.System().Plat.Ctrs.Add("db.ndp.fallback", 1)
+}
+
+// AddLinkPages accounts n pages crossing the host link (exported for
+// the planner, whose sampling reads also cross the link).
+func (ex *Exec) AddLinkPages(n int64) {
+	ex.St.PagesOverLink += n
+	ex.H.System().Plat.Ctrs.Add("db.pages.link", n)
+}
+
+// Iterator is the vectorized operator interface. NextBatch fills b
+// (resetting it first) and returns the number of live rows; 0 means
+// end-of-stream. Operators never return 0 while more rows remain — a
+// filter that kills a whole batch pulls the next one internally. Rows
+// in b are valid until the following NextBatch call; consumers that
+// retain rows must Clone them.
 type Iterator interface {
 	Open() error
-	Next() (Row, bool, error)
+	NextBatch(b *RowBatch) (int, error)
 	Close() error
 	Schema() *Schema
 }
 
-// Collect drains an iterator into a slice. Close errors propagate:
-// device-side scan failures surface there (the stream just ends early
-// from the host's point of view).
+// execHolder lets Collect and adapters size their drain batch to the
+// pipeline's configured Exec without widening the Iterator interface.
+type execHolder interface{ exec() *Exec }
+
+// batchCapOf returns the batch capacity configured for the iterator's pipeline,
+// or the default when the iterator has no Exec (MemScan).
+func batchCapOf(it Iterator) int {
+	if h, ok := it.(execHolder); ok {
+		if ex := h.exec(); ex != nil {
+			return ex.batchCap()
+		}
+	}
+	return DefaultBatchSize
+}
+
+// Collect drains an iterator into a slice of retained (cloned) rows.
+// Close errors propagate: device-side scan failures surface there (the
+// stream just ends early from the host's point of view).
 func Collect(it Iterator) ([]Row, error) {
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
+	b := NewRowBatch(batchCapOf(it))
 	var out []Row
 	for {
-		r, ok, err := it.Next()
+		n, err := it.NextBatch(b)
 		if err != nil {
 			it.Close()
 			return nil, err
 		}
-		if !ok {
+		if n == 0 {
 			break
 		}
-		out = append(out, r)
+		for i := 0; i < n; i++ {
+			out = append(out, b.Row(i).Clone())
+		}
 	}
 	if err := it.Close(); err != nil {
 		return nil, err
@@ -121,18 +185,24 @@ type ConvScan struct {
 	T    *Table
 	Pred Expr // may be nil
 
-	file    *biscuit.File
-	off     int64
-	buf     []Row
-	bufAt   int
-	chunk   []byte
-	scratch []byte
+	file  *biscuit.File
+	off   int64  // next unread file offset
+	chunk []byte // readahead buffer
+	cLen  int    // valid bytes in chunk
+	cAt   int    // next undecoded page boundary within chunk
+	cOff  int64  // file offset of chunk[0]
+
+	pAt, pEnd int   // decode window of the current page within chunk
+	pRows     int   // rows left to decode in the current page
+	pOff      int64 // file offset of the current page (for errors)
 }
 
 // NewConvScan builds a host-side scan.
 func (ex *Exec) NewConvScan(t *Table, pred Expr) *ConvScan {
 	return &ConvScan{Ex: ex, T: t, Pred: pred}
 }
+
+func (s *ConvScan) exec() *Exec { return s.Ex }
 
 // Schema returns the table schema.
 func (s *ConvScan) Schema() *Schema { return s.T.Sch }
@@ -145,30 +215,95 @@ func (s *ConvScan) Open() error {
 	}
 	s.file = f
 	s.off = 0
-	s.buf = nil
-	s.bufAt = 0
-	s.Ex.St.ConvScans++
+	s.cLen, s.cAt, s.cOff = 0, 0, 0
+	s.pAt, s.pEnd, s.pRows = 0, 0, 0
+	s.Ex.noteConvScan()
 	return nil
 }
 
-// Next returns the next (predicate-passing) row.
-func (s *ConvScan) Next() (Row, bool, error) {
+// NextBatch decodes rows into b until it is full or the file ends,
+// then applies the predicate via the selection vector. Sim-time is
+// charged at fill time from the page row-count headers — identical
+// totals and HostScan granularity to the row-at-a-time pipeline —
+// while Go-side decode is lazy and batch-shaped.
+func (s *ConvScan) NextBatch(b *RowBatch) (int, error) {
 	for {
-		if s.bufAt < len(s.buf) {
-			r := s.buf[s.bufAt]
-			s.bufAt++
-			return r, true, nil
+		b.Reset()
+		for !b.Full() {
+			if s.pRows == 0 {
+				ok, err := s.nextPage()
+				if err != nil {
+					return 0, err
+				}
+				if ok {
+					continue
+				}
+				if s.off >= s.file.Size() {
+					break // file exhausted
+				}
+				if err := s.fill(); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			k, err := b.DecodeRowInto(s.chunk[s.pAt:s.pEnd], s.T.Sch)
+			if err != nil {
+				return 0, fmt.Errorf("conv scan %s @%d: %w", s.T.Name, s.pOff, err)
+			}
+			s.pAt += k
+			s.pRows--
 		}
-		if s.off >= s.file.Size() {
-			return nil, false, nil
+		b.FinishStrings()
+		if b.Len() == 0 {
+			return 0, nil
 		}
-		if err := s.fill(); err != nil {
-			return nil, false, err
+		if s.Pred != nil {
+			pred := s.Pred
+			if live := b.Filter(func(r Row) bool { return Truthy(pred.Eval(r)) }); live == 0 {
+				continue
+			}
 		}
+		return b.Len(), nil
 	}
 }
 
-// fill reads the next chunk over the host interface and decodes it.
+// nextPage advances the decode window to the next non-empty page of
+// the current chunk, validating the page header the way DecodePage
+// does so corrupt media still surfaces as an error.
+func (s *ConvScan) nextPage() (bool, error) {
+	ps := s.T.PageSize
+	for s.cAt+pageHeader <= s.cLen {
+		start := s.cAt
+		end := start + ps
+		if end > s.cLen {
+			end = s.cLen
+		}
+		page := s.chunk[start:end]
+		s.cAt = end
+		n := PageRowCount(page)
+		used := int(binary.LittleEndian.Uint16(page[2:4]))
+		if used > len(page) {
+			return false, fmt.Errorf("conv scan %s @%d: db: page used %d > size %d", s.T.Name, s.cOff+int64(start), used, len(page))
+		}
+		if n > 0 && used < pageHeader {
+			return false, fmt.Errorf("conv scan %s @%d: db: page claims %d rows in %d bytes", s.T.Name, s.cOff+int64(start), n, used)
+		}
+		if n == 0 {
+			continue
+		}
+		s.pAt = start + pageHeader
+		s.pEnd = start + used
+		s.pRows = n
+		s.pOff = s.cOff + int64(start)
+		return true, nil
+	}
+	return false, nil
+}
+
+// fill reads the next chunk over the host interface and charges the
+// host software cost for decoding and filtering it (row counts come
+// from the page headers; the actual Go decode happens lazily in
+// NextBatch).
 func (s *ConvScan) fill() error {
 	n := s.ReadChunkSize()
 	if rem := s.file.Size() - s.off; int64(n) > rem {
@@ -182,30 +317,23 @@ func (s *ConvScan) fill() error {
 	if err := ex.H.SSD().ReadFileConvAsync(s.file, s.off, chunk, 128<<10, ex.QueueDepth); err != nil {
 		return err
 	}
+	s.cOff = s.off
 	s.off += int64(n)
+	s.cLen = n
+	s.cAt = 0
+	s.pRows = 0
 	ps := s.T.PageSize
-	ex.St.PagesOverLink += int64((n + ps - 1) / ps)
+	ex.AddLinkPages(int64((n + ps - 1) / ps))
 
 	// Host software cost: decode + evaluate, through the contended
 	// memory system (this is what degrades under StreamBench load).
 	rows := 0
-	s.buf = s.buf[:0]
-	s.bufAt = 0
 	for at := 0; at+pageHeader <= n; at += ps {
 		end := at + ps
 		if end > n {
 			end = n
 		}
-		err := DecodePage(chunk[at:end], s.T.Sch, func(r Row) error {
-			rows++
-			if s.Pred == nil || Truthy(s.Pred.Eval(r)) {
-				s.buf = append(s.buf, r)
-			}
-			return nil
-		})
-		if err != nil {
-			return fmt.Errorf("conv scan %s @%d: %w", s.T.Name, s.off-int64(n)+int64(at), err)
-		}
+		rows += PageRowCount(chunk[at:end])
 	}
 	ex.St.RowsScanned += int64(rows)
 	cycles := ex.Cost.HostDecodeCPB * float64(n)
@@ -227,12 +355,13 @@ func (s *ConvScan) ReadChunkSize() int {
 
 // Close releases the scan.
 func (s *ConvScan) Close() error {
-	s.buf = nil
+	s.cLen, s.cAt, s.pRows = 0, 0, 0
 	return nil
 }
 
 // MemScan iterates rows already materialized in memory (intermediate
-// results used more than once).
+// results used more than once). The rows are caller-owned and emitted
+// by reference.
 type MemScan struct {
 	Sch  *Schema
 	Rows []Row
@@ -251,14 +380,16 @@ func (m *MemScan) Open() error {
 	return nil
 }
 
-// Next emits the next row.
-func (m *MemScan) Next() (Row, bool, error) {
-	if m.at >= len(m.Rows) {
-		return nil, false, nil
+// NextBatch emits the next run of rows.
+func (m *MemScan) NextBatch(b *RowBatch) (int, error) {
+	b.Reset()
+	n := 0
+	for m.at < len(m.Rows) && !b.Full() {
+		b.AppendRow(m.Rows[m.at])
+		m.at++
+		n++
 	}
-	r := m.Rows[m.at]
-	m.at++
-	return r, true, nil
+	return n, nil
 }
 
 // Close is a no-op.
@@ -267,12 +398,15 @@ func (m *MemScan) Close() error { return nil }
 // ---------------------------------------------------------------------
 // Basic operators.
 
-// FilterOp applies a predicate above any iterator.
+// FilterOp applies a predicate above any iterator, narrowing each
+// batch's selection vector in place — no row copying.
 type FilterOp struct {
 	Ex   *Exec
 	In   Iterator
 	Pred Expr
 }
+
+func (f *FilterOp) exec() *Exec { return f.Ex }
 
 // Schema passes through.
 func (f *FilterOp) Schema() *Schema { return f.In.Schema() }
@@ -280,16 +414,16 @@ func (f *FilterOp) Schema() *Schema { return f.In.Schema() }
 // Open opens the input.
 func (f *FilterOp) Open() error { return f.In.Open() }
 
-// Next pulls until a row passes.
-func (f *FilterOp) Next() (Row, bool, error) {
+// NextBatch pulls batches until at least one row survives.
+func (f *FilterOp) NextBatch(b *RowBatch) (int, error) {
 	for {
-		r, ok, err := f.In.Next()
-		if err != nil || !ok {
-			return nil, false, err
+		n, err := f.In.NextBatch(b)
+		if err != nil || n == 0 {
+			return 0, err
 		}
-		f.Ex.chargeHost(f.Ex.Cost.HostEvalCPR)
-		if Truthy(f.Pred.Eval(r)) {
-			return r, true, nil
+		f.Ex.chargeHost(f.Ex.Cost.HostEvalCPR * float64(n))
+		if live := b.Filter(func(r Row) bool { return Truthy(f.Pred.Eval(r)) }); live > 0 {
+			return live, nil
 		}
 	}
 }
@@ -321,8 +455,12 @@ type ProjectOp struct {
 	In    Iterator
 	Exprs []Expr
 	Names []string
-	sch   *Schema
+
+	sch *Schema
+	in  *RowBatch
 }
+
+func (pr *ProjectOp) exec() *Exec { return pr.Ex }
 
 // Schema returns the output schema. Before the first row the column
 // types are provisional (decimal); the names are exact, which is what
@@ -345,39 +483,55 @@ func (pr *ProjectOp) Schema() *Schema {
 // Open opens the input.
 func (pr *ProjectOp) Open() error { return pr.In.Open() }
 
-// Next computes the projected row.
-func (pr *ProjectOp) Next() (Row, bool, error) {
-	r, ok, err := pr.In.Next()
-	if err != nil || !ok {
-		return nil, false, err
+// NextBatch projects one input batch into b; output rows are carved
+// from b's arena.
+func (pr *ProjectOp) NextBatch(b *RowBatch) (int, error) {
+	if pr.in == nil || pr.in.Cap() < b.Cap() {
+		pr.in = NewRowBatch(b.Cap())
 	}
-	out := make(Row, len(pr.Exprs))
-	for i, e := range pr.Exprs {
-		out[i] = e.Eval(r)
+	n, err := pr.In.NextBatch(pr.in)
+	if err != nil || n == 0 {
+		return 0, err
 	}
-	if pr.sch == nil {
-		cols := make([]Column, len(out))
-		for i := range out {
-			name := fmt.Sprintf("c%d", i)
-			if i < len(pr.Names) {
-				name = pr.Names[i]
-			}
-			cols[i] = Column{Name: name, T: out[i].T}
+	b.Reset()
+	for i := 0; i < n; i++ {
+		r := pr.in.Row(i)
+		out := b.NewRow(len(pr.Exprs))
+		for c, e := range pr.Exprs {
+			out[c] = e.Eval(r)
 		}
-		pr.sch = NewSchema(cols...)
+		if pr.sch == nil {
+			cols := make([]Column, len(out))
+			for c := range out {
+				name := fmt.Sprintf("c%d", c)
+				if c < len(pr.Names) {
+					name = pr.Names[c]
+				}
+				cols[c] = Column{Name: name, T: out[c].T}
+			}
+			pr.sch = NewSchema(cols...)
+		}
 	}
-	pr.Ex.chargeHost(float64(len(pr.Exprs)) * 10)
-	return out, true, nil
+	pr.Ex.chargeHost(float64(len(pr.Exprs)) * 10 * float64(n))
+	return n, nil
 }
 
 // Close closes the input.
 func (pr *ProjectOp) Close() error { return pr.In.Close() }
 
-// LimitOp truncates the stream.
+// LimitOp truncates the stream, cutting the final batch mid-way via
+// the selection vector.
 type LimitOp struct {
 	In   Iterator
 	N    int
 	seen int
+}
+
+func (l *LimitOp) exec() *Exec {
+	if h, ok := l.In.(execHolder); ok {
+		return h.exec()
+	}
+	return nil
 }
 
 // Schema passes through.
@@ -389,16 +543,21 @@ func (l *LimitOp) Open() error {
 	return l.In.Open()
 }
 
-// Next stops after N rows.
-func (l *LimitOp) Next() (Row, bool, error) {
+// NextBatch stops after N rows.
+func (l *LimitOp) NextBatch(b *RowBatch) (int, error) {
 	if l.seen >= l.N {
-		return nil, false, nil
+		return 0, nil
 	}
-	r, ok, err := l.In.Next()
-	if ok {
-		l.seen++
+	n, err := l.In.NextBatch(b)
+	if err != nil || n == 0 {
+		return 0, err
 	}
-	return r, ok, err
+	if rem := l.N - l.seen; n > rem {
+		b.Keep(rem)
+		n = rem
+	}
+	l.seen += n
+	return n, nil
 }
 
 // Close closes the input.
@@ -419,6 +578,8 @@ type SortOp struct {
 	rows []Row
 	at   int
 }
+
+func (s *SortOp) exec() *Exec { return s.Ex }
 
 // Schema passes through.
 func (s *SortOp) Schema() *Schema { return s.In.Schema() }
@@ -458,14 +619,16 @@ func log2(x float64) float64 {
 	return n
 }
 
-// Next emits sorted rows.
-func (s *SortOp) Next() (Row, bool, error) {
-	if s.at >= len(s.rows) {
-		return nil, false, nil
+// NextBatch emits the next run of sorted rows.
+func (s *SortOp) NextBatch(b *RowBatch) (int, error) {
+	b.Reset()
+	n := 0
+	for s.at < len(s.rows) && !b.Full() {
+		b.AppendRow(s.rows[s.at])
+		s.at++
+		n++
 	}
-	r := s.rows[s.at]
-	s.at++
-	return r, true, nil
+	return n, nil
 }
 
 // Close releases buffers.

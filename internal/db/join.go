@@ -22,8 +22,14 @@ type BNLJoin struct {
 	outerEOF bool
 	inner    Iterator
 	pending  []Row
+	pendAt   int
 	scratch  Row
+	outerB   *RowBatch // carries leftover outer rows across block fills
+	outerAt  int
+	innerB   *RowBatch
 }
+
+func (j *BNLJoin) exec() *Exec { return j.Ex }
 
 // Schema returns the concatenated schema.
 func (j *BNLJoin) Schema() *Schema {
@@ -40,62 +46,90 @@ func (j *BNLJoin) Open() error {
 	j.block = nil
 	j.outerEOF = false
 	j.pending = nil
+	j.pendAt = 0
+	j.outerB = nil
+	j.outerAt = 0
 	return j.Outer.Open()
 }
 
-// Next produces the next joined row.
-func (j *BNLJoin) Next() (Row, bool, error) {
+// NextBatch produces the next run of joined rows. Block boundaries fall
+// at exactly Exec.JoinBufferRows outer rows regardless of batch size:
+// leftover rows of a partially consumed outer batch carry over to the
+// next block.
+func (j *BNLJoin) NextBatch(b *RowBatch) (int, error) {
 	for {
-		if len(j.pending) > 0 {
-			r := j.pending[0]
-			j.pending = j.pending[1:]
-			return r, true, nil
+		if j.pendAt < len(j.pending) {
+			b.Reset()
+			n := 0
+			for j.pendAt < len(j.pending) && !b.Full() {
+				b.AppendRow(j.pending[j.pendAt])
+				j.pendAt++
+				n++
+			}
+			if j.pendAt >= len(j.pending) {
+				j.pending = j.pending[:0]
+				j.pendAt = 0
+			}
+			return n, nil
 		}
 		// Advance the inner scan against the current block.
 		if j.inner != nil {
-			ir, ok, err := j.inner.Next()
+			m, err := j.inner.NextBatch(j.innerB)
 			if err != nil {
-				return nil, false, err
+				return 0, err
 			}
-			if ok {
-				j.Ex.chargeHost(j.Ex.Cost.HostJoinCPR * float64(len(j.block)))
+			if m == 0 {
+				if err := j.inner.Close(); err != nil {
+					return 0, err
+				}
+				j.inner = nil
+				j.block = j.block[:0]
+				continue
+			}
+			j.Ex.chargeHost(j.Ex.Cost.HostJoinCPR * float64(len(j.block)) * float64(m))
+			for ii := 0; ii < m; ii++ {
+				ir := j.innerB.Row(ii)
 				for _, or := range j.block {
 					j.scratch = append(append(j.scratch[:0], or...), ir...)
 					if j.On == nil || Truthy(j.On.Eval(j.scratch)) {
 						j.pending = append(j.pending, j.scratch.Clone())
 					}
 				}
-				continue
 			}
-			if err := j.inner.Close(); err != nil {
-				return nil, false, err
-			}
-			j.inner = nil
-			j.block = nil
 			continue
 		}
 		// Load the next outer block.
-		if j.outerEOF {
-			return nil, false, nil
+		if j.outerB == nil {
+			j.outerB = NewRowBatch(j.Ex.batchCap())
 		}
 		for len(j.block) < j.Ex.JoinBufferRows {
-			or, ok, err := j.Outer.Next()
-			if err != nil {
-				return nil, false, err
+			if j.outerAt >= j.outerB.Len() {
+				if j.outerEOF {
+					break
+				}
+				n, err := j.Outer.NextBatch(j.outerB)
+				if err != nil {
+					return 0, err
+				}
+				if n == 0 {
+					j.outerEOF = true
+					break
+				}
+				j.outerAt = 0
 			}
-			if !ok {
-				j.outerEOF = true
-				break
-			}
-			j.block = append(j.block, or)
+			j.block = append(j.block, j.outerB.Row(j.outerAt).Clone())
+			j.outerAt++
 		}
 		if len(j.block) == 0 {
-			return nil, false, nil
+			return 0, nil
 		}
 		// Rescan the inner relation for this block.
 		j.inner = j.Inner()
+		if j.innerB == nil {
+			j.innerB = NewRowBatch(j.Ex.batchCap())
+		}
 		if err := j.inner.Open(); err != nil {
-			return nil, false, err
+			return 0, err
 		}
 	}
 }
@@ -126,7 +160,11 @@ type HashJoin struct {
 	sch     *Schema
 	table   map[string][]Row
 	pending []Row
+	pendAt  int
+	left    *RowBatch
 }
+
+func (j *HashJoin) exec() *Exec { return j.Ex }
 
 // Schema returns the output schema.
 func (j *HashJoin) Schema() *Schema {
@@ -160,55 +198,74 @@ func (j *HashJoin) Open() error {
 	}
 	j.Ex.chargeHost(float64(len(rows)) * j.Ex.Cost.HostJoinCPR)
 	j.pending = nil
+	j.pendAt = 0
 	return j.Left.Open()
 }
 
-// Next probes with the next left row.
-func (j *HashJoin) Next() (Row, bool, error) {
+// NextBatch probes with the next batch of left rows, emitting matches
+// in left order.
+func (j *HashJoin) NextBatch(b *RowBatch) (int, error) {
 	for {
-		if len(j.pending) > 0 {
-			r := j.pending[0]
-			j.pending = j.pending[1:]
-			return r, true, nil
-		}
-		lr, ok, err := j.Left.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		j.Ex.chargeHost(j.Ex.Cost.HostJoinCPR)
-		matches := j.table[keyString(j.LeftKey.Eval(lr))]
-		if j.Anti {
-			if len(matches) == 0 {
-				return lr, true, nil
+		if j.pendAt < len(j.pending) {
+			b.Reset()
+			n := 0
+			for j.pendAt < len(j.pending) && !b.Full() {
+				b.AppendRow(j.pending[j.pendAt])
+				j.pendAt++
+				n++
 			}
-			if j.Residual != nil {
-				hit := false
+			if j.pendAt >= len(j.pending) {
+				j.pending = j.pending[:0]
+				j.pendAt = 0
+			}
+			return n, nil
+		}
+		if j.left == nil {
+			j.left = NewRowBatch(j.Ex.batchCap())
+		}
+		m, err := j.Left.NextBatch(j.left)
+		if err != nil || m == 0 {
+			return 0, err
+		}
+		j.Ex.chargeHost(j.Ex.Cost.HostJoinCPR * float64(m))
+		for li := 0; li < m; li++ {
+			lr := j.left.Row(li)
+			matches := j.table[keyString(j.LeftKey.Eval(lr))]
+			if j.Anti {
+				if len(matches) == 0 {
+					j.pending = append(j.pending, lr.Clone())
+					continue
+				}
+				if j.Residual != nil {
+					hit := false
+					for _, rr := range matches {
+						combined := append(append(make(Row, 0, len(lr)+len(rr)), lr...), rr...)
+						if Truthy(j.Residual.Eval(combined)) {
+							hit = true
+							break
+						}
+					}
+					if !hit {
+						j.pending = append(j.pending, lr.Clone())
+					}
+				}
+				continue
+			}
+			if j.Semi {
 				for _, rr := range matches {
 					combined := append(append(make(Row, 0, len(lr)+len(rr)), lr...), rr...)
-					if Truthy(j.Residual.Eval(combined)) {
-						hit = true
+					if j.Residual == nil || Truthy(j.Residual.Eval(combined)) {
+						j.pending = append(j.pending, lr.Clone())
 						break
 					}
 				}
-				if !hit {
-					return lr, true, nil
-				}
+				continue
 			}
-			continue
-		}
-		if j.Semi {
 			for _, rr := range matches {
 				combined := append(append(make(Row, 0, len(lr)+len(rr)), lr...), rr...)
 				if j.Residual == nil || Truthy(j.Residual.Eval(combined)) {
-					return lr, true, nil
+					j.pending = append(j.pending, combined)
 				}
-			}
-			continue
-		}
-		for _, rr := range matches {
-			combined := append(append(make(Row, 0, len(lr)+len(rr)), lr...), rr...)
-			if j.Residual == nil || Truthy(j.Residual.Eval(combined)) {
-				j.pending = append(j.pending, combined)
 			}
 		}
 	}

@@ -22,6 +22,12 @@ import (
 // NDPModuleName is the module carrying the device scan task.
 const NDPModuleName = "xtradb-ndp.slet"
 
+// NDPBatchBytes is the default D2H output batch size of the offloaded
+// scans: qualifying rows are re-encoded on the device and shipped in
+// packets of roughly this many bytes. Both NDPScan and NDPAggScan
+// consult it (NDPScanArgs.Batch overrides it for the plain scan).
+const NDPBatchBytes = 32 << 10
+
 // NDPScanID is the SSDlet class id of the device table scan.
 const NDPScanID = "idTableScan"
 
@@ -75,7 +81,7 @@ func (ndpScanLet) Run(c *biscuit.Context) error {
 	}
 	batchSize := args.Batch
 	if batchSize <= 0 {
-		batchSize = 32 << 10
+		batchSize = NDPBatchBytes
 	}
 
 	// Phase 1: stream the whole file through the matcher IPs, buffering
@@ -198,7 +204,15 @@ type NDPScan struct {
 	emitted int64     // rows already handed to the consumer
 	fb      *ConvScan // engaged when the device scan dies on a media error
 	waited  bool      // app.Wait already consumed
+	// resume holds the live remainder of the fallback batch that
+	// straddled the already-emitted row count: the fallback re-delivers
+	// rows batch-aligned, so the first post-fault batch may start
+	// mid-way through a ConvScan batch.
+	resume   *RowBatch
+	resumeAt int
 }
+
+func (s *NDPScan) exec() *Exec { return s.Ex }
 
 // NewNDPScan builds an offloaded scan; keys must satisfy the hardware
 // matcher limits and page-cover the predicate.
@@ -242,49 +256,75 @@ func (s *NDPScan) Open() error {
 	s.emitted = 0
 	s.fb = nil
 	s.waited = false
-	s.Ex.St.NDPScans++
+	s.resume = nil
+	s.resumeAt = 0
+	s.Ex.noteNDPScan()
 	s.Ex.St.PagesInternal += s.T.Pages
 	return nil
 }
 
-// Next decodes the next shipped row. When the device scan dies on an
+// NextBatch decodes the next shipped packet directly into b — the
+// device's 32 KiB D2H byte-batches map onto host RowBatches without a
+// per-row iterator step in between. When the device scan dies on an
 // uncorrectable media error, the scan transparently degrades to the
 // conventional host path: a ConvScan is opened, already-delivered rows
-// are skipped (both paths emit predicate-passing rows in file order)
-// and the stream continues without the consumer noticing — the paper's
-// graceful-degradation story for NDP offload. Non-media device failures
-// (bugs, bad arguments) still surface as errors.
-func (s *NDPScan) Next() (Row, bool, error) {
+// are skipped batch-aligned (both paths emit predicate-passing rows in
+// file order) and the stream continues without the consumer noticing —
+// the paper's graceful-degradation story for NDP offload. Non-media
+// device failures (bugs, bad arguments) still surface as errors.
+func (s *NDPScan) NextBatch(b *RowBatch) (int, error) {
 	for {
 		if s.fb != nil {
-			r, ok, err := s.fb.Next()
-			if ok {
-				s.emitted++
+			if s.resume != nil {
+				b.Reset()
+				n := 0
+				for s.resumeAt < s.resume.Len() && !b.Full() {
+					b.AppendRow(s.resume.Row(s.resumeAt))
+					s.resumeAt++
+					n++
+				}
+				if s.resumeAt >= s.resume.Len() {
+					s.resume = nil
+				}
+				if n > 0 {
+					s.emitted += int64(n)
+					return n, nil
+				}
+				continue
 			}
-			return r, ok, err
+			n, err := s.fb.NextBatch(b)
+			s.emitted += int64(n)
+			return n, err
 		}
 		if len(s.batch) > 0 {
-			r, n, err := DecodeRow(s.batch, s.T.Sch)
-			if err != nil {
-				return nil, false, err
+			b.Reset()
+			consumed := 0
+			for len(s.batch) > 0 && !b.Full() {
+				k, err := b.DecodeRowInto(s.batch, s.T.Sch)
+				if err != nil {
+					return 0, err
+				}
+				s.batch = s.batch[k:]
+				consumed += k
 			}
-			s.batch = s.batch[n:]
-			s.Ex.chargeHost(s.Ex.Cost.HostDecodeCPB * float64(n))
-			s.Ex.St.RowsScanned++
-			s.emitted++
-			return r, true, nil
+			b.FinishStrings()
+			n := b.Len()
+			s.Ex.chargeHost(s.Ex.Cost.HostDecodeCPB * float64(consumed))
+			s.Ex.St.RowsScanned += int64(n)
+			s.emitted += int64(n)
+			return n, nil
 		}
 		pkt, ok := s.port.GetPacket()
 		if !ok {
 			err := s.finishApp()
 			if err == nil {
-				return nil, false, nil
+				return 0, nil
 			}
 			if !errors.Is(err, fault.ErrUncorrectable) {
-				return nil, false, err
+				return 0, err
 			}
 			if ferr := s.engageFallback(); ferr != nil {
-				return nil, false, ferr
+				return 0, ferr
 			}
 			continue
 		}
@@ -311,22 +351,37 @@ func (s *NDPScan) finishApp() error {
 
 // engageFallback switches the iterator onto a ConvScan after a device
 // media failure, fast-forwarding past the rows the NDP path already
-// delivered. The event is visible in Stats.NDPFallbacks and in the
+// delivered. The skip is batch-aligned: whole fallback batches are
+// discarded while they fit under the emitted count, and the batch that
+// straddles the boundary is trimmed with Drop and stashed for the next
+// NextBatch. The event is visible in Stats.NDPFallbacks and in the
 // injector's fault schedule.
 func (s *NDPScan) engageFallback() error {
-	s.Ex.St.NDPFallbacks++
+	s.Ex.noteNDPFallback()
 	plat := s.Ex.H.System().Plat
-	plat.Ctrs.Add("db.ndp.fallback", 1)
 	plat.Inj.Record(fault.Fallback, "db.ndpscan "+s.T.Name)
 	fb := s.Ex.NewConvScan(s.T, s.Pred)
 	if err := fb.Open(); err != nil {
 		return err
 	}
-	for skip := s.emitted; skip > 0; skip-- {
-		if _, ok, err := fb.Next(); err != nil {
-			return err
-		} else if !ok {
-			break
+	if skip := s.emitted; skip > 0 {
+		rb := NewRowBatch(s.Ex.batchCap())
+		for skip > 0 {
+			n, err := fb.NextBatch(rb)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			if int64(n) <= skip {
+				skip -= int64(n)
+				continue
+			}
+			rb.Drop(int(skip))
+			skip = 0
+			s.resume = rb
+			s.resumeAt = 0
 		}
 	}
 	s.batch = nil
@@ -343,6 +398,7 @@ func (s *NDPScan) Close() error {
 	if s.fb != nil {
 		firstErr = s.fb.Close()
 		s.fb = nil
+		s.resume = nil
 	} else {
 		// Drain any unread packets so a blocked device producer can
 		// finish (the consumer may have stopped early, e.g. under a
@@ -361,7 +417,7 @@ func (s *NDPScan) Close() error {
 		}
 	}
 	ps := int64(s.T.PageSize)
-	s.Ex.St.PagesOverLink += (s.recvd + ps - 1) / ps
+	s.Ex.AddLinkPages((s.recvd + ps - 1) / ps)
 	s.app = nil
 	if firstErr != nil {
 		return firstErr

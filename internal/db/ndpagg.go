@@ -125,8 +125,10 @@ func (ndpAggLet) Run(c *biscuit.Context) error {
 			(args.Cost.DevEvalCPR+60)*float64(rows)) // +fold cost per row
 	}
 
-	// Ship the group results as one small batch: (keyRow..., aggVals...)
-	// rows in deterministic key order.
+	// Ship the group results as (keyRow..., aggVals...) rows in
+	// deterministic key order, flushing every NDPBatchBytes like the
+	// plain scan (group counts above the batch size split cleanly —
+	// rows never straddle packets).
 	sort.Strings(order)
 	outSch := ndpAggOutSchema(args)
 	var batch []byte
@@ -138,6 +140,12 @@ func (ndpAggLet) Run(c *biscuit.Context) error {
 			row = append(row, grp.states[i].result(ag.F))
 		}
 		batch = EncodeRow(batch, outSch, row)
+		if len(batch) >= NDPBatchBytes {
+			if !out.Put(biscuit.NewPacket(batch)) {
+				return fmt.Errorf("db: aggregate result dropped: output port closed")
+			}
+			batch = nil
+		}
 	}
 	if len(batch) > 0 && !out.Put(biscuit.NewPacket(batch)) {
 		return fmt.Errorf("db: aggregate result dropped: output port closed")
@@ -205,6 +213,8 @@ func (ex *Exec) NewNDPAggScan(t *Table, keys []string, pred Expr, groupBy []Expr
 	return &NDPAggScan{Ex: ex, T: t, Keys: keys, Pred: pred, GroupBy: groupBy, Aggs: aggs}
 }
 
+func (s *NDPAggScan) exec() *Exec { return s.Ex }
+
 // Schema returns [group columns..., aggregate columns...].
 func (s *NDPAggScan) Schema() *Schema {
 	if s.sch == nil {
@@ -238,26 +248,33 @@ func (s *NDPAggScan) Open() error {
 	s.port = port
 	s.batch = nil
 	s.recvd = 0
-	s.Ex.St.NDPScans++
+	s.Ex.noteNDPScan()
 	s.Ex.St.PagesInternal += s.T.Pages
 	return nil
 }
 
-// Next decodes the next group row.
-func (s *NDPAggScan) Next() (Row, bool, error) {
+// NextBatch decodes the next packet of group rows directly into b.
+func (s *NDPAggScan) NextBatch(b *RowBatch) (int, error) {
 	for {
 		if len(s.batch) > 0 {
-			r, n, err := DecodeRow(s.batch, s.Schema())
-			if err != nil {
-				return nil, false, err
+			b.Reset()
+			sch := s.Schema()
+			consumed := 0
+			for len(s.batch) > 0 && !b.Full() {
+				k, err := b.DecodeRowInto(s.batch, sch)
+				if err != nil {
+					return 0, err
+				}
+				s.batch = s.batch[k:]
+				consumed += k
 			}
-			s.batch = s.batch[n:]
-			s.Ex.chargeHost(s.Ex.Cost.HostDecodeCPB * float64(n))
-			return r, true, nil
+			b.FinishStrings()
+			s.Ex.chargeHost(s.Ex.Cost.HostDecodeCPB * float64(consumed))
+			return b.Len(), nil
 		}
 		pkt, ok := s.port.GetPacket()
 		if !ok {
-			return nil, false, nil
+			return 0, nil
 		}
 		s.batch = pkt.Bytes()
 		s.recvd += int64(pkt.Len())
@@ -283,7 +300,7 @@ func (s *NDPAggScan) Close() error {
 		return fmt.Errorf("db: device aggregate scan failed: %w", err)
 	}
 	ps := int64(s.T.PageSize)
-	s.Ex.St.PagesOverLink += (s.recvd + ps - 1) / ps
+	s.Ex.AddLinkPages((s.recvd + ps - 1) / ps)
 	s.app = nil
 	return nil
 }

@@ -346,7 +346,7 @@ func (pl *Planner) SampleSelectivity(ex *db.Exec, t *db.Table, keys []string) (f
 		if err := ex.H.SSD().ReadFileConv(f, pg*int64(t.PageSize), buf); err != nil {
 			return 0, err
 		}
-		ex.St.PagesOverLink++
+		ex.AddLinkPages(1)
 		if a.Contains(buf) {
 			hitPages++
 		}

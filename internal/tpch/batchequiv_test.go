@@ -1,0 +1,44 @@
+package tpch
+
+import (
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/db"
+	"biscuit/internal/db/planner"
+)
+
+// TestAllQueriesBatchSizeInvariant pins the RowBatch pipeline's central
+// contract: the execution batch size is a pure performance knob. Every
+// query must return identical rows (content and order) whether operators
+// exchange one row at a time, an awkward prime-sized batch, or the
+// default slab — on both the Conv plan and the planner-driven
+// (offloaded, join-reordered) plan.
+func TestAllQueriesBatchSizeInvariant(t *testing.T) {
+	sys, data := testData(t)
+	sys.Run(func(h *biscuit.Host) {
+		for _, query := range All() {
+			for _, planned := range []bool{false, true} {
+				run := func(batch int) []db.Row {
+					q := &QCtx{Ex: db.NewExec(h, data.DB), D: data}
+					q.Ex.BatchSize = batch
+					if planned {
+						q.Pl = planner.Default()
+					}
+					rows, err := query.Run(q)
+					if err != nil {
+						t.Fatalf("Q%d (planned=%v, batch=%d): %v", query.ID, planned, batch, err)
+					}
+					return rows
+				}
+				want := run(0)
+				for _, bs := range []int{1, 7} {
+					if got := run(bs); !rowsEqual(got, want) {
+						t.Errorf("Q%d (planned=%v): batch size %d changed the result: %d rows vs %d",
+							query.ID, planned, bs, len(got), len(want))
+					}
+				}
+			}
+		}
+	})
+}
