@@ -9,7 +9,7 @@ VETTOOL := bin/biscuitvet
 # dangerous kind.
 TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
 
-.PHONY: all build test race vet fmt check faulttest benchsmoke clean
+.PHONY: all build test race vet fmt check faulttest benchsmoke tracesmoke clean
 
 all: build
 
@@ -41,9 +41,26 @@ faulttest:
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkExecBatch -benchtime=1x ./internal/db
 
+# Trace smoke (DESIGN.md "Observability"): run TPC-H Q6 end to end with
+# tracing on, validate the export is a well-formed Chrome trace
+# (tracecheck also balances every async begin/end), and rerun with the
+# same seed to prove the trace is byte-identical — the whole span
+# pipeline is part of the deterministic simulation, so any divergence
+# is a determinism bug, not noise.
+TRACEQ6 := SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+	WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01' \
+	AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24
+
+tracesmoke:
+	mkdir -p trace-out
+	$(GO) run ./cmd/sqlssd -sf 0.002 -seed 7 -q "$(TRACEQ6)" -trace trace-out/q6.json -stats
+	$(GO) run ./cmd/sqlssd -sf 0.002 -seed 7 -q "$(TRACEQ6)" -trace trace-out/q6.rerun.json > /dev/null
+	cmp trace-out/q6.json trace-out/q6.rerun.json
+	$(GO) run ./cmd/tracecheck trace-out/q6.json
+
 # vet = stock go vet + the biscuitvet analyzer suite (walltime,
-# detrand, fiberyield, nogoroutine, portcheck, simtimemix — see
-# DESIGN.md "Invariants"). biscuitvet runs through the standard vettool
+# detrand, fiberyield, nogoroutine, portcheck, simtimemix, spanbalance —
+# see DESIGN.md "Invariants"). biscuitvet runs through the standard vettool
 # protocol, so suppressions use //biscuitvet:<name>-ok directives.
 vet: $(VETTOOL)
 	$(GO) vet ./...

@@ -27,6 +27,7 @@ import (
 	"biscuit/internal/isfs"
 	"biscuit/internal/ports"
 	"biscuit/internal/sim"
+	"biscuit/internal/trace"
 )
 
 // Re-exported device-side types for SSDlet authors (the libslet view).
@@ -107,6 +108,21 @@ func NewSystem(cfg Config) *System {
 // Install registers a module image with the device, like dropping a
 // .slet file into /var/isc/slets.
 func (s *System) Install(img *ModuleImage) { s.RT.InstallImage(img) }
+
+// SetTracer installs tr on every platform component (nil uninstalls),
+// so one export carries the full vertical slice: NVMe commands, NAND
+// die operations, FTL GC, fiber scheduling, port traffic, db scans.
+func (s *System) SetTracer(tr *trace.Tracer) { s.Plat.SetTracer(tr) }
+
+// Tracer returns the installed tracer (nil when tracing is disabled).
+func (s *System) Tracer() *trace.Tracer { return s.Plat.Trace }
+
+// NewTracer builds a tracer on the system's clock and installs it.
+func (s *System) NewTracer() *trace.Tracer {
+	tr := trace.New(s.Env)
+	s.SetTracer(tr)
+	return tr
+}
 
 // Run executes a host program against the system and drives the
 // simulation to completion, returning the virtual time the program took.

@@ -18,19 +18,62 @@ import (
 	"path/filepath"
 	"strings"
 
+	"biscuit"
 	"biscuit/internal/bench"
 )
 
 func main() {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiments: table2,table3,fig7,table4,table5,fig8,fig9,fig10")
-		sf      = flag.Float64("sf", 0, "TPC-H scale factor override for fig8/fig9/fig10")
-		joinbuf = flag.Int("joinbuf", 0, "join buffer rows override for fig10")
-		quick   = flag.Bool("quick", false, "use reduced experiment sizes")
-		csv     = flag.String("csv", "", "write fig7/fig9/fig10 series as CSV to this file")
-		jsonDir = flag.String("json", "", "write each experiment's result struct as BENCH_<exp>.json into this directory")
+		exps     = flag.String("exp", "all", "comma-separated experiments: table2,table3,fig7,table4,table5,fig8,fig9,fig10")
+		sf       = flag.Float64("sf", 0, "TPC-H scale factor override for fig8/fig9/fig10")
+		joinbuf  = flag.Int("joinbuf", 0, "join buffer rows override for fig10")
+		quick    = flag.Bool("quick", false, "use reduced experiment sizes")
+		csv      = flag.String("csv", "", "write fig7/fig9/fig10 series as CSV to this file")
+		jsonDir  = flag.String("json", "", "write each experiment's result struct as BENCH_<exp>.json into this directory")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace per simulated platform: <path>, <path>.2, ...")
+		stats    = flag.Bool("stats", false, "dump each platform's counters and latency percentiles at exit")
 	)
 	flag.Parse()
+
+	// Every experiment builds its platforms through bench.newSystem; the
+	// hook sees each one, so tracing and counter dumps need no per-
+	// experiment plumbing. Traces are written after all runs finish —
+	// every simulation is driven to completion inside its Run function.
+	var systems []*biscuit.System
+	if *traceOut != "" || *stats {
+		bench.OnSystem = func(s *biscuit.System) {
+			if *traceOut != "" {
+				s.NewTracer()
+			}
+			systems = append(systems, s)
+		}
+		defer func() {
+			for i, s := range systems {
+				if *traceOut != "" {
+					path := *traceOut
+					if i > 0 {
+						path = fmt.Sprintf("%s.%d", *traceOut, i+1)
+					}
+					if err := s.Tracer().WriteFile(path); err != nil {
+						fmt.Fprintln(os.Stderr, "trace:", err)
+						os.Exit(1)
+					}
+					fmt.Printf("wrote %s (load in https://ui.perfetto.dev)\n", path)
+				}
+				if *stats {
+					fmt.Printf("-- platform %d counters\n", i+1)
+					for _, c := range s.Plat.Ctrs.Snapshot() {
+						fmt.Printf("   %-24s %d\n", c.Name, c.Value)
+					}
+					fmt.Printf("-- platform %d latencies (ns)\n", i+1)
+					for _, h := range s.Plat.Hists.Snapshot() {
+						fmt.Printf("   %-24s count=%-8d p50=%-11d p95=%-11d p99=%-11d max=%d\n",
+							h.Name, h.Summary.Count, h.Summary.P50, h.Summary.P95, h.Summary.P99, h.Summary.Max)
+					}
+				}
+			}
+		}()
+	}
 
 	cfg := bench.DefaultConfig()
 	if *quick {

@@ -40,6 +40,7 @@ import (
 	"biscuit/internal/analysis/nogoroutine"
 	"biscuit/internal/analysis/portcheck"
 	"biscuit/internal/analysis/simtimemix"
+	"biscuit/internal/analysis/spanbalance"
 	"biscuit/internal/analysis/walltime"
 )
 
@@ -51,6 +52,7 @@ var analyzers = []*framework.Analyzer{
 	nogoroutine.Analyzer,
 	portcheck.Analyzer,
 	simtimemix.Analyzer,
+	spanbalance.Analyzer,
 	walltime.Analyzer,
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"biscuit"
 	"biscuit/internal/db"
@@ -22,11 +23,13 @@ import (
 
 func main() {
 	var (
-		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
-		q       = flag.String("q", "", "query to run (default: read from stdin, ';'-separated)")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		maxRows = flag.Int("rows", 20, "max rows to print per query")
-		batch   = flag.Int("batch", 0, "executor batch size in rows (0 = default slab)")
+		sf       = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		q        = flag.String("q", "", "query to run (default: read from stdin, ';'-separated)")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		maxRows  = flag.Int("rows", 20, "max rows to print per query")
+		batch    = flag.Int("batch", 0, "executor batch size in rows (0 = default slab)")
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of the whole run to this JSON file")
+		stats    = flag.Bool("stats", false, "print platform counters and latency percentiles after the run")
 	)
 	flag.Parse()
 
@@ -56,6 +59,9 @@ func main() {
 	}
 
 	sys := biscuit.NewSystem(biscuit.DefaultConfig())
+	if *traceOut != "" {
+		sys.NewTracer()
+	}
 	d := db.Open(sys)
 	sys.Run(func(h *biscuit.Host) {
 		if _, err := (tpch.Gen{SF: *sf}).Load(h, d, biscuit.SeededRand(*seed)); err != nil {
@@ -102,6 +108,33 @@ func main() {
 			}
 		}
 	})
+
+	if *traceOut != "" {
+		if err := sys.Tracer().WriteFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (load in https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *stats {
+		printStats(sys)
+	}
+}
+
+// printStats dumps the platform's counter and histogram registries in
+// their deterministic (name-sorted) snapshot order.
+func printStats(sys *biscuit.System) {
+	fmt.Println("-- counters")
+	for _, c := range sys.Plat.Ctrs.Snapshot() {
+		fmt.Printf("   %-24s %d\n", c.Name, c.Value)
+	}
+	fmt.Println("-- latencies")
+	for _, s := range sys.Plat.Hists.Snapshot() {
+		fmt.Printf("   %-24s count=%-8d p50=%-12v p95=%-12v p99=%-12v max=%v\n",
+			s.Name, s.Summary.Count,
+			time.Duration(s.Summary.P50), time.Duration(s.Summary.P95),
+			time.Duration(s.Summary.P99), time.Duration(s.Summary.Max))
+	}
 }
 
 func printRows(res *sql.Result, maxRows int) {

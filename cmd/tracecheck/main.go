@@ -1,0 +1,108 @@
+// Command tracecheck validates a Chrome/Perfetto trace produced by
+// -trace flags before CI archives it: the file must be well-formed
+// JSON, hold a non-empty traceEvents array of known phases, name every
+// thread it emits events on, and balance every async begin with exactly
+// one end. It exists so `make tracesmoke` fails loudly on a malformed
+// export instead of archiving a file Perfetto will reject.
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+type event struct {
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Name string         `json:"name"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	ID   any            `json:"id"` // numeric in our exporter; string also legal
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: tracecheck trace.json [more.json ...]")
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("traceEvents is empty")
+	}
+
+	named := map[int]string{}     // tid -> thread_name from 'M' metadata
+	asyncOpen := map[string]int{} // async id -> open count
+	spans, instants := 0, 0
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				if n, ok := ev.Args["name"].(string); ok {
+					named[ev.Tid] = n
+				}
+			}
+			continue
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("event %d (%s): complete span without non-negative dur", i, ev.Name)
+			}
+			spans++
+		case "b":
+			asyncOpen[fmt.Sprint(ev.ID)]++
+			spans++
+		case "e":
+			id := fmt.Sprint(ev.ID)
+			asyncOpen[id]--
+			if asyncOpen[id] < 0 {
+				return fmt.Errorf("event %d: async end %q without a begin", i, id)
+			}
+		case "i":
+			instants++
+		default:
+			return fmt.Errorf("event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ts == nil {
+			return fmt.Errorf("event %d (%s): missing ts", i, ev.Name)
+		}
+		if *ev.Ts < 0 {
+			return fmt.Errorf("event %d (%s): negative ts", i, ev.Name)
+		}
+		if _, ok := named[ev.Tid]; !ok {
+			return fmt.Errorf("event %d (%s): tid %d has no thread_name metadata", i, ev.Name, ev.Tid)
+		}
+	}
+	for id, n := range asyncOpen {
+		if n != 0 {
+			return fmt.Errorf("async span %q left open (%d unmatched begins)", id, n)
+		}
+	}
+	fmt.Printf("%s: ok — %d events (%d spans, %d instants) on %d tracks\n",
+		path, len(tf.TraceEvents), spans, instants, len(named))
+	return nil
+}

@@ -1,0 +1,12 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/spanbalance"
+)
+
+func TestSpanBalance(t *testing.T) {
+	analysistest.Run(t, "testdata", spanbalance.Analyzer, "spans")
+}

@@ -1,0 +1,34 @@
+// Package trace is a stub of the real tracer: just enough surface for
+// spanbalance's type resolution (Begin/BeginAsync returning a Span with
+// chainable Arg/ArgStr and End).
+package trace
+
+// TrackID names one horizontal lane.
+type TrackID int32
+
+// Tracer is the stub event sink.
+type Tracer struct{}
+
+// Track registers a lane.
+func (t *Tracer) Track(name string) TrackID { return 0 }
+
+// Begin opens a synchronous span.
+func (t *Tracer) Begin(tk TrackID, name string) Span { return Span{} }
+
+// BeginAsync opens an async span.
+func (t *Tracer) BeginAsync(tk TrackID, name string) Span { return Span{} }
+
+// Instant records a point event.
+func (t *Tracer) Instant(tk TrackID, name string) Span { return Span{} }
+
+// Span is one open span.
+type Span struct{}
+
+// Arg attaches an integer attribute.
+func (s Span) Arg(key string, v int64) Span { return s }
+
+// ArgStr attaches a string attribute.
+func (s Span) ArgStr(key, v string) Span { return s }
+
+// End closes the span.
+func (s Span) End() {}

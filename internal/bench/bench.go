@@ -9,6 +9,7 @@ package bench
 import (
 	"biscuit"
 	"biscuit/internal/sim"
+	"biscuit/internal/stats"
 )
 
 // Config sizes the experiments. The paper's datasets (160 GiB TPC-H,
@@ -66,6 +67,12 @@ func QuickConfig() Config {
 	return c
 }
 
+// OnSystem, when non-nil, is invoked on every platform an experiment
+// builds. cmd/biscuitbench uses it to install a tracer (or other
+// observers) without widening every Run signature; experiments stay
+// observer-agnostic.
+var OnSystem func(*biscuit.System)
+
 // newSystem builds the paper-calibrated platform with media geometry
 // scaled to the experiment's footprint (full 16-channel parallelism,
 // fewer blocks so simulation memory stays modest).
@@ -73,7 +80,18 @@ func newSystem() *biscuit.System {
 	cfg := biscuit.DefaultConfig()
 	cfg.NAND.BlocksPerDie = 512
 	cfg.NAND.PagesPerBlock = 64
-	return biscuit.NewSystem(cfg)
+	sys := biscuit.NewSystem(cfg)
+	if OnSystem != nil {
+		OnSystem(sys)
+	}
+	return sys
+}
+
+// latencies digests the platform's histogram registry for embedding in
+// an experiment's result struct: every metric the run touched
+// ("hostif.read", "ftl.gc.round", "db.scan.ndp", ...) as p50/p95/p99/max.
+func latencies(sys *biscuit.System) []stats.NamedSummary {
+	return sys.Plat.Hists.Snapshot()
 }
 
 // timeIt measures a host-program step in virtual time.

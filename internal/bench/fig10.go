@@ -22,7 +22,9 @@ type Fig10Row struct {
 	Rows        int
 }
 
-// Fig10 reproduces Fig. 10 plus the surrounding §V-C aggregates.
+// Fig10 reproduces Fig. 10 plus the surrounding §V-C aggregates. Lat
+// digests every latency histogram the 22-query sweep touched, down to
+// per-scan durations and NAND-level metrics.
 type Fig10 struct {
 	Rows []Fig10Row
 
@@ -32,6 +34,8 @@ type Fig10 struct {
 	TotalConvS     float64
 	TotalBiscS     float64
 	TotalSpeedup   float64
+
+	Lat []stats.NamedSummary `json:"lat"`
 }
 
 // RunFig10 loads TPC-H once and runs all 22 queries under both systems.
@@ -131,6 +135,7 @@ func RunFig10(cfg Config) Fig10 {
 	if out.TotalBiscS > 0 {
 		out.TotalSpeedup = out.TotalConvS / out.TotalBiscS
 	}
+	out.Lat = latencies(sys)
 	return out
 }
 

@@ -83,10 +83,14 @@ func series(ts []sim.Time, rows int) Fig8Series {
 }
 
 // Fig8 reproduces Fig. 8: repeated executions of both queries under
-// both systems, with 95% confidence intervals.
+// both systems, with 95% confidence intervals. Lat carries the whole
+// run's latency distributions — the per-scan digests ("db.scan.conv",
+// "db.scan.ndp") decompose the error bars the series report.
 type Fig8 struct {
 	Q1Conv, Q1Biscuit Fig8Series
 	Q2Conv, Q2Biscuit Fig8Series
+
+	Lat []stats.NamedSummary `json:"lat"`
 }
 
 // RunFig8 loads TPC-H once and repeats each query cfg.Fig8Reps times.
@@ -132,5 +136,6 @@ func RunFig8(cfg Config) Fig8 {
 			panic("bench: fig8 result cardinality mismatch between Conv and Biscuit")
 		}
 	})
+	out.Lat = latencies(sys)
 	return out
 }

@@ -3,12 +3,17 @@ package bench
 import (
 	"biscuit"
 	"biscuit/internal/sim"
+	"biscuit/internal/stats"
 )
 
 // Table3 reproduces Table III: latency of one 4 KiB read, conventional
-// host path vs Biscuit-internal path.
+// host path vs Biscuit-internal path. The two means are backed by the
+// full distributions the platform histograms recorded during the run.
 type Table3 struct {
 	Conv, Biscuit sim.Time
+
+	ConvLat    stats.LatencySummary `json:"conv_lat"`    // "hostif.read"
+	BiscuitLat stats.LatencySummary `json:"biscuit_lat"` // "dev.internal.read"
 }
 
 // RunTable3 measures single 4 KiB reads on an otherwise idle system.
@@ -41,6 +46,8 @@ func RunTable3() Table3 {
 		}
 		out.Conv = conv / iters
 		out.Biscuit = internal / iters
+		out.ConvLat = plat.Hists.Get("hostif.read").Summary()
+		out.BiscuitLat = plat.Hists.Get("dev.internal.read").Summary()
 	})
 	return out
 }
@@ -53,10 +60,15 @@ type Fig7Point struct {
 	Matcher float64 // internal path through the pattern-matcher IPs
 }
 
-// Fig7 reproduces Fig. 7's two panels.
+// Fig7 reproduces Fig. 7's two panels. Lat carries the run's latency
+// distributions ("hostif.read" spans every Conv request of both panels,
+// including the queued QD-32 ones) so the bandwidth curves come with
+// their percentile tails.
 type Fig7 struct {
 	Sync  []Fig7Point // one request at a time
 	Async []Fig7Point // queue depth 32
+
+	Lat []stats.NamedSummary `json:"lat"`
 }
 
 // RunFig7 sweeps request sizes for synchronous and asynchronous (QD 32)
@@ -166,5 +178,6 @@ func RunFig7() Fig7 {
 			out.Async = append(out.Async, apt)
 		}
 	})
+	out.Lat = latencies(sys)
 	return out
 }

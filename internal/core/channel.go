@@ -108,6 +108,9 @@ func (r *Runtime) ConnectToHost(p *sim.Proc, prod *letInstance, oi int) (*HostIn
 	r.control(p, 0)
 	r.chanMgr.acquire(p)
 	ch := &hostChannel{cm: r.chanMgr, hostQ: ports.NewQueue[ports.Packet](r.Env(), defaultQueueCap), up: true}
+	if tr := r.Plat.Trace; tr != nil {
+		ch.hostQ.Instrument(tr, tr.Track("port/"+prod.name+"/d2h"))
+	}
 	cn := &conn{kind: hostPort, elem: PacketType, q: newAnyQueue(r.Env()), producers: 1, consumers: 1, hostSide: ch}
 	prod.out[oi] = cn
 
@@ -155,6 +158,9 @@ func (r *Runtime) ConnectFromHost(p *sim.Proc, cons *letInstance, ii int) (*Host
 	r.control(p, 0)
 	r.chanMgr.acquire(p)
 	ch := &hostChannel{cm: r.chanMgr, hostQ: ports.NewQueue[ports.Packet](r.Env(), defaultQueueCap)}
+	if tr := r.Plat.Trace; tr != nil {
+		ch.hostQ.Instrument(tr, tr.Track("port/"+cons.name+"/h2d"))
+	}
 	cn := &conn{kind: hostPort, elem: PacketType, q: newAnyQueue(r.Env()), producers: 1, consumers: 1, hostSide: ch}
 	cons.in[ii] = cn
 

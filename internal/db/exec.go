@@ -6,6 +6,8 @@ import (
 	"sort"
 
 	"biscuit"
+	"biscuit/internal/sim"
+	"biscuit/internal/trace"
 )
 
 // CostModel prices the software work of query execution. Host cycles run
@@ -119,6 +121,38 @@ func (ex *Exec) AddLinkPages(n int64) {
 	ex.H.System().Plat.Ctrs.Add("db.pages.link", n)
 }
 
+// dbTrack is the shared trace track carrying every table-scan lifetime.
+// Scans overlap (a join's inner rescans open while the outer is open, and
+// the NDP fallback nests a ConvScan inside the dying scan), so the track
+// holds async spans only.
+const dbTrack = "host/db"
+
+// beginScan opens a scan-lifetime span on the db track, tagged with the
+// table name. Returns the inert zero Span when tracing is off.
+func (ex *Exec) beginScan(name, table string) trace.Span {
+	tr := ex.H.System().Plat.Trace
+	if tr == nil {
+		return trace.Span{}
+	}
+	return tr.BeginAsync(tr.Track(dbTrack), name).ArgStr("table", table)
+}
+
+// scanInstant marks a point event of a scan's lifecycle (fallback
+// engagement) on the db track.
+func (ex *Exec) scanInstant(name, table string) {
+	tr := ex.H.System().Plat.Trace
+	if tr == nil {
+		return
+	}
+	tr.Instant(tr.Track(dbTrack), name).ArgStr("table", table)
+}
+
+// observeScan records one completed scan's Open-to-Close wall time in
+// the platform histogram registry ("db.scan.conv" / "db.scan.ndp").
+func (ex *Exec) observeScan(name string, d sim.Time) {
+	ex.H.System().Plat.Hists.Observe(name, int64(d))
+}
+
 // Iterator is the vectorized operator interface. NextBatch fills b
 // (resetting it first) and returns the number of live rows; 0 means
 // end-of-stream. Operators never return 0 while more rows remain — a
@@ -195,6 +229,10 @@ type ConvScan struct {
 	pAt, pEnd int   // decode window of the current page within chunk
 	pRows     int   // rows left to decode in the current page
 	pOff      int64 // file offset of the current page (for errors)
+
+	span    trace.Span // open "scan.conv" lifetime span
+	started sim.Time   // Open time, for the duration histogram
+	open    bool       // Open seen and Close not yet
 }
 
 // NewConvScan builds a host-side scan.
@@ -218,6 +256,9 @@ func (s *ConvScan) Open() error {
 	s.cLen, s.cAt, s.cOff = 0, 0, 0
 	s.pAt, s.pEnd, s.pRows = 0, 0, 0
 	s.Ex.noteConvScan()
+	s.span = s.Ex.beginScan("scan.conv", s.T.Name)
+	s.started = s.Ex.H.Now()
+	s.open = true
 	return nil
 }
 
@@ -356,6 +397,12 @@ func (s *ConvScan) ReadChunkSize() int {
 // Close releases the scan.
 func (s *ConvScan) Close() error {
 	s.cLen, s.cAt, s.pRows = 0, 0, 0
+	if s.open {
+		s.open = false
+		s.span.End()
+		s.span = trace.Span{}
+		s.Ex.observeScan("db.scan.conv", s.Ex.H.Now()-s.started)
+	}
 	return nil
 }
 

@@ -1,0 +1,53 @@
+package db
+
+import (
+	"testing"
+
+	"biscuit"
+)
+
+// TestScanStatsMirrorToPlatform pins the db layer's contract with the
+// platform registries: every scan bumps the platform counters and
+// records a latency digest under the documented names, so `sqlssd
+// -stats` and the bench JSON see db activity without any db-specific
+// plumbing.
+func TestScanStatsMirrorToPlatform(t *testing.T) {
+	sys := quickSys()
+	d := Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		tab := loadFixture(t, h, d, 2000, 50)
+		pred := EqS(tab.Sch, "note", "TARGETKEY")
+		ex := NewExec(h, d)
+		if _, err := Collect(ex.NewConvScan(tab, pred)); err != nil {
+			t.Fatal(err)
+		}
+		ex2 := NewExec(h, d)
+		if _, err := Collect(ex2.NewNDPScan(tab, []string{"TARGETKEY"}, pred)); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	ctrs := sys.Plat.Ctrs
+	if got := ctrs.Get("db.scan.conv"); got != 1 {
+		t.Errorf("db.scan.conv = %d, want 1", got)
+	}
+	if got := ctrs.Get("db.scan.ndp"); got != 1 {
+		t.Errorf("db.scan.ndp = %d, want 1", got)
+	}
+	if ctrs.Get("db.pages.link") == 0 {
+		t.Error("db.pages.link never incremented")
+	}
+	if got := ctrs.Get("db.ndp.fallback"); got != 0 {
+		t.Errorf("db.ndp.fallback = %d on a healthy run, want 0", got)
+	}
+
+	for _, name := range []string{"db.scan.conv", "db.scan.ndp"} {
+		s := sys.Plat.Hists.Get(name).Summary()
+		if s.Count != 1 {
+			t.Errorf("%s digest count = %d, want 1 observation per scan", name, s.Count)
+		}
+		if s.Max <= 0 || s.P50 > s.Max {
+			t.Errorf("%s digest implausible: %+v", name, s)
+		}
+	}
+}

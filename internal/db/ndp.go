@@ -10,6 +10,8 @@ import (
 	"biscuit/internal/fault"
 	"biscuit/internal/isfs"
 	"biscuit/internal/match"
+	"biscuit/internal/sim"
+	"biscuit/internal/trace"
 )
 
 // The device-side table scan: the paper's rewritten XtraDB datapath
@@ -210,6 +212,10 @@ type NDPScan struct {
 	// mid-way through a ConvScan batch.
 	resume   *RowBatch
 	resumeAt int
+
+	span    trace.Span // open "scan.ndp" lifetime span
+	started sim.Time   // Open time, for the duration histogram
+	opened  bool       // Open seen and Close not yet
 }
 
 func (s *NDPScan) exec() *Exec { return s.Ex }
@@ -260,6 +266,9 @@ func (s *NDPScan) Open() error {
 	s.resumeAt = 0
 	s.Ex.noteNDPScan()
 	s.Ex.St.PagesInternal += s.T.Pages
+	s.span = s.Ex.beginScan("scan.ndp", s.T.Name)
+	s.started = s.Ex.H.Now()
+	s.opened = true
 	return nil
 }
 
@@ -358,6 +367,7 @@ func (s *NDPScan) finishApp() error {
 // injector's fault schedule.
 func (s *NDPScan) engageFallback() error {
 	s.Ex.noteNDPFallback()
+	s.Ex.scanInstant("ndp.fallback", s.T.Name)
 	plat := s.Ex.H.System().Plat
 	plat.Inj.Record(fault.Fallback, "db.ndpscan "+s.T.Name)
 	fb := s.Ex.NewConvScan(s.T, s.Pred)
@@ -419,6 +429,12 @@ func (s *NDPScan) Close() error {
 	ps := int64(s.T.PageSize)
 	s.Ex.AddLinkPages((s.recvd + ps - 1) / ps)
 	s.app = nil
+	if s.opened {
+		s.opened = false
+		s.span.End()
+		s.span = trace.Span{}
+		s.Ex.observeScan("db.scan.ndp", s.Ex.H.Now()-s.started)
+	}
 	if firstErr != nil {
 		return firstErr
 	}

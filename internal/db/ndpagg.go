@@ -9,6 +9,8 @@ import (
 	"biscuit/internal/core"
 	"biscuit/internal/isfs"
 	"biscuit/internal/match"
+	"biscuit/internal/sim"
+	"biscuit/internal/trace"
 )
 
 // Aggregation pushdown: the extension the paper's §VIII points at
@@ -206,6 +208,10 @@ type NDPAggScan struct {
 	port  *biscuit.HostIn[biscuit.Packet]
 	batch []byte
 	recvd int64
+
+	span    trace.Span // open "scan.ndp" lifetime span
+	started sim.Time   // Open time, for the duration histogram
+	opened  bool       // Open seen and Close not yet
 }
 
 // NewNDPAggScan builds a filter+aggregate offload.
@@ -250,6 +256,9 @@ func (s *NDPAggScan) Open() error {
 	s.recvd = 0
 	s.Ex.noteNDPScan()
 	s.Ex.St.PagesInternal += s.T.Pages
+	s.span = s.Ex.beginScan("scan.ndp", s.T.Name)
+	s.started = s.Ex.H.Now()
+	s.opened = true
 	return nil
 }
 
@@ -286,6 +295,16 @@ func (s *NDPAggScan) Close() error {
 	if s.app == nil {
 		return nil
 	}
+	// The span ends even when the device application failed — the export
+	// should show the aborted scan's true extent.
+	defer func() {
+		if s.opened {
+			s.opened = false
+			s.span.End()
+			s.span = trace.Span{}
+			s.Ex.observeScan("db.scan.ndp", s.Ex.H.Now()-s.started)
+		}
+	}()
 	for {
 		pkt, ok := s.port.GetPacket()
 		if !ok {

@@ -20,6 +20,7 @@ import (
 	"biscuit/internal/nand"
 	"biscuit/internal/sim"
 	"biscuit/internal/stats"
+	"biscuit/internal/trace"
 )
 
 // Config aggregates every component configuration plus the Biscuit
@@ -144,6 +145,17 @@ type Platform struct {
 	// Ctrs records operational events (fault-path events in particular)
 	// for the evaluation's counter dumps. Always non-nil.
 	Ctrs *stats.Counters
+
+	// Hists records latency distributions ("hostif.read", "ftl.gc.round",
+	// "fiber.sched", ...) for the evaluation's percentile outputs.
+	// Always non-nil and pre-wired into every component.
+	Hists *stats.Histograms
+
+	// Trace is the platform tracer; nil (the default) disables tracing
+	// everywhere at zero cost. Install with SetTracer.
+	Trace *trace.Tracer
+
+	intTk trace.TrackID // "dev/internal" track for SSDlet-issued reads
 }
 
 // New builds a platform in env with the given configuration.
@@ -158,7 +170,7 @@ func New(env *sim.Env, cfg Config) *Platform {
 // Fig. 1(b), where one server fronts several SSDs. Each platform still
 // gets its own PCIe link, media and device cores.
 func NewShared(env *sim.Env, cfg Config, hostCPU *cpu.CPU, hostMem *sim.SharedBW) *Platform {
-	p := &Platform{Env: env, Cfg: cfg, Ctrs: stats.NewCounters()}
+	p := &Platform{Env: env, Cfg: cfg, Ctrs: stats.NewCounters(), Hists: stats.NewHistograms()}
 	p.HostCPU = hostCPU
 	p.HostMem = hostMem
 	p.Array = nand.New(env, cfg.NAND)
@@ -177,6 +189,9 @@ func NewShared(env *sim.Env, cfg Config, hostCPU *cpu.CPU, hostMem *sim.SharedBW
 		p.HostIF.SetInjector(inj)
 	}
 	p.DevRT = fibers.New(env, fibers.Config{Cores: cfg.DevCores, Hz: cfg.DevHz, CSW: cfg.FiberCSW})
+	p.HostIF.SetHists(p.Hists)
+	p.FTL.SetHists(p.Hists)
+	p.DevRT.SetHists(p.Hists)
 	dm, err := mem.NewDeviceMemory(cfg.SystemHeap, cfg.UserHeap)
 	if err != nil {
 		panic(err)
@@ -190,13 +205,33 @@ func Default() *Platform {
 	return New(sim.NewEnv(), DefaultConfig())
 }
 
+// SetTracer installs (or, with nil, removes) the tracer on every
+// component of the platform, mirroring how the fault injector is
+// distributed: NAND dies, FTL GC, the NVMe interface and the fiber
+// runtime all emit onto the one tracer, so a single export shows the
+// full vertical slice of a request.
+func (p *Platform) SetTracer(tr *trace.Tracer) {
+	p.Trace = tr
+	p.Array.SetTracer(tr)
+	p.FTL.SetTracer(tr)
+	p.HostIF.SetTracer(tr)
+	p.DevRT.SetTracer(tr)
+	if tr != nil {
+		p.intTk = tr.Track("dev/internal")
+	}
+}
+
 // InternalRead performs a Biscuit-internal read (no host interface): the
 // path an SSDlet's File.Read takes. Table III's right column. Media
 // errors surface directly — there is no command-level retry inside the
 // device, so this path degrades before the conventional one does.
 func (p *Platform) InternalRead(proc *sim.Proc, off int64, n int) ([]byte, error) {
+	sp := p.Trace.BeginAsync(p.intTk, "internal.read").Arg("off", off).Arg("bytes", int64(n))
+	start := proc.Now()
 	data, err := p.FTL.ReadRange(proc, off, n)
 	proc.Sleep(p.Cfg.InternalReadOverhead)
+	p.Hists.Observe("dev.internal.read", int64(proc.Now()-start))
+	sp.End()
 	return data, err
 }
 

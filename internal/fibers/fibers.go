@@ -13,6 +13,8 @@ import (
 	"fmt"
 
 	"biscuit/internal/sim"
+	"biscuit/internal/stats"
+	"biscuit/internal/trace"
 )
 
 // Runtime owns the device cores available to Biscuit and schedules fiber
@@ -23,6 +25,10 @@ type Runtime struct {
 	hz    float64
 	csw   sim.Time // fiber context-switch cost
 	next  int      // round-robin core cursor for group placement
+
+	tr     *trace.Tracer   // nil = tracing disabled
+	coreTk []trace.TrackID // one sync track per core, nil when tr is nil
+	hists  *stats.Histograms
 
 	switches int64
 }
@@ -65,6 +71,35 @@ func (r *Runtime) Switches() int64 { return r.switches }
 // accounting.
 func (r *Runtime) CoreResource(i int) *sim.Resource { return r.cores[i] }
 
+// SetTracer installs the tracer receiving fiber run spans. Each core
+// is an exclusive resource, so its run spans ("dev/core1") strictly
+// nest; a span covers one stretch of core ownership, from dispatch to
+// the next Block/Yield or termination. Nil disables.
+func (r *Runtime) SetTracer(tr *trace.Tracer) {
+	r.tr = tr
+	if tr == nil {
+		r.coreTk = nil
+		return
+	}
+	r.coreTk = make([]trace.TrackID, len(r.cores))
+	for i := range r.cores {
+		r.coreTk[i] = tr.Track(fmt.Sprintf("dev/core%d", i))
+	}
+}
+
+// SetHists installs the registry receiving the fiber scheduling-delay
+// distribution ("fiber.sched": ready-to-dispatched wait). Nil disables.
+func (r *Runtime) SetHists(h *stats.Histograms) { r.hists = h }
+
+// beginRun opens the run span for one stretch of core ownership; the
+// slice is named after the fiber so core timelines read directly.
+func (r *Runtime) beginRun(core int, name string) trace.Span {
+	if r.tr == nil {
+		return trace.Span{}
+	}
+	return r.tr.Begin(r.coreTk[core], name)
+}
+
 // Group is a set of fibers pinned to one core — the runtime image of a
 // Biscuit Application.
 type Group struct {
@@ -96,18 +131,24 @@ type Fiber struct {
 	p    *sim.Proc
 	g    *Group
 	done *sim.Event
+	name string
+	span trace.Span // open run span while the fiber holds its core
 }
 
 // Go starts fn as a new fiber of the group.
 func (g *Group) Go(name string, fn func(f *Fiber)) *Fiber {
-	f := &Fiber{g: g}
+	f := &Fiber{g: g, name: name}
 	g.live++
 	f.p = g.rt.env.Spawn(name, func(p *sim.Proc) {
 		f.p = p
+		readyAt := p.Now()
 		g.core.Acquire(p) // wait for the core, then run
+		g.rt.hists.Observe("fiber.sched", int64(p.Now()-readyAt))
+		f.span = g.rt.beginRun(g.id, name)
 		p.Sleep(g.rt.csw) // dispatch cost
 		g.rt.switches++
 		defer func() {
+			f.span.End()
 			g.core.Release()
 			g.live--
 			if g.live == 0 && g.idle != nil {
@@ -141,9 +182,13 @@ func (f *Fiber) ComputeTime(d sim.Time) { f.p.Sleep(d) }
 // process), then re-acquires the core and pays the context-switch cost.
 // All blocking primitives (ports, file I/O) funnel through here.
 func (f *Fiber) Block(wait func(p *sim.Proc)) {
+	f.span.End()
 	f.g.core.Release()
 	wait(f.p)
+	readyAt := f.p.Now()
 	f.g.core.Acquire(f.p)
+	f.g.rt.hists.Observe("fiber.sched", int64(f.p.Now()-readyAt))
+	f.span = f.g.rt.beginRun(f.g.id, f.name)
 	f.p.Sleep(f.g.rt.csw)
 	f.g.rt.switches++
 }

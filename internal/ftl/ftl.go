@@ -17,6 +17,8 @@ import (
 	"biscuit/internal/fault"
 	"biscuit/internal/nand"
 	"biscuit/internal/sim"
+	"biscuit/internal/stats"
+	"biscuit/internal/trace"
 )
 
 // Config holds FTL tuning parameters.
@@ -94,6 +96,11 @@ type FTL struct {
 	wrDie int  // round-robin die cursor for new writes
 	inGC  bool // prevents re-entrant collection from relocation writes
 
+	tr    *trace.Tracer // nil = tracing disabled
+	gcTk  trace.TrackID // GC rounds (serialized by inGC, so spans nest)
+	fwTk  trace.TrackID // firmware fault-handling instants (retries, remaps)
+	hists *stats.Histograms
+
 	gcMoves  int64
 	gcRounds int64
 	reads    int64
@@ -144,6 +151,20 @@ func New(env *sim.Env, arr *nand.Array, cfg Config) *FTL {
 
 // Env returns the simulation environment the FTL runs in.
 func (f *FTL) Env() *sim.Env { return f.env }
+
+// SetTracer installs the tracer receiving GC-round spans ("ftl/gc")
+// and fault-handling instants ("ftl/fw"). Nil disables.
+func (f *FTL) SetTracer(tr *trace.Tracer) {
+	f.tr = tr
+	if tr != nil {
+		f.gcTk = tr.Track("ftl/gc")
+		f.fwTk = tr.Track("ftl/fw")
+	}
+}
+
+// SetHists installs the registry receiving the GC-round duration
+// distribution ("ftl.gc.round"). Nil disables.
+func (f *FTL) SetHists(h *stats.Histograms) { f.hists = h }
 
 // PageSize returns the logical (== physical) page size in bytes.
 func (f *FTL) PageSize() int { return f.arr.Config().PageSize }
@@ -229,6 +250,7 @@ func (f *FTL) readRetry(p *sim.Proc, addr nand.PPA, offset, length int) ([]byte,
 	for try := 0; try <= f.cfg.ReadRetries; try++ {
 		if try > 0 {
 			f.readRetries++
+			f.tr.Instant(f.fwTk, "read.retry").Arg("try", int64(try))
 			p.Sleep(f.cfg.RetryLatency)
 		}
 		var data []byte
@@ -241,6 +263,7 @@ func (f *FTL) readRetry(p *sim.Proc, addr nand.PPA, offset, length int) ([]byte,
 		}
 	}
 	f.readErrors++
+	f.tr.Instant(f.fwTk, "read.error")
 	return nil, err
 }
 
@@ -394,6 +417,7 @@ func (f *FTL) programRetry(p *sim.Proc, dieIdx int, page []byte) (int, error) {
 		}
 		f.programFails++
 		_, block, _ := f.decode(ppi)
+		f.tr.Instant(f.fwTk, "program.remap").Arg("die", int64(dieIdx)).Arg("block", int64(block))
 		f.retire(dieIdx, block)
 	}
 	return -1, fmt.Errorf("ftl: die %d: %d program attempts failed: %w", dieIdx, tries, err)
@@ -449,6 +473,9 @@ func (f *FTL) maybeGC(p *sim.Proc, dieIdx int) {
 			return // nothing reclaimable
 		}
 		f.gcRounds++
+		roundStart := p.Now()
+		sp := f.tr.Begin(f.gcTk, "ftl.gc").Arg("die", int64(dieIdx)).Arg("block", int64(victim))
+		moved := int64(0)
 		bm := &d.blockMeta[victim]
 		for pg := 0; pg < nc.PagesPerBlock; pg++ {
 			lpn := bm.lpns[pg]
@@ -468,6 +495,7 @@ func (f *FTL) maybeGC(p *sim.Proc, dieIdx int) {
 				f.arr.Peek(src, 0, data)
 				p.Sleep(f.cfg.RetryLatency)
 				f.gcRecovers++
+				f.tr.Instant(f.gcTk, "gc.recover")
 				f.arr.Injector().Record(fault.GCRecover, "ftl.gc "+src.String())
 			}
 			dst, err := f.programRetry(p, dieIdx, data)
@@ -485,16 +513,21 @@ func (f *FTL) maybeGC(p *sim.Proc, dieIdx int) {
 			nbm.valid++
 			f.l2p[lpn] = dst
 			f.gcMoves++
+			moved++
 		}
-		if bm.bad {
-			continue // retired: relocated its data, but never erase or reuse
+		// A retired (bad) victim relocated its data but is never erased
+		// or reused; an erase failure retires the block instead of
+		// freeing it.
+		if !bm.bad {
+			addr := nand.BlockAddr{Channel: dieIdx / nc.WaysPerChannel, Way: dieIdx % nc.WaysPerChannel, Block: victim}
+			if err := f.arr.Erase(p, addr); err != nil {
+				f.retire(dieIdx, victim)
+			} else {
+				d.free = append(d.free, victim)
+			}
 		}
-		addr := nand.BlockAddr{Channel: dieIdx / nc.WaysPerChannel, Way: dieIdx % nc.WaysPerChannel, Block: victim}
-		if err := f.arr.Erase(p, addr); err != nil {
-			f.retire(dieIdx, victim)
-			continue // erase failure retires the block instead of freeing it
-		}
-		d.free = append(d.free, victim)
+		sp.Arg("moves", moved).End()
+		f.hists.Observe("ftl.gc.round", int64(p.Now()-roundStart))
 	}
 }
 

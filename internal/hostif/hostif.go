@@ -15,6 +15,8 @@ import (
 	"biscuit/internal/fault"
 	"biscuit/internal/ftl"
 	"biscuit/internal/sim"
+	"biscuit/internal/stats"
+	"biscuit/internal/trace"
 )
 
 // Config holds link and protocol cost parameters.
@@ -77,6 +79,10 @@ type Interface struct {
 	qd      *sim.Resource
 	inj     *fault.Injector // nil = perfectly reliable interface
 
+	tr    *trace.Tracer // nil = tracing disabled
+	cmdTk trace.TrackID // async track carrying overlapping command spans
+	hists *stats.Histograms
+
 	cmds, bytesUp, bytesDown int64
 	timeouts, stalls, redos  int64
 }
@@ -105,11 +111,26 @@ func New(env *sim.Env, cfg Config, f *ftl.FTL, hostCPU, devCPU *cpu.CPU) *Interf
 // timeouts and backpressure stalls. Nil (the default) disables both.
 func (i *Interface) SetInjector(in *fault.Injector) { i.inj = in }
 
+// SetTracer installs the tracer receiving the NVMe command lifecycle:
+// one async span per command on the "host/nvme" track (commands
+// overlap under queue depth), with retry/timeout/stall instants.
+func (i *Interface) SetTracer(tr *trace.Tracer) {
+	i.tr = tr
+	if tr != nil {
+		i.cmdTk = tr.Track("host/nvme")
+	}
+}
+
+// SetHists installs the registry receiving per-command latency
+// distributions ("hostif.read", "hostif.write"). Nil disables.
+func (i *Interface) SetHists(h *stats.Histograms) { i.hists = h }
+
 // stall models an injected backpressure hiccup on the host link: the
 // transfer holds for the plan's stall delay before data moves.
 func (i *Interface) stall(p *sim.Proc, dir string) {
 	if i.inj.Stall(func() string { return "hostif." + dir }) {
 		i.stalls++
+		i.tr.Instant(i.cmdTk, "link.stall").ArgStr("dir", dir)
 		p.Sleep(i.inj.Plan().StallDelay)
 	}
 }
@@ -165,6 +186,7 @@ func (i *Interface) submit(p *sim.Proc) error {
 	p.Sleep(i.cfg.DoorbellCost)
 	if i.inj.Timeout(func() string { return "hostif.submit" }) {
 		i.timeouts++
+		i.tr.Instant(i.cmdTk, "cmd.timeout")
 		p.Sleep(i.inj.Plan().TimeoutDelay)
 		i.qd.Release()
 		return fmt.Errorf("hostif: %w", fault.ErrTimeout)
@@ -196,6 +218,7 @@ func (i *Interface) retry(p *sim.Proc, what string, op func() error) error {
 			break
 		}
 		i.redos++
+		i.tr.Instant(i.cmdTk, "cmd.retry").Arg("try", int64(try+1)).Arg("backoff_ns", int64(backoff))
 		p.Sleep(backoff)
 		backoff *= 2
 	}
@@ -209,7 +232,12 @@ func (i *Interface) retry(p *sim.Proc, what string, op func() error) error {
 // offset off: submit, media read (parallel across channels via the FTL),
 // DMA to host, complete — reissued on failure per the retry policy.
 func (i *Interface) Read(p *sim.Proc, off int64, buf []byte) error {
-	return i.retry(p, "read", func() error { return i.readOnce(p, off, buf) })
+	sp := i.tr.BeginAsync(i.cmdTk, "nvme.read").Arg("off", off).Arg("bytes", int64(len(buf)))
+	start := p.Now()
+	err := i.retry(p, "read", func() error { return i.readOnce(p, off, buf) })
+	i.hists.Observe("hostif.read", int64(p.Now()-start))
+	sp.End()
+	return err
 }
 
 func (i *Interface) readOnce(p *sim.Proc, off int64, buf []byte) error {
@@ -241,7 +269,12 @@ func (i *Interface) ReadAsync(p *sim.Proc, off int64, buf []byte) *sim.Completio
 // media program, complete — reissued on failure per the retry policy
 // (rewriting the same logical pages is idempotent in a page-mapped FTL).
 func (i *Interface) Write(p *sim.Proc, off int64, data []byte) error {
-	return i.retry(p, "write", func() error { return i.writeOnce(p, off, data) })
+	sp := i.tr.BeginAsync(i.cmdTk, "nvme.write").Arg("off", off).Arg("bytes", int64(len(data)))
+	start := p.Now()
+	err := i.retry(p, "write", func() error { return i.writeOnce(p, off, data) })
+	i.hists.Observe("hostif.write", int64(p.Now()-start))
+	sp.End()
+	return err
 }
 
 func (i *Interface) writeOnce(p *sim.Proc, off int64, data []byte) error {

@@ -15,6 +15,7 @@ import (
 
 	"biscuit/internal/fault"
 	"biscuit/internal/sim"
+	"biscuit/internal/trace"
 )
 
 // Config describes array geometry and timing.
@@ -114,6 +115,9 @@ type Array struct {
 	data     map[uint64][]byte
 	inj      *fault.Injector // nil = perfectly reliable media
 
+	tr    *trace.Tracer   // nil = tracing disabled
+	dieTk []trace.TrackID // per-die trace tracks, nil when tr is nil
+
 	reads, programs, erases int64
 	bytesRead               int64
 }
@@ -147,6 +151,33 @@ func (a *Array) SetInjector(in *fault.Injector) { a.inj = in }
 
 // Injector returns the installed fault injector (possibly nil).
 func (a *Array) Injector() *fault.Injector { return a.inj }
+
+// SetTracer installs the tracer receiving per-die operation spans. A
+// die is an exclusive resource, so its spans strictly nest and each
+// die gets its own synchronous track ("nand/ch3/w1"). A nil tracer
+// (the default) disables tracing at zero cost.
+func (a *Array) SetTracer(tr *trace.Tracer) {
+	a.tr = tr
+	if tr == nil {
+		a.dieTk = nil
+		return
+	}
+	a.dieTk = make([]trace.TrackID, a.cfg.Dies())
+	for ch := 0; ch < a.cfg.Channels; ch++ {
+		for w := 0; w < a.cfg.WaysPerChannel; w++ {
+			a.dieTk[ch*a.cfg.WaysPerChannel+w] = tr.Track(fmt.Sprintf("nand/ch%d/w%d", ch, w))
+		}
+	}
+}
+
+// dieTrack returns the trace track of addr's die (0 when untraced; a
+// nil tracer ignores it anyway).
+func (a *Array) dieTrack(addr PPA) trace.TrackID {
+	if a.dieTk == nil {
+		return 0
+	}
+	return a.dieTk[addr.Channel*a.cfg.WaysPerChannel+addr.Way]
+}
 
 // ChannelBus exposes channel ch's bus resource (the pattern matcher
 // streams through it).
@@ -208,19 +239,23 @@ func (a *Array) Read(p *sim.Proc, addr PPA, offset, length int) ([]byte, error) 
 	// freed for other ways the moment the transfer ends.
 	d := a.die(addr)
 	d.busy.Acquire(p)
+	sp := a.tr.Begin(a.dieTrack(addr), "nand.read").Arg("bytes", int64(length))
 	p.Sleep(a.cfg.ReadLatency)
 	if dec.Correctable {
+		a.tr.Instant(a.dieTrack(addr), "ecc.correctable")
 		p.Sleep(a.inj.Plan().CorrectableLatency)
 	}
 	bus := a.channels[addr.Channel]
 	bus.Acquire(p)
 	p.Sleep(a.cfg.ChannelCmdCost + sim.TransferTime(int64(length), a.cfg.ChannelBW))
 	bus.Release()
+	sp.End()
 	d.busy.Release()
 
 	a.reads++
 	a.bytesRead += int64(length)
 	if dec.Uncorrectable {
+		a.tr.Instant(a.dieTrack(addr), "ecc.uncorrectable")
 		return nil, fmt.Errorf("nand: read %v: %w", addr, fault.ErrUncorrectable)
 	}
 	out := make([]byte, length)
@@ -248,19 +283,23 @@ func (a *Array) ReadThrough(p *sim.Proc, addr PPA, offset, length int, ipOverhea
 	dec := a.inj.Read(func() string { return "nand.readthrough " + addr.String() })
 	d := a.die(addr)
 	d.busy.Acquire(p)
+	sp := a.tr.Begin(a.dieTrack(addr), "nand.readthrough").Arg("bytes", int64(length))
 	p.Sleep(a.cfg.ReadLatency)
 	if dec.Correctable {
+		a.tr.Instant(a.dieTrack(addr), "ecc.correctable")
 		p.Sleep(a.inj.Plan().CorrectableLatency)
 	}
 	bus := a.channels[addr.Channel]
 	bus.Acquire(p)
 	p.Sleep(a.cfg.ChannelCmdCost + ipOverhead + sim.TransferTime(int64(length), a.cfg.ChannelBW))
 	bus.Release()
+	sp.End()
 	d.busy.Release()
 
 	a.reads++
 	a.bytesRead += int64(length)
 	if dec.Uncorrectable {
+		a.tr.Instant(a.dieTrack(addr), "ecc.uncorrectable")
 		return fmt.Errorf("nand: readthrough %v: %w", addr, fault.ErrUncorrectable)
 	}
 	buf := make([]byte, length)
@@ -309,11 +348,13 @@ func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) error {
 	fail := a.inj.Program(func() string { return "nand.program " + addr.String() })
 
 	d.busy.Acquire(p)
+	sp := a.tr.Begin(a.dieTrack(addr), "nand.program").Arg("bytes", int64(a.cfg.PageSize))
 	bus := a.channels[addr.Channel]
 	bus.Acquire(p)
 	p.Sleep(a.cfg.ChannelCmdCost + sim.TransferTime(int64(a.cfg.PageSize), a.cfg.ChannelBW))
 	bus.Release()
 	p.Sleep(a.cfg.ProgramLatency)
+	sp.End()
 	d.busy.Release()
 
 	st.programmed++
@@ -336,7 +377,11 @@ func (a *Array) Erase(p *sim.Proc, b BlockAddr) error {
 	a.check(addr)
 	fail := a.inj.Erase(func() string { return fmt.Sprintf("nand.erase ch%d/w%d/b%d", b.Channel, b.Way, b.Block) })
 	d := a.die(addr)
-	d.busy.Use(p, a.cfg.EraseLatency)
+	d.busy.Acquire(p)
+	sp := a.tr.Begin(a.dieTrack(addr), "nand.erase").Arg("block", int64(b.Block))
+	p.Sleep(a.cfg.EraseLatency)
+	sp.End()
+	d.busy.Release()
 	st := &d.blocks[b.Block]
 	if fail {
 		return fmt.Errorf("nand: erase ch%d/w%d/b%d: %w", b.Channel, b.Way, b.Block, fault.ErrEraseFail)

@@ -8,7 +8,10 @@
 // assembled in internal/core.
 package ports
 
-import "biscuit/internal/sim"
+import (
+	"biscuit/internal/sim"
+	"biscuit/internal/trace"
+)
 
 // Blocker abstracts "something that can block": a bare simulation
 // process on the host side, or a device fiber that must release its core
@@ -46,6 +49,9 @@ type Queue[T any] struct {
 	closed   bool
 	getters  []*sim.Event
 	putters  []*sim.Event
+
+	tr *trace.Tracer // nil = queue untraced
+	tk trace.TrackID
 }
 
 // NewQueue creates a bounded queue with the given capacity (>= 1).
@@ -65,6 +71,15 @@ func (q *Queue[T]) Len() int { return len(q.buf) }
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
 
+// Instrument routes the queue's activity onto a trace track: an
+// instant per element moved and an async span per blocking wait.
+// Waits overlap (several producers or consumers can block at once), so
+// the track carries async spans. A nil tracer reverts to untraced.
+func (q *Queue[T]) Instrument(tr *trace.Tracer, tk trace.TrackID) {
+	q.tr = tr
+	q.tk = tk
+}
+
 func wakeOne(evs *[]*sim.Event) {
 	if len(*evs) > 0 {
 		(*evs)[0].Fire()
@@ -75,15 +90,20 @@ func wakeOne(evs *[]*sim.Event) {
 // Put appends v, blocking while the queue is full. It reports false if
 // the queue is (or becomes) closed.
 func (q *Queue[T]) Put(b Blocker, v T) bool {
-	for len(q.buf) >= q.capacity && !q.closed {
-		ev := q.env.NewEvent()
-		q.putters = append(q.putters, ev)
-		b.Block(func(p *sim.Proc) { p.Wait(ev) })
+	if len(q.buf) >= q.capacity && !q.closed {
+		sp := q.tr.BeginAsync(q.tk, "put.wait")
+		for len(q.buf) >= q.capacity && !q.closed {
+			ev := q.env.NewEvent()
+			q.putters = append(q.putters, ev)
+			b.Block(func(p *sim.Proc) { p.Wait(ev) })
+		}
+		sp.End()
 	}
 	if q.closed {
 		return false
 	}
 	q.buf = append(q.buf, v)
+	q.tr.Instant(q.tk, "put")
 	wakeOne(&q.getters)
 	return true
 }
@@ -102,10 +122,14 @@ func (q *Queue[T]) TryPut(v T) bool {
 // reports false when the queue is closed and drained — the stream-end
 // signal consumers loop on.
 func (q *Queue[T]) Get(b Blocker) (T, bool) {
-	for len(q.buf) == 0 && !q.closed {
-		ev := q.env.NewEvent()
-		q.getters = append(q.getters, ev)
-		b.Block(func(p *sim.Proc) { p.Wait(ev) })
+	if len(q.buf) == 0 && !q.closed {
+		sp := q.tr.BeginAsync(q.tk, "get.wait")
+		for len(q.buf) == 0 && !q.closed {
+			ev := q.env.NewEvent()
+			q.getters = append(q.getters, ev)
+			b.Block(func(p *sim.Proc) { p.Wait(ev) })
+		}
+		sp.End()
 	}
 	var zero T
 	if len(q.buf) == 0 {
@@ -114,6 +138,7 @@ func (q *Queue[T]) Get(b Blocker) (T, bool) {
 	v := q.buf[0]
 	q.buf[0] = zero
 	q.buf = q.buf[1:]
+	q.tr.Instant(q.tk, "get")
 	wakeOne(&q.putters)
 	return v, true
 }

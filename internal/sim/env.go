@@ -17,10 +17,18 @@ type Env struct {
 	// handoff carries control back from a running process to the scheduler.
 	handoff chan struct{}
 
-	running bool
-	nprocs  int
-	panicV  any
-	trace   func(string)
+	running   bool
+	nprocs    int
+	panicV    any
+	schedHook func(SchedEvent)
+}
+
+// SchedEvent describes one scheduler dispatch: the event's firing time
+// and its global scheduling sequence number. It is the structured form
+// of the old SetTrace debug string.
+type SchedEvent struct {
+	At  Time
+	Seq uint64
 }
 
 // NewEnv returns an empty environment at virtual time zero.
@@ -31,9 +39,24 @@ func NewEnv() *Env {
 // Now reports the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
-// SetTrace installs fn to receive one line per scheduler action, for
-// debugging. A nil fn disables tracing.
-func (e *Env) SetTrace(fn func(string)) { e.trace = fn }
+// SetSchedHook installs fn to receive one structured SchedEvent per
+// scheduler dispatch. A nil fn disables the hook. The hook runs in
+// scheduler context and must not block.
+func (e *Env) SetSchedHook(fn func(SchedEvent)) { e.schedHook = fn }
+
+// SetTrace installs fn to receive one formatted line per scheduler
+// action, for debugging. A nil fn disables tracing. It is a thin
+// string adapter over SetSchedHook (and displaces any hook installed
+// there).
+func (e *Env) SetTrace(fn func(string)) {
+	if fn == nil {
+		e.schedHook = nil
+		return
+	}
+	e.schedHook = func(ev SchedEvent) {
+		fn(fmt.Sprintf("t=%v seq=%d", ev.At, ev.Seq))
+	}
+}
 
 type event struct {
 	at     Time
@@ -95,8 +118,8 @@ func (e *Env) RunUntil(deadline Time) {
 		}
 		heap.Pop(&e.eq)
 		e.now = ev.at
-		if e.trace != nil {
-			e.trace(fmt.Sprintf("t=%v seq=%d", ev.at, ev.seq))
+		if e.schedHook != nil {
+			e.schedHook(SchedEvent{At: ev.at, Seq: ev.seq})
 		}
 		ev.action()
 		if e.panicV != nil {

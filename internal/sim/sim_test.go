@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -410,4 +411,46 @@ func TestTraceHookObservesEvents(t *testing.T) {
 		t.Fatalf("trace lines=%d, want >=3: %v", len(lines), lines)
 	}
 	e.SetTrace(nil)
+}
+
+func TestSchedHookStructuredEvents(t *testing.T) {
+	e := NewEnv()
+	var evs []SchedEvent
+	e.SetSchedHook(func(ev SchedEvent) { evs = append(evs, ev) })
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(10)
+		p.Sleep(20)
+	})
+	e.Run()
+	if len(evs) < 3 {
+		t.Fatalf("sched events=%d, want >=3: %v", len(evs), evs)
+	}
+	// Dispatch order is (at, seq)-monotone.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("time went backwards: %v after %v", evs[i], evs[i-1])
+		}
+		if evs[i].Seq == evs[i-1].Seq {
+			t.Fatalf("duplicate seq %d", evs[i].Seq)
+		}
+	}
+	// The string adapter renders the same dispatches in the legacy
+	// format.
+	e2 := NewEnv()
+	var lines []string
+	e2.SetTrace(func(s string) { lines = append(lines, s) })
+	e2.Spawn("p", func(p *Proc) {
+		p.Sleep(10)
+		p.Sleep(20)
+	})
+	e2.Run()
+	if len(lines) != len(evs) {
+		t.Fatalf("adapter lines=%d, hook events=%d", len(lines), len(evs))
+	}
+	for i, ev := range evs {
+		want := fmt.Sprintf("t=%v seq=%d", ev.At, ev.Seq)
+		if lines[i] != want {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want)
+		}
+	}
 }

@@ -32,3 +32,30 @@ func TestCountersAccumulateAndSnapshotSorted(t *testing.T) {
 		t.Fatalf("snapshot values wrong: %v", snap)
 	}
 }
+
+// TestCountersSnapshotStable pins the property -stats dumps and the
+// trace smoke rely on: repeated snapshots of the same state are
+// identical (map iteration order must not leak out), and a snapshot is
+// a copy — mutating it cannot corrupt the registry.
+func TestCountersSnapshotStable(t *testing.T) {
+	c := NewCounters()
+	for _, name := range []string{"m.b", "m.a", "m.c", "x.y", "a.z"} {
+		c.Add(name, 1)
+	}
+	first := c.Snapshot()
+	for i := 0; i < 10; i++ {
+		again := c.Snapshot()
+		if len(again) != len(first) {
+			t.Fatalf("snapshot %d: %d entries, want %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("snapshot %d entry %d: %v != %v", i, j, again[j], first[j])
+			}
+		}
+	}
+	first[0].Value = 999
+	if c.Get(first[0].Name) == 999 {
+		t.Fatal("mutating a snapshot wrote through to the registry")
+	}
+}

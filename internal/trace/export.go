@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strconv"
+
+	"biscuit/internal/sim"
+)
+
+// WriteJSON exports the trace in Chrome trace-event JSON ("JSON object
+// format"), loadable in Perfetto and chrome://tracing.
+//
+// The encoder is hand-rolled rather than encoding/json so the output is
+// byte-deterministic: fields emit in a fixed order, tracks emit in
+// registration order, events in emission order, and no Go map is ever
+// iterated. Timestamps are microseconds with exactly three decimals
+// (sim.Time is integer nanoseconds, so ns/1000.ns%1000 is exact).
+// Spans still open when WriteJSON runs are clamped to the current
+// clock; async spans missing an 'e' get one appended, in the order
+// their 'b' events appeared.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	b := bufio.NewWriter(w)
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+	}
+
+	// Track metadata: names and a sort index pinning viewer order to
+	// registration order.
+	for i, name := range t.tracks {
+		sep()
+		b.WriteString("{\"ph\":\"M\",\"pid\":1,\"tid\":")
+		b.WriteString(strconv.Itoa(i + 1))
+		b.WriteString(",\"name\":\"thread_name\",\"args\":{\"name\":")
+		b.WriteString(strconv.Quote(name))
+		b.WriteString("}}")
+		sep()
+		b.WriteString("{\"ph\":\"M\",\"pid\":1,\"tid\":")
+		b.WriteString(strconv.Itoa(i + 1))
+		b.WriteString(",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":")
+		b.WriteString(strconv.Itoa(i + 1))
+		b.WriteString("}}")
+	}
+
+	now := t.env.Now()
+	var openOrder []uint64        // unmatched 'b' ids, in emission order
+	openTrack := map[uint64]int{} // id -> index into t.events of its 'b'
+	for i := range t.events {
+		ev := &t.events[i]
+		switch ev.phase {
+		case 'b':
+			openTrack[ev.id] = i
+			openOrder = append(openOrder, ev.id)
+		case 'e':
+			delete(openTrack, ev.id)
+		}
+		sep()
+		t.writeEvent(b, ev, now)
+	}
+	// Close leaked async spans deterministically.
+	for _, id := range openOrder {
+		i, open := openTrack[id]
+		if !open {
+			continue
+		}
+		ev := t.events[i]
+		closer := event{name: ev.name, phase: 'e', track: ev.track, ts: now, id: ev.id}
+		sep()
+		t.writeEvent(b, &closer, now)
+	}
+
+	b.WriteString("\n]}\n")
+	return b.Flush()
+}
+
+// WriteFile exports the trace to path via WriteJSON.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (t *Tracer) writeEvent(b *bufio.Writer, ev *event, now sim.Time) {
+	b.WriteString("{\"name\":")
+	b.WriteString(strconv.Quote(ev.name))
+	b.WriteString(",\"ph\":\"")
+	b.WriteByte(ev.phase)
+	b.WriteString("\"")
+	if ev.phase == 'b' || ev.phase == 'e' {
+		b.WriteString(",\"cat\":\"biscuit\",\"id\":")
+		b.WriteString(strconv.FormatUint(ev.id, 10))
+	}
+	if ev.phase == 'i' {
+		b.WriteString(",\"s\":\"t\"")
+	}
+	b.WriteString(",\"pid\":1,\"tid\":")
+	b.WriteString(strconv.Itoa(int(ev.track) + 1))
+	b.WriteString(",\"ts\":")
+	writeMicros(b, ev.ts)
+	if ev.phase == 'X' {
+		dur := ev.dur
+		if dur < 0 { // still open: clamp to the export-time clock
+			dur = now - ev.ts
+		}
+		b.WriteString(",\"dur\":")
+		writeMicros(b, dur)
+	}
+	if len(ev.args) > 0 {
+		b.WriteString(",\"args\":{")
+		for i, a := range ev.args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(strconv.Quote(a.key))
+			b.WriteString(":")
+			if a.isStr {
+				b.WriteString(strconv.Quote(a.str))
+			} else {
+				b.WriteString(strconv.FormatInt(a.num, 10))
+			}
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("}")
+}
+
+// writeMicros writes ns as decimal microseconds with exactly three
+// fractional digits, using integer math only so formatting is exact
+// and platform-independent.
+func writeMicros(b *bufio.Writer, ns sim.Time) {
+	n := int64(ns)
+	if n < 0 { // defensive; sim time never goes backwards
+		b.WriteString("-")
+		n = -n
+	}
+	b.WriteString(strconv.FormatInt(n/1000, 10))
+	b.WriteString(".")
+	frac := n % 1000
+	if frac < 100 {
+		b.WriteString("0")
+	}
+	if frac < 10 {
+		b.WriteString("0")
+	}
+	b.WriteString(strconv.FormatInt(frac, 10))
+}

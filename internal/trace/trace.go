@@ -1,0 +1,190 @@
+// Package trace is a sim-time-native structured tracing subsystem for
+// the Biscuit simulator: spans with begin/end virtual timestamps, named
+// tracks (one per internal actor — a NAND die, a device core, a port),
+// and typed attributes, exported as Chrome trace-event JSON that loads
+// directly in Perfetto.
+//
+// Design constraints, in priority order:
+//
+//  1. Determinism. A trace is part of a run's observable output: the
+//     same seed and fault plan must produce a byte-identical file.
+//     Everything is therefore keyed to sim.Time, tracks export in
+//     registration order (never map order), and events export in
+//     emission order.
+//  2. Zero cost when disabled. Every method is safe on a nil *Tracer
+//     and returns immediately, so instrumentation sites record
+//     unconditionally — no flag checks, no allocation on the disabled
+//     path (guarded by BenchmarkSpanDisabled). Attributes attach via
+//     fixed-arity Arg/ArgStr chains, never variadics or Sprintf, so a
+//     disabled call site stays allocation-free.
+//  3. One wall-clock thread. Like the sim kernel that feeds it, a
+//     Tracer is not safe for concurrent use; the kernel's serialized
+//     processes are its only callers.
+package trace
+
+import "biscuit/internal/sim"
+
+// TrackID names one horizontal track of the trace — a "thread" in the
+// Chrome trace-event model. Zero is a valid track (the first one
+// registered); the zero Tracer-less Span/TrackID values are inert.
+type TrackID int32
+
+type arg struct {
+	key   string
+	num   int64
+	str   string
+	isStr bool
+}
+
+type event struct {
+	name  string
+	phase byte // 'X' complete, 'i' instant, 'b'/'e' async pair
+	track TrackID
+	ts    sim.Time
+	dur   sim.Time // 'X' only; -1 while the span is open
+	id    uint64   // 'b'/'e' pairing id
+	args  []arg
+}
+
+// Tracer accumulates trace events against a sim.Env clock. The zero
+// value is not usable; construct with New. A nil *Tracer is the
+// "tracing disabled" sink: every method no-ops.
+type Tracer struct {
+	env    *sim.Env
+	tracks []string           // registration order == export order
+	lookup map[string]TrackID // name -> index into tracks (lookup only)
+	events []event
+	nextID uint64 // async span id allocator
+}
+
+// New returns an empty tracer clocked by env.
+func New(env *sim.Env) *Tracer {
+	return &Tracer{env: env, lookup: map[string]TrackID{}}
+}
+
+// Track returns the id for the named track, registering it on first
+// use. Registration order fixes the exported thread_sort_index, so
+// components should register tracks at construction time when possible
+// to keep related tracks adjacent in the viewer.
+func (t *Tracer) Track(name string) TrackID {
+	if t == nil {
+		return 0
+	}
+	if id, ok := t.lookup[name]; ok {
+		return id
+	}
+	id := TrackID(len(t.tracks))
+	t.tracks = append(t.tracks, name)
+	t.lookup[name] = id
+	return id
+}
+
+// Now reports the tracer's current virtual time (0 on a nil tracer).
+func (t *Tracer) Now() sim.Time {
+	if t == nil {
+		return 0
+	}
+	return t.env.Now()
+}
+
+// Span is a handle to one in-flight span (or instant, for attaching
+// args). It is a small value type: copy freely, store in structs. The
+// zero Span — and any Span minted by a nil Tracer — is inert.
+type Span struct {
+	t   *Tracer
+	idx int32
+}
+
+// Begin opens a synchronous span on tk. Synchronous spans render as
+// nested slices and must strictly nest per track, so they are only
+// appropriate on tracks modeling an exclusive resource (a die, a
+// core). Use BeginAsync for overlapping lifetimes.
+func (t *Tracer) Begin(tk TrackID, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	idx := int32(len(t.events))
+	t.events = append(t.events, event{name: name, phase: 'X', track: tk, ts: t.env.Now(), dur: -1})
+	return Span{t: t, idx: idx}
+}
+
+// BeginAsync opens an async span on tk: async spans may overlap on one
+// track (e.g. many NVMe commands in flight against one queue track).
+func (t *Tracer) BeginAsync(tk TrackID, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.nextID++
+	idx := int32(len(t.events))
+	t.events = append(t.events, event{name: name, phase: 'b', track: tk, ts: t.env.Now(), id: t.nextID})
+	return Span{t: t, idx: idx}
+}
+
+// Instant records a zero-duration event on tk and returns its handle so
+// args can be chained; it needs no End.
+func (t *Tracer) Instant(tk TrackID, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	idx := int32(len(t.events))
+	t.events = append(t.events, event{name: name, phase: 'i', track: tk, ts: t.env.Now()})
+	return Span{t: t, idx: idx}
+}
+
+// Arg attaches an integer attribute. Returns the span for chaining.
+func (s Span) Arg(key string, v int64) Span {
+	if s.t == nil {
+		return s
+	}
+	ev := &s.t.events[s.idx]
+	ev.args = append(ev.args, arg{key: key, num: v})
+	return s
+}
+
+// ArgStr attaches a string attribute. Returns the span for chaining.
+func (s Span) ArgStr(key, v string) Span {
+	if s.t == nil {
+		return s
+	}
+	ev := &s.t.events[s.idx]
+	ev.args = append(ev.args, arg{key: key, str: v, isStr: true})
+	return s
+}
+
+// End closes the span at the tracer's current time. Ending an instant
+// or the zero Span is a no-op; spans still open at export time are
+// clamped to the export-time clock.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	ev := s.t.events[s.idx]
+	switch ev.phase {
+	case 'X':
+		s.t.events[s.idx].dur = s.t.env.Now() - ev.ts
+	case 'b':
+		s.t.events = append(s.t.events, event{name: ev.name, phase: 'e', track: ev.track, ts: s.t.env.Now(), id: ev.id})
+	}
+}
+
+// Len reports the number of recorded events (0 on a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// AttachSched routes the sim scheduler's structured dispatch events
+// into the tracer as instants on a "sim/sched" track. This is the
+// firehose — one event per scheduler action — so it is opt-in and
+// meant for kernel debugging, not query-level traces.
+func (t *Tracer) AttachSched() {
+	if t == nil {
+		return
+	}
+	tk := t.Track("sim/sched")
+	t.env.SetSchedHook(func(ev sim.SchedEvent) {
+		t.Instant(tk, "dispatch").Arg("seq", int64(ev.Seq))
+	})
+}

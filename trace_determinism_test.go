@@ -1,0 +1,85 @@
+package biscuit_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/db"
+	"biscuit/internal/db/planner"
+	"biscuit/internal/sql"
+	"biscuit/internal/tpch"
+)
+
+// q6 is TPC-H Query 6 (the tracesmoke query): an offloadable
+// scan-aggregate that exercises the NVMe path, NAND ops, the NDP
+// runtime and the db layer in one run.
+const q6 = `SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem
+	WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+	AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`
+
+// tracedQ6 runs Q6 on a fresh system with tracing enabled and returns
+// the exported trace bytes.
+func tracedQ6(t *testing.T) []byte {
+	t.Helper()
+	sys := biscuit.NewSystem(biscuit.DefaultConfig())
+	tr := sys.NewTracer()
+	d := db.Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		if _, err := (tpch.Gen{SF: 0.001}).Load(h, d, biscuit.SeededRand(7)); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+	})
+	sys.Run(func(h *biscuit.Host) {
+		ex := db.NewExec(h, d)
+		if _, err := sql.Run(ex, d, planner.Default(), q6); err != nil {
+			t.Fatalf("q6: %v", err)
+		}
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministic is the end-to-end regression for the tracing
+// contract: the span stream is part of the deterministic simulation, so
+// two identically-seeded runs must export byte-identical traces. Any
+// diff here means nondeterminism leaked into the instrumented stack
+// (map iteration, wall-clock, unordered scheduling), not just into the
+// trace itself.
+func TestTraceDeterministic(t *testing.T) {
+	a := tracedQ6(t)
+	b := tracedQ6(t)
+	if !bytes.Equal(a, b) {
+		// Locate the first divergence to make the failure actionable.
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		i := 0
+		for i < n && a[i] == b[i] {
+			i++
+		}
+		lo := i - 60
+		if lo < 0 {
+			lo = 0
+		}
+		hiA, hiB := i+60, i+60
+		if hiA > len(a) {
+			hiA = len(a)
+		}
+		if hiB > len(b) {
+			hiB = len(b)
+		}
+		t.Fatalf("same seed produced different traces (%d vs %d bytes); first diff at byte %d:\n run1: …%s…\n run2: …%s…",
+			len(a), len(b), i, a[lo:hiA], b[lo:hiB])
+	}
+	for _, want := range []string{"nvme.read", "nand.read", "scan.ndp", `"ph":"M"`} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("trace missing expected marker %q", want)
+		}
+	}
+}
