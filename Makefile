@@ -9,7 +9,7 @@ VETTOOL := bin/biscuitvet
 # dangerous kind.
 TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
 
-.PHONY: all build test race vet fmt check faulttest benchsmoke tracesmoke clean
+.PHONY: all build test race vet fmt check faulttest faultbench benchsmoke tracesmoke clean
 
 all: build
 
@@ -26,14 +26,23 @@ race:
 # tests plus every fault/corruption/retry/degradation test across the
 # stack, run twice to catch schedule nondeterminism, then a short fuzz
 # smoke of the fault-plan parser.
-FAULTRUN := 'Fault|Corrupt|Retr|Retir|Timeout|Stall|FallsBack|MediaError|Erase|Unmapped|Backoff|ProgramFailure|GCRelocation|ReadThrough|Q1Q6|SearchCounts'
+FAULTRUN := 'Fault|Corrupt|Retr|Retir|Timeout|Stall|FallsBack|MediaError|Erase|Unmapped|Backoff|ProgramFailure|GCRelocation|ReadThrough|Q1Q6|SearchCounts|Reconstruct|Scrub|Rain|Parity|DieFail'
 FAULTPKGS := ./internal/ftl/... ./internal/hostif/... ./internal/isfs/... \
-	./internal/db ./internal/tpch/... ./internal/weblog/...
+	./internal/db ./internal/tpch/... ./internal/weblog/... ./internal/bench
 
 faulttest:
 	$(GO) test -count=2 ./internal/fault/...
 	$(GO) test -count=2 -run $(FAULTRUN) $(FAULTPKGS)
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault
+
+# Fault bench: the availability/latency-under-fault curve at reduced
+# size (3 sweep points, BENCH_faultcurve.json), traced; tracecheck then
+# validates every swept platform's export — async spans must balance
+# even on the reconstruction/scrub/fallback paths.
+faultbench:
+	mkdir -p bench-out
+	$(GO) run ./cmd/biscuitbench -exp faultcurve -quick -json bench-out -trace bench-out/faultcurve.trace.json
+	for f in bench-out/faultcurve.trace.json*; do $(GO) run ./cmd/tracecheck $$f || exit 1; done
 
 # Benchmark smoke: run the executor benchmarks once (-benchtime=1x) so
 # CI catches bit-rot in the benchmark harness without paying for a real

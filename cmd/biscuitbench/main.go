@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: table2,table3,fig7,table4,table5,fig8,fig9,fig10")
+		exps     = flag.String("exp", "all", "comma-separated experiments: table2,table3,fig7,table4,table5,fig8,fig9,fig10,faultcurve")
 		sf       = flag.Float64("sf", 0, "TPC-H scale factor override for fig8/fig9/fig10")
 		joinbuf  = flag.Int("joinbuf", 0, "join buffer rows override for fig10")
 		quick    = flag.Bool("quick", false, "use reduced experiment sizes")
@@ -179,6 +179,28 @@ func main() {
 		fmt.Printf("  offloaded %d of 22 | geomean(offloaded) %.1fx | top-five mean %.1fx | total %.2fs vs %.2fs = %.1fx\n",
 			f10.OffloadedCount, f10.GeoMeanOff, f10.TopFiveMean, f10.TotalConvS, f10.TotalBiscS, f10.TotalSpeedup)
 		fmt.Println("  (paper: 8 offloaded, geomean 6.1x, top-five 15.4x, total 3.6x)")
+	}
+
+	if all || want["faultcurve"] {
+		fc := bench.RunFaultCurve(cfg)
+		writeJSON(*jsonDir, "faultcurve", fc)
+		fmt.Printf("Fault curve — Q6 availability and latency vs fault intensity (SF %.3f, %d queries/point)\n", fc.SF, cfg.FaultQueries)
+		fmt.Printf("  %-9s %-7s %-5s %-7s %-9s %-9s %-9s %-8s %-7s %-7s %-5s %s\n",
+			"intensity", "avail%", "ok", "conv", "p50(ms)", "p95(ms)", "p99(ms)", "ndp-fb", "reconst", "degradd", "scrub", "lost")
+		for _, pt := range fc.Points {
+			die := ""
+			if pt.DieFailed {
+				die = " +die"
+			}
+			fmt.Printf("  %-9g %-7.1f %-5d %-7d %-9.2f %-9.2f %-9.2f %-8d %-7d %-7d %-5d %d%s\n",
+				pt.Intensity, pt.Availability*100, pt.OK, pt.ConvReruns,
+				float64(pt.Lat.P50)/1e6, float64(pt.Lat.P95)/1e6, float64(pt.Lat.P99)/1e6,
+				pt.NDPFallbacks, pt.Reconstructs, pt.DegradedReads, pt.ScrubRepairs, pt.LostPages, die)
+			csvOut.WriteString(fmt.Sprintf("faultcurve,%g,%f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				pt.Intensity, pt.Availability, pt.OK, pt.ConvReruns,
+				pt.Lat.P50, pt.Lat.P95, pt.Lat.P99, pt.Reconstructs, pt.DegradedReads, pt.LostPages))
+		}
+		fmt.Println()
 	}
 
 	if *csv != "" && csvOut.Len() > 0 {

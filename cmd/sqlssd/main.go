@@ -17,6 +17,7 @@ import (
 	"biscuit"
 	"biscuit/internal/db"
 	"biscuit/internal/db/planner"
+	"biscuit/internal/fault"
 	"biscuit/internal/sql"
 	"biscuit/internal/tpch"
 )
@@ -30,6 +31,7 @@ func main() {
 		batch    = flag.Int("batch", 0, "executor batch size in rows (0 = default slab)")
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of the whole run to this JSON file")
 		stats    = flag.Bool("stats", false, "print platform counters and latency percentiles after the run")
+		faultArg = flag.String("fault", "", "arm a fault campaign, e.g. \"seed=7 silent=1e-3 diefail=3\" (see internal/fault)")
 	)
 	flag.Parse()
 
@@ -58,7 +60,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys := biscuit.NewSystem(biscuit.DefaultConfig())
+	cfg := biscuit.DefaultConfig()
+	if *faultArg != "" {
+		plan, err := fault.ParsePlan(*faultArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fault:", err)
+			os.Exit(2)
+		}
+		cfg.Fault = plan
+	}
+	sys := biscuit.NewSystem(cfg)
 	if *traceOut != "" {
 		sys.NewTracer()
 	}

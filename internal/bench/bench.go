@@ -31,6 +31,13 @@ type Config struct {
 	GraphNodes, Walks, Hops int
 	// Loads is the background-thread sweep of Tables IV and V.
 	Loads []int
+	// FaultIntensities is the fault-curve sweep: multiples of the
+	// moderate background fault plan (0 = fault-free baseline).
+	FaultIntensities []float64
+	// FaultQueries is how many Q6 repetitions each fault-curve point
+	// issues; FaultSF sizes its TPC-H load.
+	FaultQueries int
+	FaultSF      float64
 	// Seed drives all generators.
 	Seed int64
 }
@@ -49,7 +56,12 @@ func DefaultConfig() Config {
 		Walks:          50,
 		Hops:           60,
 		Loads:          []int{0, 6, 12, 18, 24},
-		Seed:           1,
+
+		FaultIntensities: []float64{0, 1, 4, 16},
+		FaultQueries:     12,
+		FaultSF:          0.004,
+
+		Seed: 1,
 	}
 }
 
@@ -64,6 +76,9 @@ func QuickConfig() Config {
 	c.Walks = 10
 	c.Hops = 20
 	c.Loads = []int{0, 24}
+	c.FaultIntensities = []float64{0, 2, 16}
+	c.FaultQueries = 4
+	c.FaultSF = 0.002
 	return c
 }
 

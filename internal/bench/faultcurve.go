@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"biscuit"
+	"biscuit/internal/db"
+	"biscuit/internal/db/planner"
+	"biscuit/internal/fault"
+	"biscuit/internal/sim"
+	"biscuit/internal/stats"
+	"biscuit/internal/tpch"
+)
+
+// The fault-curve experiment measures what the paper's evaluation never
+// had to: how the platform behaves when the media misbehaves. Each
+// sweep point arms a fault campaign of increasing intensity — scaled
+// multiples of the moderate background plan, latent sector errors, and
+// at the top end a whole dead die — then runs TPC-H Q6 repeatedly
+// under the offload planner with the documented degradation ladder
+// (NDP scan falls back to Conv internally; an offloaded aggregation
+// that hits an unrecoverable page is rerun as a Conv plan). The curve
+// reports availability (queries answered over queries issued), query
+// latency digests, and how hard the recovery machinery — RAIN
+// reconstruction, degraded reads, patrol scrub — had to work.
+
+// faultPlanAt scales the moderate background plan to the given
+// intensity. Intensity 0 is the fault-free platform; intensity 1 is
+// fault.DefaultPlan; larger values multiply every probability (capped
+// at 0.9 so the retry machinery still terminates) and add latent
+// sector errors. At intensity >= dieFailIntensity the campaign also
+// kills one die partway through the query phase.
+func faultPlanAt(seed int64, intensity float64) fault.Plan {
+	if intensity == 0 {
+		return fault.Plan{}
+	}
+	base := fault.DefaultPlan(seed)
+	cap9 := func(p float64) float64 {
+		p *= intensity
+		if p > 0.9 {
+			return 0.9
+		}
+		return p
+	}
+	base.CorrectableProb = cap9(base.CorrectableProb)
+	base.UncorrectableProb = cap9(base.UncorrectableProb)
+	base.ProgramFailProb = cap9(base.ProgramFailProb)
+	base.EraseFailProb = cap9(base.EraseFailProb)
+	base.TimeoutProb = cap9(base.TimeoutProb)
+	base.StallProb = cap9(base.StallProb)
+	base.SilentProb = cap9(2e-4)
+	return base
+}
+
+// dieFailIntensity is the sweep intensity at and beyond which the
+// campaign additionally fails a whole die after the load phase.
+const dieFailIntensity = 8
+
+// FaultCurvePoint is one sweep point of the availability/latency-
+// under-fault curve.
+type FaultCurvePoint struct {
+	Intensity float64
+	Plan      string // canonical fault.Plan string, "" when fault-free
+	DieFailed bool   // campaign killed a die before the queries
+
+	Issued       int     // queries issued
+	OK           int     // queries answered (any rung of the ladder)
+	ConvReruns   int     // answers that needed a full Conv rerun
+	Availability float64 // OK / Issued
+
+	// Query latency digest across the point's repetitions (ns).
+	Lat stats.LatencySummary
+
+	// Recovery-machinery effort, from the platform counters.
+	NDPFallbacks  int64 // "db.ndp.fallback": offloaded scans degraded internally
+	Reconstructs  int64 // RAIN parity reconstructions
+	DegradedReads int64 // host reads served through reconstruction
+	ScrubStripes  int64 // stripes examined by the patrol scrub
+	ScrubRepairs  int64 // pages the scrub healed
+	LostPages     int64 // pages lost beyond parity protection (poisoned)
+}
+
+// FaultCurve is the full sweep plus the final point's full latency
+// snapshot (the most hostile platform's distributions).
+type FaultCurve struct {
+	SF     float64
+	Points []FaultCurvePoint
+
+	Lat []stats.NamedSummary `json:"lat"`
+}
+
+// RunFaultCurve sweeps cfg.FaultIntensities. Each point builds a fresh
+// platform with the scaled campaign, loads TPC-H at cfg.FaultSF, starts
+// the patrol scrub, and issues Q6 cfg.FaultQueries times.
+func RunFaultCurve(cfg Config) FaultCurve {
+	out := FaultCurve{SF: cfg.FaultSF}
+	var last *biscuit.System
+	for _, intensity := range cfg.FaultIntensities {
+		pt := runFaultPoint(cfg, intensity, &last)
+		out.Points = append(out.Points, pt)
+	}
+	if last != nil {
+		out.Lat = latencies(last)
+	}
+	return out
+}
+
+func runFaultPoint(cfg Config, intensity float64, last **biscuit.System) FaultCurvePoint {
+	plan := faultPlanAt(cfg.Seed, intensity)
+	scfg := biscuit.DefaultConfig()
+	scfg.NAND.BlocksPerDie = 256
+	scfg.NAND.PagesPerBlock = 64
+	scfg.Fault = plan
+	sys := biscuit.NewSystem(scfg)
+	if OnSystem != nil {
+		OnSystem(sys)
+	}
+	*last = sys
+
+	pt := FaultCurvePoint{Intensity: intensity}
+	if plan.Enabled() {
+		pt.Plan = plan.String()
+	}
+
+	d := db.Open(sys)
+	var data *tpch.Data
+	sys.Run(func(h *biscuit.Host) {
+		var err error
+		data, err = tpch.Gen{SF: cfg.FaultSF}.Load(h, d, biscuit.SeededRand(cfg.Seed))
+		if err != nil {
+			panic(fmt.Sprintf("bench: faultcurve load at intensity %g: %v", intensity, err))
+		}
+	})
+
+	lat := stats.NewHistogram()
+	sys.Run(func(h *biscuit.Host) {
+		plat := h.System().Plat
+		plat.StartScrub(2 * sim.Millisecond)
+		defer plat.StopScrub()
+		if intensity >= dieFailIntensity && plat.Inj != nil {
+			plat.Inj.FailDie(1)
+			pt.DieFailed = true
+		}
+		for i := 0; i < cfg.FaultQueries; i++ {
+			pt.Issued++
+			took, reran, err := runQ6Ladder(h, data)
+			if err != nil {
+				continue // query unavailable: beyond the ladder's reach
+			}
+			pt.OK++
+			if reran {
+				pt.ConvReruns++
+			}
+			lat.Record(int64(took))
+		}
+	})
+	if pt.Issued > 0 {
+		pt.Availability = float64(pt.OK) / float64(pt.Issued)
+	}
+	pt.Lat = lat.Summary()
+
+	ctrs := sys.Plat.Ctrs
+	pt.NDPFallbacks = ctrs.Get("db.ndp.fallback")
+	rs := sys.Plat.FTL.Rain()
+	pt.Reconstructs = rs.Reconstructs
+	pt.DegradedReads = rs.DegradedReads
+	pt.ScrubStripes = rs.ScrubStripes
+	pt.ScrubRepairs = rs.ScrubRepairs + rs.ScrubParityFixes
+	pt.LostPages = rs.LostPages
+	return pt
+}
+
+// runQ6Ladder is the bench-side degradation ladder: offload plan first,
+// full Conv rerun on an unrecoverable media error. It returns the
+// virtual time of the answering rung.
+func runQ6Ladder(h *biscuit.Host, data *tpch.Data) (sim.Time, bool, error) {
+	q := tpch.ByID(6)
+	bisc := &tpch.QCtx{Ex: db.NewExec(h, data.DB), D: data, Pl: planner.Default()}
+	var err error
+	took := timeIt(h, func() {
+		_, err = q.Run(bisc)
+	})
+	if err == nil {
+		return took, false, nil
+	}
+	if !errors.Is(err, fault.ErrUncorrectable) {
+		panic(fmt.Sprintf("bench: faultcurve Q6 non-media failure: %v", err))
+	}
+	conv := &tpch.QCtx{Ex: db.NewExec(h, data.DB), D: data}
+	took = timeIt(h, func() {
+		_, err = q.Run(conv)
+	})
+	if err != nil {
+		return 0, true, err // both rungs failed: the query is unavailable
+	}
+	return took, true, nil
+}

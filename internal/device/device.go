@@ -155,7 +155,8 @@ type Platform struct {
 	// everywhere at zero cost. Install with SetTracer.
 	Trace *trace.Tracer
 
-	intTk trace.TrackID // "dev/internal" track for SSDlet-issued reads
+	intTk   trace.TrackID // "dev/internal" track for SSDlet-issued reads
+	scrubOn bool          // patrol-scrub fiber running (StartScrub/StopScrub)
 }
 
 // New builds a platform in env with the given configuration.
@@ -180,6 +181,9 @@ func NewShared(env *sim.Env, cfg Config, hostCPU *cpu.CPU, hostMem *sim.SharedBW
 	devCmd := cpu.New(env, "dev-nvme", 1, cfg.DevHz)
 	p.HostIF = hostif.New(env, cfg.Host, p.FTL, p.HostCPU, devCmd)
 	if cfg.Fault.Enabled() {
+		if err := cfg.Fault.ValidateDies(cfg.NAND.Dies()); err != nil {
+			panic(err)
+		}
 		inj, err := fault.NewInjector(env, cfg.Fault)
 		if err != nil {
 			panic(err)
@@ -191,6 +195,7 @@ func NewShared(env *sim.Env, cfg Config, hostCPU *cpu.CPU, hostMem *sim.SharedBW
 	p.DevRT = fibers.New(env, fibers.Config{Cores: cfg.DevCores, Hz: cfg.DevHz, CSW: cfg.FiberCSW})
 	p.HostIF.SetHists(p.Hists)
 	p.FTL.SetHists(p.Hists)
+	p.FTL.SetCounters(p.Ctrs)
 	p.DevRT.SetHists(p.Hists)
 	dm, err := mem.NewDeviceMemory(cfg.SystemHeap, cfg.UserHeap)
 	if err != nil {
@@ -234,6 +239,34 @@ func (p *Platform) InternalRead(proc *sim.Proc, off int64, n int) ([]byte, error
 	sp.End()
 	return data, err
 }
+
+// StartScrub launches the patrol-scrub fiber on the Biscuit runtime: a
+// background loop that examines one RAIN stripe every interval,
+// verifying parity and repairing latent damage (ftl.ScrubStep). It runs
+// as an ordinary fiber — it holds a device core only between blocking
+// points, so SSDlet work interleaves with it exactly as the paper's
+// cooperative model prescribes. Call StopScrub before the experiment's
+// host program finishes or the environment never drains.
+func (p *Platform) StartScrub(interval sim.Time) {
+	if p.scrubOn {
+		return
+	}
+	p.scrubOn = true
+	g := p.DevRT.NewGroup()
+	g.Go("patrol-scrub", func(fb *fibers.Fiber) {
+		for p.scrubOn {
+			fb.Block(func(proc *sim.Proc) { proc.Sleep(interval) })
+			if !p.scrubOn {
+				return
+			}
+			fb.Block(func(proc *sim.Proc) { p.FTL.ScrubStep(proc) })
+		}
+	})
+}
+
+// StopScrub asks the patrol-scrub fiber to exit; it notices at its next
+// wakeup (at most one interval of simulated time later).
+func (p *Platform) StopScrub() { p.scrubOn = false }
 
 // SetHostLoad sets the number of StreamBench-style background threads
 // contending for host memory bandwidth.

@@ -44,6 +44,12 @@ var (
 	ErrEraseFail = errors.New("erase failure")
 	// ErrTimeout is a host-interface command timeout.
 	ErrTimeout = errors.New("command timeout")
+	// ErrDieFail is a whole-die failure: the die stops responding to
+	// every command. Layers wrap it together with the operation-class
+	// error (ErrUncorrectable for reads, ErrProgramFail for programs)
+	// so existing ladders classify it correctly while the FTL can still
+	// recognize the die-level cause and stop routing traffic there.
+	ErrDieFail = errors.New("die failure")
 )
 
 // Kind enumerates the fault classes an Injector schedules plus the
@@ -60,12 +66,17 @@ const (
 	PortStall                     // host-interface backpressure stall
 	Fallback                      // consequence: NDP offload fell back to the host path
 	GCRecover                     // consequence: GC relocation recovered data after retries
+	DieFail                       // whole die stops responding to all commands
+	SilentCorrupt                 // program stored latently-damaged data (caught by end-to-end CRC on read)
+	Reconstruct                   // consequence: FTL rebuilt a page from RAIN parity
+	ScrubRepair                   // consequence: patrol scrub repaired a damaged stripe member
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"ecc-correctable", "read-uncorrectable", "program-fail", "erase-fail",
 	"cmd-timeout", "port-stall", "fallback", "gc-recover",
+	"die-fail", "silent-corrupt", "reconstruct", "scrub-repair",
 }
 
 func (k Kind) String() string {
@@ -107,6 +118,9 @@ type Injector struct {
 	counts   [numKinds]int64
 	injected int // faults charged against MaxFaults (consequences excluded)
 	events   []Event
+
+	armedMask   uint64 // dies failed at runtime via FailDie
+	dieDownSeen uint64 // dies whose failure has been logged (one DieFail event each)
 }
 
 // NewInjector builds an injector for plan. env stamps event times and
@@ -189,6 +203,48 @@ func (in *Injector) Program(site func() string) bool {
 // Erase decides whether one block erase fails.
 func (in *Injector) Erase(site func() string) bool {
 	return in != nil && in.roll(EraseFail, in.plan.EraseFailProb, site)
+}
+
+// DieDown reports whether die d is failed at the current virtual time —
+// either declared in the plan's DieFailMask (gated by DieFailAfter) or
+// armed at runtime via FailDie. The first positive answer per die logs
+// one DieFail event; die failures model permanent hardware loss and are
+// exempt from MaxFaults.
+func (in *Injector) DieDown(d int) bool {
+	if in == nil || d < 0 || d >= 64 {
+		return false
+	}
+	bit := uint64(1) << uint(d)
+	down := in.armedMask&bit != 0
+	if !down && in.plan.DieFailMask&bit != 0 {
+		if in.env == nil || in.env.Now() >= in.plan.DieFailAfter {
+			down = true
+		}
+	}
+	if down && in.dieDownSeen&bit == 0 {
+		in.dieDownSeen |= bit
+		in.record(DieFail, fmt.Sprintf("die %d", d))
+	}
+	return down
+}
+
+// FailDie arms a whole-die failure at the current virtual time. Benches
+// and tests call it at a deterministic simulation point (e.g. after data
+// load) to model mid-run hardware loss without perturbing the seeded
+// per-kind decision streams.
+func (in *Injector) FailDie(d int) {
+	if in == nil || d < 0 || d >= 64 {
+		return
+	}
+	in.armedMask |= uint64(1) << uint(d)
+}
+
+// Silent decides whether one NAND program stores latently-damaged data:
+// the bytes land, the program status reports success, but the damage is
+// detected by end-to-end CRC when the page is next read (or by patrol
+// scrub's parity verification before anyone reads it).
+func (in *Injector) Silent(site func() string) bool {
+	return in != nil && in.roll(SilentCorrupt, in.plan.SilentProb, site)
 }
 
 // Timeout decides whether one host command is lost.

@@ -291,11 +291,128 @@ func TestParsePlanRejects(t *testing.T) {
 		"correctable-latency=60",    // missing unit
 		"max-faults=-2",             // negative cap
 		"seed=99999999999999999999", // overflow
+		"diefail=64",                // die index out of mask range
+		"diefail=-1",                // negative die index
+		"diefail=1;1",               // duplicate die index
+		"diefail=banana",            // not an integer
+		"diefail=",                  // empty list
+		"silent=1.5",                // out of range
+		"diefail-after=-1ms",        // negative time
 	}
 	for _, s := range bad {
 		if _, err := ParsePlan(s); err == nil {
 			t.Errorf("ParsePlan(%q) accepted", s)
 		}
+	}
+}
+
+func TestParsePlanDieFail(t *testing.T) {
+	p, err := ParsePlan("diefail=3;7 diefail-after=10ms silent=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.FailedDies(); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("FailedDies = %v, want [3 7]", got)
+	}
+	if p.DieFailAfter != sim.FromDuration(10*time.Millisecond) || p.SilentProb != 0.01 {
+		t.Fatalf("got %+v", p)
+	}
+	if !p.Enabled() {
+		t.Fatal("diefail plan must be enabled")
+	}
+	if q, err := ParsePlan(p.String()); err != nil || q != p {
+		t.Fatalf("round trip %q: %+v err=%v", p.String(), q, err)
+	}
+}
+
+func TestValidateDiesChecksGeometry(t *testing.T) {
+	p := Plan{DieFailMask: 1<<3 | 1<<7}
+	if err := p.ValidateDies(8); err != nil {
+		t.Fatalf("dies within geometry rejected: %v", err)
+	}
+	if err := p.ValidateDies(7); err == nil {
+		t.Fatal("die 7 in a 7-die geometry must be rejected")
+	}
+	if err := (Plan{}).ValidateDies(1); err != nil {
+		t.Fatalf("empty mask rejected: %v", err)
+	}
+}
+
+func TestDieDownRespectsFailAfter(t *testing.T) {
+	env := sim.NewEnv()
+	plan := Plan{Seed: 1, DieFailMask: 1 << 2, DieFailAfter: 10 * sim.Microsecond}
+	in, err := NewInjector(env, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after bool
+	env.Spawn("t", func(p *sim.Proc) {
+		before = in.DieDown(2)
+		p.Sleep(10 * sim.Microsecond)
+		after = in.DieDown(2)
+	})
+	env.Run()
+	if before {
+		t.Fatal("die down before DieFailAfter")
+	}
+	if !after {
+		t.Fatal("die not down at DieFailAfter")
+	}
+	if in.DieDown(3) || in.DieDown(-1) || in.DieDown(64) {
+		t.Fatal("unmasked / out-of-range dies reported down")
+	}
+	// One DieFail event per die, exempt from MaxFaults accounting.
+	in.DieDown(2)
+	if in.Count(DieFail) != 1 {
+		t.Fatalf("DieFail events = %d, want 1", in.Count(DieFail))
+	}
+	if in.Total() != 0 {
+		t.Fatalf("die failures charged against MaxFaults: total=%d", in.Total())
+	}
+}
+
+func TestFailDieArmsAtRuntime(t *testing.T) {
+	in := mustInjector(t, Plan{Seed: 4})
+	if in.DieDown(5) {
+		t.Fatal("unarmed die reported down")
+	}
+	in.FailDie(5)
+	if !in.DieDown(5) || in.DieDown(4) {
+		t.Fatal("FailDie mask wrong")
+	}
+	if in.Count(DieFail) != 1 {
+		t.Fatalf("DieFail events = %d, want 1", in.Count(DieFail))
+	}
+	var nilInj *Injector
+	nilInj.FailDie(1) // must not panic
+	if nilInj.DieDown(1) {
+		t.Fatal("nil injector reported a die down")
+	}
+}
+
+func TestSilentStreamDeterministic(t *testing.T) {
+	plan := Plan{Seed: 11, SilentProb: 0.2}
+	a := mustInjector(t, plan)
+	b := mustInjector(t, plan)
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		va, vb := a.Silent(site("p")), b.Silent(site("p"))
+		if va != vb {
+			t.Fatalf("silent decision %d diverged", i)
+		}
+		if va {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("silent plan never fired in 2000 programs")
+	}
+	if a.Count(SilentCorrupt) != int64(hits) {
+		t.Fatalf("SilentCorrupt count %d != %d", a.Count(SilentCorrupt), hits)
+	}
+	var nilInj *Injector
+	if nilInj.Silent(site("p")) {
+		t.Fatal("nil injector decided silent corruption")
 	}
 }
 

@@ -17,6 +17,13 @@ func FuzzFaultPlan(f *testing.F) {
 	f.Add("sneed=1")
 	f.Add("uncorrectable=NaN")
 	f.Add("correctable-latency=-60us")
+	f.Add("diefail=3;7 diefail-after=10ms silent=0.01")
+	f.Add("diefail=0")
+	f.Add("diefail=64")
+	f.Add("diefail=1;1")
+	f.Add("diefail=-1")
+	f.Add("silent=1 seed=9")
+	f.Add("diefail-after=-1ms")
 	f.Fuzz(func(t *testing.T, s string) {
 		p, err := ParsePlan(s)
 		if err != nil {

@@ -50,6 +50,22 @@ type Plan struct {
 	// MaxFaults, when positive, caps the number of injected faults
 	// (consequence events are exempt). Useful for single-shot scenarios.
 	MaxFaults int
+
+	// SilentProb is the per-page-program probability the page is left
+	// silently damaged on the media: the program reports success, but
+	// every later read of that physical page fails its end-to-end CRC
+	// and surfaces as uncorrectable — a latent sector error that only
+	// RAIN reconstruction (or patrol scrub, proactively) can heal.
+	SilentProb float64
+
+	// DieFailMask is a bitmask of dies (bit i = die i, up to 64 dies)
+	// that fail hard: after DieFailAfter, every operation on a masked
+	// die errors with ErrDieFail. Die failures are planned events, not
+	// probabilistic ones, and are exempt from MaxFaults.
+	DieFailMask uint64
+	// DieFailAfter is the virtual time at which masked dies fail; zero
+	// means the dies are dead from the start.
+	DieFailAfter sim.Time
 }
 
 // DefaultPlan returns a moderately hostile plan: every fault kind is
@@ -74,7 +90,34 @@ func DefaultPlan(seed int64) Plan {
 func (p Plan) Enabled() bool {
 	return p.CorrectableProb > 0 || p.UncorrectableProb > 0 ||
 		p.ProgramFailProb > 0 || p.EraseFailProb > 0 ||
-		p.TimeoutProb > 0 || p.StallProb > 0
+		p.TimeoutProb > 0 || p.StallProb > 0 ||
+		p.SilentProb > 0 || p.DieFailMask != 0
+}
+
+// FailedDies returns the die indexes of DieFailMask in ascending order.
+func (p Plan) FailedDies() []int {
+	if p.DieFailMask == 0 {
+		return nil
+	}
+	var dies []int
+	for d := 0; d < 64; d++ {
+		if p.DieFailMask&(1<<uint(d)) != 0 {
+			dies = append(dies, d)
+		}
+	}
+	return dies
+}
+
+// ValidateDies checks DieFailMask against a concrete array geometry:
+// every masked die index must exist. The parse-time check only bounds
+// indexes to [0,64); geometry is only known where the plan is armed.
+func (p Plan) ValidateDies(dies int) error {
+	for _, d := range p.FailedDies() {
+		if d >= dies {
+			return fmt.Errorf("fault: diefail die %d out of range (geometry has %d dies)", d, dies)
+		}
+	}
+	return nil
 }
 
 // Validate checks that probabilities are in [0,1] and latencies are
@@ -109,6 +152,12 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("fault: %s %v negative", l.name, l.v)
 		}
 	}
+	if p.SilentProb < 0 || p.SilentProb > 1 || p.SilentProb != p.SilentProb {
+		return fmt.Errorf("fault: silent probability %v outside [0,1]", p.SilentProb)
+	}
+	if p.DieFailAfter < 0 {
+		return fmt.Errorf("fault: diefail-after %v negative", p.DieFailAfter)
+	}
 	if p.MaxFaults < 0 {
 		return fmt.Errorf("fault: max-faults %d negative", p.MaxFaults)
 	}
@@ -120,9 +169,11 @@ func (p Plan) Validate() error {
 //	seed=42 uncorrectable=5e-4 correctable=0.01 correctable-latency=60us
 //
 // Probability keys take floats; latency keys take time.ParseDuration
-// strings; seed and max-faults take integers. Keys are matched
-// case-insensitively. Unknown keys and duplicate keys are errors so that
-// typos fail loudly instead of silently injecting nothing.
+// strings; seed and max-faults take integers. diefail takes a
+// semicolon-separated list of die indexes (commas separate pairs), e.g.
+// "diefail=3;7 diefail-after=10ms". Keys are matched case-insensitively.
+// Unknown keys and duplicate keys are errors so that typos fail loudly
+// instead of silently injecting nothing.
 const (
 	keySeed               = "seed"
 	keyCorrectable        = "correctable"
@@ -131,9 +182,12 @@ const (
 	keyEraseFail          = "erase-fail"
 	keyTimeout            = "timeout"
 	keyStall              = "stall"
+	keySilent             = "silent"
+	keyDieFail            = "diefail"
 	keyCorrectableLatency = "correctable-latency"
 	keyTimeoutDelay       = "timeout-delay"
 	keyStallDelay         = "stall-delay"
+	keyDieFailAfter       = "diefail-after"
 	keyMaxFaults          = "max-faults"
 )
 
@@ -159,9 +213,18 @@ func (p Plan) String() string {
 	prob(keyEraseFail, p.EraseFailProb)
 	prob(keyTimeout, p.TimeoutProb)
 	prob(keyStall, p.StallProb)
+	prob(keySilent, p.SilentProb)
+	if p.DieFailMask != 0 {
+		strs := make([]string, 0, 4)
+		for _, d := range p.FailedDies() {
+			strs = append(strs, strconv.Itoa(d))
+		}
+		fmt.Fprintf(&b, " %s=%s", keyDieFail, strings.Join(strs, ";"))
+	}
 	lat(keyCorrectableLatency, p.CorrectableLatency)
 	lat(keyTimeoutDelay, p.TimeoutDelay)
 	lat(keyStallDelay, p.StallDelay)
+	lat(keyDieFailAfter, p.DieFailAfter)
 	if p.MaxFaults != 0 {
 		fmt.Fprintf(&b, " %s=%d", keyMaxFaults, p.MaxFaults)
 	}
@@ -203,12 +266,18 @@ func ParsePlan(s string) (Plan, error) {
 			p.TimeoutProb, err = parseProb(v)
 		case keyStall:
 			p.StallProb, err = parseProb(v)
+		case keySilent:
+			p.SilentProb, err = parseProb(v)
+		case keyDieFail:
+			p.DieFailMask, err = parseDieList(v)
 		case keyCorrectableLatency:
 			p.CorrectableLatency, err = parseLatency(v)
 		case keyTimeoutDelay:
 			p.TimeoutDelay, err = parseLatency(v)
 		case keyStallDelay:
 			p.StallDelay, err = parseLatency(v)
+		case keyDieFailAfter:
+			p.DieFailAfter, err = parseLatency(v)
 		case keyMaxFaults:
 			var n int64
 			n, err = strconv.ParseInt(v, 10, 64)
@@ -237,6 +306,29 @@ func parseProb(v string) (float64, error) {
 	return f, nil
 }
 
+// parseDieList parses the diefail value: die indexes separated by ';'
+// (e.g. "3" or "3;7;12"), each in [0,64) — the mask width; the armed
+// geometry is checked separately by ValidateDies. Duplicates are
+// rejected like duplicate keys: they signal a typo.
+func parseDieList(v string) (uint64, error) {
+	var mask uint64
+	for _, part := range strings.Split(v, ";") {
+		part = strings.TrimSpace(part)
+		d, err := strconv.Atoi(part)
+		if err != nil {
+			return 0, fmt.Errorf("die index %q: %v", part, err)
+		}
+		if d < 0 || d >= 64 {
+			return 0, fmt.Errorf("die index %d outside [0,64)", d)
+		}
+		if mask&(1<<uint(d)) != 0 {
+			return 0, fmt.Errorf("duplicate die index %d", d)
+		}
+		mask |= 1 << uint(d)
+	}
+	return mask, nil
+}
+
 func parseLatency(v string) (sim.Time, error) {
 	d, err := time.ParseDuration(v)
 	if err != nil {
@@ -248,8 +340,9 @@ func parseLatency(v string) (sim.Time, error) {
 func knownKeys() []string {
 	ks := []string{
 		keySeed, keyCorrectable, keyUncorrectable, keyProgramFail,
-		keyEraseFail, keyTimeout, keyStall, keyCorrectableLatency,
-		keyTimeoutDelay, keyStallDelay, keyMaxFaults,
+		keyEraseFail, keyTimeout, keyStall, keySilent, keyDieFail,
+		keyCorrectableLatency, keyTimeoutDelay, keyStallDelay,
+		keyDieFailAfter, keyMaxFaults,
 	}
 	sort.Strings(ks)
 	return ks

@@ -48,6 +48,18 @@ type Config struct {
 	// remapped to (each failure retires the failing block) before the
 	// write errors out.
 	ProgramRetries int
+
+	// StripeDataPages is the RAIN stripe width W: every W data pages the
+	// frontier lays down on W distinct channels are closed with one XOR
+	// parity page on yet another channel, so any single lost page — or a
+	// whole dead die — is rebuilt from the surviving W pages. 0 selects
+	// the default (Channels-1 on multi-channel arrays); -1 disables
+	// RAIN. Widths above Channels-1 are clamped: a stripe never puts two
+	// pages on one channel.
+	StripeDataPages int
+	// XORCyclesPerByte is the firmware CPU cost of XOR-folding one byte
+	// during parity accumulation, reconstruction and scrub verification.
+	XORCyclesPerByte float64
 }
 
 // DefaultConfig returns parameters matching an enterprise drive: 7 % OP
@@ -64,13 +76,26 @@ func DefaultConfig() Config {
 		ReadRetries:         2,
 		RetryLatency:        20 * sim.Microsecond,
 		ProgramRetries:      3,
+		StripeDataPages:     0,     // auto: Channels-1
+		XORCyclesPerByte:    0.125, // 8 bytes/cycle vectorized XOR loop
 	}
 }
 
+// Write streams. Host writes and GC/repair relocations go to separate
+// open blocks (and separate RAIN stripes): mixing them flattens the
+// block liveness distribution — relocated pages are colder than host
+// pages, and a block holding both never becomes a cheap GC victim.
+// With the streams split, host blocks decay into mostly-stale victims
+// while relocation blocks stay dense and are rarely collected.
+const (
+	hostStream = iota
+	gcStream
+	numStreams
+)
+
 type dieState struct {
-	free      []int // free block indexes (LIFO)
-	open      int   // block currently receiving programs, -1 if none
-	nextPage  int
+	open      [numStreams]int // this die's slice of the stream's open superblock, -1 if exhausted
+	nextPage  [numStreams]int
 	blockMeta []blockMeta
 	// wlock serializes allocate+program per die so that pages are
 	// programmed in exactly allocation order (NAND requires in-order
@@ -86,20 +111,43 @@ type blockMeta struct {
 
 // FTL is a page-mapped flash translation layer over a NAND array.
 type FTL struct {
-	env   *sim.Env
-	arr   *nand.Array
-	cfg   Config
-	fw    *cpu.CPU
-	dies  []*dieState
-	l2p   []int // lpn -> physical page index, -1 unmapped
-	nLPN  int
-	wrDie int  // round-robin die cursor for new writes
-	inGC  bool // prevents re-entrant collection from relocation writes
+	env      *sim.Env
+	arr      *nand.Array
+	cfg      Config
+	fw       *cpu.CPU
+	dies     []*dieState
+	l2p      []int        // lpn -> physical page index, -1 unmapped
+	lost     map[int]bool // lpns whose data is gone (unreadable + unreconstructable)
+	nLPN     int
+	dieOrder []int           // channel-major write rotation (consecutive writes hit distinct channels)
+	wrDie    [numStreams]int // per-stream cursor into dieOrder
+	// The erase/allocation unit is the superblock: block index b on
+	// every die at once. Stripes are laid within one superblock, so a
+	// stripe's members, its stale members and (usually) its parity die
+	// together when the superblock is erased — GC never pays to narrow
+	// parity around bytes the erase is about to destroy anyway.
+	freeSB []int         // free superblock indexes (LIFO)
+	sbFree []bool        // sbFree[b]: superblock b is on the free list
+	gcProc *sim.Proc     // process running collection; its writes skip the GC gate
+	gcGate *sim.Resource // serializes collection; writers out of space queue here
 
-	tr    *trace.Tracer // nil = tracing disabled
-	gcTk  trace.TrackID // GC rounds (serialized by inGC, so spans nest)
-	fwTk  trace.TrackID // firmware fault-handling instants (retries, remaps)
-	hists *stats.Histograms
+	// RAIN state. stripes is indexed by stripe id; freed slots are nil
+	// and recycled through freeSid, so iteration order is deterministic.
+	stripeW  int                     // data pages per stripe; 0 = RAIN disabled
+	cur      [numStreams]*openStripe // per-stream stripe accumulating the frontier
+	sealing  []*openStripe           // detached stripes whose parity is in flight
+	stripes  []*stripeRec
+	freeSid  []int
+	memberOf map[int]int // data ppi -> stripe id (set at seal)
+	parityOf map[int]int // parity ppi -> stripe id
+	scrubCur int         // patrol-scrub cursor into stripes
+
+	tr     *trace.Tracer // nil = tracing disabled
+	gcTk   trace.TrackID // GC rounds (serialized by inGC, so spans nest)
+	fwTk   trace.TrackID // firmware fault-handling instants (retries, remaps)
+	rainTk trace.TrackID // RAIN seal/reconstruct/scrub spans (async: they overlap)
+	hists  *stats.Histograms
+	ctrs   *stats.Counters // platform mirror of RAIN/scrub counters
 
 	gcMoves  int64
 	gcRounds int64
@@ -109,28 +157,57 @@ type FTL struct {
 	readRetries  int64 // reissued page reads after uncorrectable errors
 	readErrors   int64 // reads that stayed uncorrectable after retries
 	programFails int64 // program failures remapped to another block
-	gcRecovers   int64 // GC relocations recovered after unreadable source
+	gcRecovers   int64 // GC relocations recovered through parity reconstruction
 	badBlocks    int64 // blocks retired for program/erase failures
+
+	stripeSeals      int64 // stripes closed with a parity page
+	stripeDrops      int64 // stripes released after their last live member died
+	stripeShrinks    int64 // stale members removed (parity narrowed) before erase
+	parityWrites     int64 // parity page programs (seals + relocations + rewrites)
+	parityFails      int64 // parity programs that failed, leaving members unprotected
+	reconstructs     int64 // pages rebuilt from surviving members + parity
+	reconstructFails int64 // rebuild attempts that failed (unstriped or second loss)
+	degradedReads    int64 // host/NDP reads served through reconstruction
+	scrubStripes     int64 // stripes examined by the patrol scrub
+	scrubRepairs     int64 // damaged members rewritten by scrub
+	scrubParityFixes int64 // parity pages rewritten by scrub
+	scrubLost        int64 // stripes found with >1 lost page (beyond single parity)
+	lostPages        int64 // logical pages poisoned after unrecoverable double loss
 }
 
 // New builds an FTL over arr.
 func New(env *sim.Env, arr *nand.Array, cfg Config) *FTL {
 	nc := arr.Config()
 	f := &FTL{
-		env: env,
-		arr: arr,
-		cfg: cfg,
-		fw:  cpu.New(env, "fw-cpu", cfg.FirmwareThreads, cfg.FirmwareHz),
+		env:      env,
+		arr:      arr,
+		cfg:      cfg,
+		fw:       cpu.New(env, "fw-cpu", cfg.FirmwareThreads, cfg.FirmwareHz),
+		gcGate:   env.NewResource("ftl-gc", 1),
+		lost:     make(map[int]bool),
+		memberOf: make(map[int]int),
+		parityOf: make(map[int]int),
+	}
+	w := cfg.StripeDataPages
+	if w == 0 {
+		w = nc.Channels - 1
+	}
+	if w > nc.Channels-1 {
+		w = nc.Channels - 1
+	}
+	if w < 1 || nc.Channels < 2 {
+		w = 0 // RAIN needs a parity channel distinct from every member
+	}
+	f.stripeW = w
+	if f.cfg.XORCyclesPerByte <= 0 {
+		f.cfg.XORCyclesPerByte = 0.125
 	}
 	f.dies = make([]*dieState, nc.Dies())
 	for i := range f.dies {
 		d := &dieState{
-			open:      -1,
+			open:      [numStreams]int{-1, -1},
 			blockMeta: make([]blockMeta, nc.BlocksPerDie),
 			wlock:     env.NewResource(fmt.Sprintf("ftl-wlock%d", i), 1),
-		}
-		for b := nc.BlocksPerDie - 1; b >= 0; b-- {
-			d.free = append(d.free, b)
 		}
 		for b := range d.blockMeta {
 			lpns := make([]int, nc.PagesPerBlock)
@@ -141,7 +218,35 @@ func New(env *sim.Env, arr *nand.Array, cfg Config) *FTL {
 		}
 		f.dies[i] = d
 	}
-	f.nLPN = int(float64(nc.TotalPages()) * (1 - cfg.OverProvision))
+	f.sbFree = make([]bool, nc.BlocksPerDie)
+	for b := nc.BlocksPerDie - 1; b >= 0; b-- {
+		f.freeSB = append(f.freeSB, b)
+		f.sbFree[b] = true
+	}
+	// Consecutive writes rotate channel-major so a stripe's pages land
+	// on distinct channels (and sequential reads fan across buses).
+	for way := 0; way < nc.WaysPerChannel; way++ {
+		for ch := 0; ch < nc.Channels; ch++ {
+			f.dieOrder = append(f.dieOrder, ch*nc.WaysPerChannel+way)
+		}
+	}
+	// The exported capacity is raw space minus OP, minus the frontier
+	// and GC working reserve (the open superblock of each write stream,
+	// the low-water pool, and one in-flight victim), minus one parity
+	// page per W data pages when RAIN is on. GC relocation re-stripes
+	// every page it moves (≈1/W extra programs per move), so full-device
+	// occupancy must still leave greedy superblock victims cheap enough
+	// to recycle — the second OP tranche buys that margin.
+	logical := float64(nc.TotalPages()) * (1 - cfg.OverProvision)
+	reserve := (numStreams + cfg.GCLowWater + 1) * nc.Dies() * nc.PagesPerBlock
+	logical -= float64(reserve)
+	if w > 0 {
+		logical = logical * float64(w) / float64(w+1) * (1 - cfg.OverProvision)
+	}
+	if logical < float64(nc.Dies()*nc.PagesPerBlock) {
+		panic("ftl: configuration leaves no logical capacity (raise BlocksPerDie or lower reserves)")
+	}
+	f.nLPN = int(logical)
 	f.l2p = make([]int, f.nLPN)
 	for i := range f.l2p {
 		f.l2p[i] = -1
@@ -159,8 +264,13 @@ func (f *FTL) SetTracer(tr *trace.Tracer) {
 	if tr != nil {
 		f.gcTk = tr.Track("ftl/gc")
 		f.fwTk = tr.Track("ftl/fw")
+		f.rainTk = tr.Track("ftl/rain")
 	}
 }
+
+// SetCounters mirrors RAIN, scrub and recovery activity onto the
+// platform counter registry so -stats dumps include it. Nil disables.
+func (f *FTL) SetCounters(c *stats.Counters) { f.ctrs = c }
 
 // SetHists installs the registry receiving the GC-round duration
 // distribution ("ftl.gc.round"). Nil disables.
@@ -193,6 +303,31 @@ func (f *FTL) FaultStats() (readRetries, readErrors, programFails, gcRecovers in
 
 // BadBlocks reports how many blocks have been retired.
 func (f *FTL) BadBlocks() int64 { return f.badBlocks }
+
+// RainStats is a snapshot of the RAIN subsystem's activity.
+type RainStats struct {
+	StripeSeals, StripeDrops, StripeShrinks       int64
+	ParityWrites, ParityFails                     int64
+	Reconstructs, ReconstructFails, DegradedReads int64
+	ScrubStripes, ScrubRepairs, ScrubParityFixes  int64
+	ScrubLost                                     int64
+	LostPages                                     int64
+}
+
+// Rain reports RAIN parity, reconstruction and scrub activity.
+func (f *FTL) Rain() RainStats {
+	return RainStats{
+		StripeSeals: f.stripeSeals, StripeDrops: f.stripeDrops, StripeShrinks: f.stripeShrinks,
+		ParityWrites: f.parityWrites, ParityFails: f.parityFails,
+		Reconstructs: f.reconstructs, ReconstructFails: f.reconstructFails, DegradedReads: f.degradedReads,
+		ScrubStripes: f.scrubStripes, ScrubRepairs: f.scrubRepairs, ScrubParityFixes: f.scrubParityFixes,
+		ScrubLost: f.scrubLost, LostPages: f.lostPages,
+	}
+}
+
+// StripeWidth returns the number of data pages per RAIN stripe (0 when
+// RAIN is disabled, e.g. on single-channel arrays).
+func (f *FTL) StripeWidth() int { return f.stripeW }
 
 func (f *FTL) checkLPN(lpn int) {
 	if lpn < 0 || lpn >= f.nLPN {
@@ -237,9 +372,12 @@ func (f *FTL) Read(p *sim.Proc, lpn, offset, length int) ([]byte, error) {
 	f.reads++
 	ppi := f.l2p[lpn]
 	if ppi < 0 {
+		if f.lost[lpn] {
+			return nil, fmt.Errorf("ftl: lpn %d: data lost: %w", lpn, fault.ErrUncorrectable)
+		}
 		return make([]byte, length), nil
 	}
-	return f.readRetry(p, f.ppa(ppi), offset, length)
+	return f.readRecover(p, ppi, offset, length)
 }
 
 // readRetry issues the media read with the retry policy: each reissue
@@ -258,13 +396,31 @@ func (f *FTL) readRetry(p *sim.Proc, addr nand.PPA, offset, length int) ([]byte,
 		if err == nil {
 			return data, nil
 		}
-		if !errors.Is(err, fault.ErrUncorrectable) {
-			break
+		if errors.Is(err, fault.ErrDieFail) || !errors.Is(err, fault.ErrUncorrectable) {
+			break // a dead die never answers; retrying is pointless
 		}
 	}
 	f.readErrors++
 	f.tr.Instant(f.fwTk, "read.error")
 	return nil, err
+}
+
+// readRecover is the degraded-mode read path: the retry ladder first,
+// then RAIN reconstruction from the page's stripe. The original media
+// error is surfaced when the page is not striped or the stripe has
+// lost a second page.
+func (f *FTL) readRecover(p *sim.Proc, ppi, offset, length int) ([]byte, error) {
+	data, err := f.readRetry(p, f.ppa(ppi), offset, length)
+	if err == nil || !errors.Is(err, fault.ErrUncorrectable) {
+		return data, err
+	}
+	page, rerr := f.reconstruct(p, ppi)
+	if rerr != nil {
+		return nil, err
+	}
+	f.degradedReads++
+	f.ctrs.Add("ftl.rain.degraded", 1)
+	return page[offset : offset+length], nil
 }
 
 // ReadThrough streams length bytes of the logical page through sink while
@@ -279,6 +435,9 @@ func (f *FTL) ReadThrough(p *sim.Proc, lpn, offset, length int, ipOverhead sim.T
 	f.reads++
 	ppi := f.l2p[lpn]
 	if ppi < 0 {
+		if f.lost[lpn] {
+			return fmt.Errorf("ftl: lpn %d: data lost: %w", lpn, fault.ErrUncorrectable)
+		}
 		sink(make([]byte, length))
 		return nil
 	}
@@ -292,7 +451,7 @@ func (f *FTL) ReadThrough(p *sim.Proc, lpn, offset, length int, ipOverhead sim.T
 	}
 	f.readRetries++
 	p.Sleep(f.cfg.RetryLatency)
-	data, err := f.readRetry(p, addr, offset, length)
+	data, err := f.readRecover(p, ppi, offset, length)
 	if err != nil {
 		return err
 	}
@@ -314,38 +473,213 @@ func (f *FTL) Peek(lpn, offset int, dst []byte) {
 	f.arr.Peek(f.ppa(ppi), offset, dst)
 }
 
-// allocate picks the next physical page on the write frontier, running GC
-// first if the chosen die is low on free blocks. It returns the physical
-// page index; the caller must program it immediately.
-func (f *FTL) allocate(p *sim.Proc, dieIdx int) int {
-	d := f.dies[dieIdx]
-	if d.open < 0 {
-		if !f.inGC && len(d.free) <= f.cfg.GCLowWater {
-			f.inGC = true
-			f.maybeGC(p, dieIdx)
-			f.inGC = false
+// streamExhausted reports whether every live die's slice of the
+// stream's open superblock is full (or the stream has none open): the
+// stream may only then advance to a fresh superblock.
+func (f *FTL) streamExhausted(stream int) bool {
+	for die, d := range f.dies {
+		if d.open[stream] >= 0 && !f.arr.DieDead(die) {
+			return false
 		}
-		if len(d.free) == 0 {
-			panic("ftl: out of space (no free blocks after GC)")
-		}
-		d.open = d.free[len(d.free)-1]
-		d.free = d.free[:len(d.free)-1]
-		d.nextPage = 0
 	}
-	ppi := f.encode(dieIdx, d.open, d.nextPage)
-	d.nextPage++
-	if d.nextPage == f.arr.Config().PagesPerBlock {
-		d.open = -1
-	}
-	return ppi
+	return true
 }
 
+// openSuperblock pops a free superblock and hands every die its slice
+// of it (retired blocks are skipped: the superblock simply has less
+// capacity there). Pure bookkeeping; reports false when the pool is
+// empty or every constituent block is retired.
+func (f *FTL) openSuperblock(stream int) bool {
+	for len(f.freeSB) > 0 {
+		sb := f.freeSB[len(f.freeSB)-1]
+		f.freeSB = f.freeSB[:len(f.freeSB)-1]
+		f.sbFree[sb] = false
+		usable := false
+		for _, d := range f.dies {
+			if d.blockMeta[sb].bad {
+				continue
+			}
+			d.open[stream] = sb
+			d.nextPage[stream] = 0
+			usable = true
+		}
+		if usable {
+			return true
+		}
+		// Every slice retired: the superblock is dead capacity, drop it.
+	}
+	return false
+}
+
+// allocate picks the next physical page on die dieIdx's slice of the
+// stream's open superblock. It is pure bookkeeping — never blocks —
+// and reports ok=false when the slice is exhausted; the caller's
+// rotation fills the other dies' slices before the stream advances to
+// a fresh superblock.
+func (f *FTL) allocate(dieIdx, stream int) (int, bool) {
+	d := f.dies[dieIdx]
+	if d.open[stream] < 0 {
+		// A superblock only advances once every die's slice is full:
+		// advancing early would spread one stream over two superblocks
+		// and let its stripes span them.
+		if !f.streamExhausted(stream) || !f.openSuperblock(stream) {
+			return -1, false
+		}
+		if d.open[stream] < 0 {
+			return -1, false // this die's slice is retired; rotation moves on
+		}
+	}
+	ppi := f.encode(dieIdx, d.open[stream], d.nextPage[stream])
+	d.nextPage[stream]++
+	if d.nextPage[stream] == f.arr.Config().PagesPerBlock {
+		d.open[stream] = -1
+	}
+	return ppi, true
+}
+
+// isOpen reports whether the block is any stream's open frontier block.
+func (d *dieState) isOpen(block int) bool {
+	for _, o := range d.open {
+		if o == block {
+			return true
+		}
+	}
+	return false
+}
+
+// gcNeeded reports whether the stream is about to open a new
+// superblock with the free pool at the low-water mark. The collection
+// process itself is exempt: its relocation writes consume the very
+// reserve the low water protects.
+func (f *FTL) gcNeeded(p *sim.Proc, d *dieState, stream int) bool {
+	return p != f.gcProc && d.open[stream] < 0 && f.streamExhausted(stream) &&
+		len(f.freeSB) <= f.cfg.GCLowWater
+}
+
+// gcRefill runs collection for dieIdx. The gate serializes collection
+// globally: a writer arriving while GC is in flight queues here instead
+// of draining the free blocks the relocations need, and rechecks the
+// trigger once the running round finishes. Callers must hold no write
+// lock — relocations write through the global rotation and would
+// deadlock against a held die.
+func (f *FTL) gcRefill(p *sim.Proc, dieIdx, stream int) {
+	f.gcGate.Acquire(p)
+	if f.gcNeeded(p, f.dies[dieIdx], stream) {
+		f.gcProc = p
+		f.collect(p)
+		f.gcProc = nil
+	}
+	f.gcGate.Release()
+}
+
+// nextWriteDie advances the stream's channel-major rotation to the next
+// die that is alive and, when avoid is non-nil, not on an avoided
+// channel (parity placement). It returns -1 when no die qualifies.
+func (f *FTL) nextWriteDie(avoid map[int]bool, stream int) int {
+	ways := f.arr.Config().WaysPerChannel
+	n := len(f.dieOrder)
+	for i := 0; i < n; i++ {
+		die := f.dieOrder[(f.wrDie[stream]+i)%n]
+		if avoid != nil && avoid[die/ways] {
+			continue
+		}
+		if f.arr.DieDead(die) {
+			continue
+		}
+		f.wrDie[stream] = (f.wrDie[stream] + i + 1) % n
+		return die
+	}
+	return -1
+}
+
+// writePage allocates a frontier page and programs it, rotating across
+// channels. A program failure retires the failing block and remaps the
+// write to the next allocation (bounded by ProgramRetries); a dead die
+// is skipped by the rotation without consuming a retry. avoid, when
+// non-nil, names channels the page must not land on (parity is never
+// placed with its members); it is relaxed when no other channel can
+// take the write. The caller maps or records the returned ppi before
+// its next blocking call.
+func (f *FTL) writePage(p *sim.Proc, page []byte, avoid map[int]bool, stream int) (int, error) {
+	fails, full := 0, 0
+	var lastErr error
+	for {
+		dieIdx := f.nextWriteDie(avoid, stream)
+		if dieIdx < 0 {
+			if avoid != nil {
+				avoid = nil // every legal channel is dead: relax placement
+				continue
+			}
+			panic("ftl: write: all dies failed")
+		}
+		d := f.dies[dieIdx]
+		d.wlock.Acquire(p)
+		if f.gcNeeded(p, d, stream) {
+			// Checked under the write lock so concurrent writers cannot
+			// drain the free list past the low-water reserve unnoticed.
+			d.wlock.Release()
+			f.gcRefill(p, dieIdx, stream)
+			d.wlock.Acquire(p)
+		}
+		ppi, ok := f.allocate(dieIdx, stream)
+		if !ok {
+			d.wlock.Release()
+			full++
+			if full >= len(f.dies) {
+				if avoid != nil {
+					// Every die on the allowed channels is full. Relax the
+					// placement rather than fail: a parity page sharing a
+					// member's channel still protects against page loss,
+					// just not against that one channel dying.
+					avoid = nil
+					full = 0
+					continue
+				}
+				panic("ftl: out of space (no free blocks after GC)")
+			}
+			continue
+		}
+		full = 0
+		err := f.arr.Program(p, f.ppa(ppi), page)
+		d.wlock.Release()
+		if err == nil {
+			return ppi, nil
+		}
+		if errors.Is(err, fault.ErrDieFail) {
+			continue // the rotation skips this die from now on
+		}
+		if !errors.Is(err, fault.ErrProgramFail) {
+			return -1, err
+		}
+		f.programFails++
+		lastErr = err
+		_, block, _ := f.decode(ppi)
+		f.tr.Instant(f.fwTk, "program.remap").Arg("die", int64(dieIdx)).Arg("block", int64(block))
+		f.retire(dieIdx, block)
+		fails++
+		if tries := max(1, f.cfg.ProgramRetries); fails >= tries {
+			return -1, fmt.Errorf("ftl: %d program attempts failed: %w", tries, lastErr)
+		}
+	}
+}
+
+// invalidate marks the physical page stale and updates its stripe's
+// liveness; a stripe whose last live member dies is dropped, releasing
+// its parity page. Parity pages (and already-stale pages) are ignored.
 func (f *FTL) invalidate(ppi int) {
 	die, block, page := f.decode(ppi)
 	bm := &f.dies[die].blockMeta[block]
-	if bm.lpns[page] >= 0 {
-		bm.lpns[page] = -1
-		bm.valid--
+	if bm.lpns[page] < 0 {
+		return
+	}
+	bm.lpns[page] = -1
+	bm.valid--
+	if sid, ok := f.memberOf[ppi]; ok {
+		st := f.stripes[sid]
+		st.live--
+		if st.live <= 0 {
+			f.dropStripe(sid)
+		}
 	}
 }
 
@@ -366,7 +700,7 @@ func (f *FTL) Write(p *sim.Proc, lpn int, offset int, data []byte) error {
 
 	page := make([]byte, ps)
 	if old := f.l2p[lpn]; old >= 0 && (offset != 0 || len(data) != ps) {
-		prev, err := f.readRetry(p, f.ppa(old), 0, ps)
+		prev, err := f.readRecover(p, old, 0, ps)
 		if err != nil {
 			return fmt.Errorf("ftl: rmw read of lpn %d: %w", lpn, err)
 		}
@@ -374,12 +708,7 @@ func (f *FTL) Write(p *sim.Proc, lpn int, offset int, data []byte) error {
 	}
 	copy(page[offset:], data)
 
-	dieIdx := f.wrDie
-	f.wrDie = (f.wrDie + 1) % len(f.dies)
-	d := f.dies[dieIdx]
-	d.wlock.Acquire(p)
-	ppi, err := f.programRetry(p, dieIdx, page)
-	d.wlock.Release()
+	ppi, err := f.writePage(p, page, nil, hostStream)
 	if err != nil {
 		return fmt.Errorf("ftl: write lpn %d: %w", lpn, err)
 	}
@@ -388,39 +717,14 @@ func (f *FTL) Write(p *sim.Proc, lpn int, offset int, data []byte) error {
 	if old := f.l2p[lpn]; old >= 0 {
 		f.invalidate(old)
 	}
+	delete(f.lost, lpn) // fresh contents supersede a poisoned page
 	f.l2p[lpn] = ppi
 	die, block, pg := f.decode(ppi)
 	bm := &f.dies[die].blockMeta[block]
 	bm.lpns[pg] = lpn
 	bm.valid++
+	f.stripeAdd(p, ppi, page, hostStream)
 	return nil
-}
-
-// programRetry allocates a frontier page on die dieIdx and programs it,
-// remapping to a fresh block on program failure: the failing block is
-// retired (kept readable for its earlier valid pages, never reused) and
-// the write moves to the next allocation.
-func (f *FTL) programRetry(p *sim.Proc, dieIdx int, page []byte) (int, error) {
-	tries := f.cfg.ProgramRetries
-	if tries < 1 {
-		tries = 1
-	}
-	var err error
-	for try := 0; try < tries; try++ {
-		ppi := f.allocate(p, dieIdx)
-		err = f.arr.Program(p, f.ppa(ppi), page)
-		if err == nil {
-			return ppi, nil
-		}
-		if !errors.Is(err, fault.ErrProgramFail) {
-			return -1, err
-		}
-		f.programFails++
-		_, block, _ := f.decode(ppi)
-		f.tr.Instant(f.fwTk, "program.remap").Arg("die", int64(dieIdx)).Arg("block", int64(block))
-		f.retire(dieIdx, block)
-	}
-	return -1, fmt.Errorf("ftl: die %d: %d program attempts failed: %w", dieIdx, tries, err)
 }
 
 // retire marks a block bad: it is closed as the write frontier and
@@ -433,111 +737,265 @@ func (f *FTL) retire(dieIdx, block int) {
 		bm.bad = true
 		f.badBlocks++
 	}
-	if d.open == block {
-		d.open = -1
+	for s := range d.open {
+		if d.open[s] == block {
+			d.open[s] = -1
+		}
 	}
 }
 
 // Trim discards the logical page's contents (used by file deletion).
 func (f *FTL) Trim(lpn int) {
 	f.checkLPN(lpn)
+	delete(f.lost, lpn)
 	if old := f.l2p[lpn]; old >= 0 {
 		f.invalidate(old)
 		f.l2p[lpn] = -1
 	}
 }
 
-// maybeGC refills die dieIdx's free list to the high-water mark using
-// greedy victim selection (fewest valid pages first). Bad blocks with
-// valid pages remain eligible as victims — their data must still be
-// moved off — but are never erased or reused; fully-drained bad blocks
-// are excluded, so every round makes progress even on worn dies.
-func (f *FTL) maybeGC(p *sim.Proc, dieIdx int) {
-	d := f.dies[dieIdx]
+// freeBlocks counts free superblocks.
+func (f *FTL) freeBlocks() int { return len(f.freeSB) }
+
+// sbOpen reports whether superblock sb is some stream's open frontier
+// on any die.
+func (f *FTL) sbOpen(sb int) bool {
+	for _, d := range f.dies {
+		if d.isOpen(sb) {
+			return true
+		}
+	}
+	return false
+}
+
+// mappedPages counts logical pages currently backed by media.
+func (f *FTL) mappedPages() int {
+	n := 0
+	for _, ppi := range f.l2p {
+		if ppi >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// collect refills the free-superblock pool using greedy victim
+// selection: the superblock (same block index on every die) with the
+// fewest valid pages goes first. Because stripes are laid within one
+// superblock, relocating its live data drops their stripes — members,
+// stale members and parity go stale together — and the constituent
+// blocks erase with no parity narrowing in the common case; the
+// shrink/compact machinery only runs for the rare stripe that leaked
+// across a superblock boundary (a seal racing the frontier advance).
+// Relocation reads that exhaust their retries are rebuilt from RAIN
+// parity — there is no recovery outside the stripes. A victim that
+// cannot be fully drained is skipped for this collection; retired
+// blocks with valid pages remain eligible as victims but are never
+// erased or reused.
+//
+// The refill target adapts to occupancy: it never exceeds what the
+// live data (plus its parity overhead) physically leaves free, so a
+// nearly full device collects to a modest reserve instead of grinding
+// every superblock through relocation chasing an unreachable mark.
+func (f *FTL) collect(p *sim.Proc) {
 	nc := f.arr.Config()
-	for len(d.free) < f.cfg.GCHighWater {
-		victim, bestValid := -1, nc.PagesPerBlock
-		for b := range d.blockMeta {
-			if b == d.open || f.isFree(d, b) {
+	sbPages := len(f.dies) * nc.PagesPerBlock
+	content := f.mappedPages()
+	if f.stripeW > 0 {
+		content += content / f.stripeW // parity rides along
+	}
+	achievable := nc.BlocksPerDie - numStreams - 1 - (content+sbPages-1)/sbPages
+	target := min(f.cfg.GCHighWater, achievable)
+	target = max(target, f.cfg.GCLowWater+1)
+	skipped := map[int]bool{}
+	// Aging compaction consumes frontier pages before it frees anything,
+	// so it only runs while the pool can absorb a victim relocation.
+	floor := f.cfg.GCLowWater + 1
+	for len(f.freeSB) < target {
+		// Half-dead stripes waste a parity page each; while there is
+		// headroom above the floor, compact them to keep parity overhead
+		// near 1/W.
+		f.compactAged(p, floor)
+		victim, bestValid := -1, -1
+		for sb := 0; sb < nc.BlocksPerDie; sb++ {
+			if skipped[sb] || f.sbFree[sb] || f.sbOpen(sb) {
 				continue
 			}
-			bm := &d.blockMeta[b]
-			if bm.bad && bm.valid == 0 {
-				continue // retired and drained: nothing to reclaim
+			valid, reclaimable := 0, false
+			for _, d := range f.dies {
+				bm := &d.blockMeta[sb]
+				valid += bm.valid
+				if !bm.bad || bm.valid > 0 {
+					reclaimable = true
+				}
 			}
-			if v := bm.valid; v < bestValid {
-				victim, bestValid = b, v
+			if !reclaimable {
+				continue // fully retired and drained: nothing to reclaim
+			}
+			if bestValid < 0 || valid < bestValid {
+				victim, bestValid = sb, valid
 			}
 		}
-		if victim < 0 || bestValid == nc.PagesPerBlock {
+		if victim < 0 {
+			// Nothing directly reclaimable. Aged stripes may be the
+			// reason: compact the deadest one — its pins become garbage —
+			// then retry the scan.
+			if f.compactStripes(p) {
+				continue
+			}
 			return // nothing reclaimable
 		}
 		f.gcRounds++
 		roundStart := p.Now()
-		sp := f.tr.Begin(f.gcTk, "ftl.gc").Arg("die", int64(dieIdx)).Arg("block", int64(victim))
+		sp := f.tr.Begin(f.gcTk, "ftl.gc").Arg("sb", int64(victim)).Arg("valid", int64(bestValid))
 		moved := int64(0)
-		bm := &d.blockMeta[victim]
-		for pg := 0; pg < nc.PagesPerBlock; pg++ {
-			lpn := bm.lpns[pg]
-			if lpn < 0 {
-				continue
+		ok := true
+		// Pass 1: relocate live data. Moving a stripe's last live member
+		// drops the stripe, so this pass turns most of the superblock's
+		// parity pages into garbage as a side effect.
+		for dieIdx, d := range f.dies {
+			bm := &d.blockMeta[victim]
+			for pg := 0; pg < nc.PagesPerBlock; pg++ {
+				if bm.lpns[pg] < 0 {
+					continue
+				}
+				if f.moveData(p, f.encode(dieIdx, victim, pg)) {
+					moved++
+				} else {
+					ok = false
+				}
 			}
-			// Relocate the valid page to this die's frontier.
-			src := f.ppa(f.encode(dieIdx, victim, pg))
-			data, err := f.readRetry(p, src, 0, nc.PageSize)
-			if err != nil {
-				// Retries exhausted on the relocation read. A real drive
-				// reconstructs the stripe from RAIN parity; the model
-				// recovers the bytes from the authoritative store and
-				// charges one more retry's worth of rebuild time, so GC
-				// degrades data availability into latency, never loss.
-				data = make([]byte, nc.PageSize)
-				f.arr.Peek(src, 0, data)
-				p.Sleep(f.cfg.RetryLatency)
-				f.gcRecovers++
-				f.tr.Instant(f.gcTk, "gc.recover")
-				f.arr.Injector().Record(fault.GCRecover, "ftl.gc "+src.String())
-			}
-			dst, err := f.programRetry(p, dieIdx, data)
-			if err != nil {
-				// Every candidate block on the die failed to program; the
-				// die is unusable, which the FTL treats like running out
-				// of space.
-				panic(fmt.Sprintf("ftl: gc relocation on die %d: %v", dieIdx, err))
-			}
-			bm.lpns[pg] = -1
-			bm.valid--
-			ndie, nblock, npg := f.decode(dst)
-			nbm := &f.dies[ndie].blockMeta[nblock]
-			nbm.lpns[npg] = lpn
-			nbm.valid++
-			f.l2p[lpn] = dst
-			f.gcMoves++
-			moved++
 		}
-		// A retired (bad) victim relocated its data but is never erased
-		// or reused; an erase failure retires the block instead of
-		// freeing it.
-		if !bm.bad {
-			addr := nand.BlockAddr{Channel: dieIdx / nc.WaysPerChannel, Way: dieIdx % nc.WaysPerChannel, Block: victim}
-			if err := f.arr.Erase(p, addr); err != nil {
-				f.retire(dieIdx, victim)
-			} else {
-				d.free = append(d.free, victim)
+		// Pass 2: parity still alive here protects live members outside
+		// this superblock (a stripe that crossed the frontier boundary);
+		// move it off the erase path.
+		for dieIdx, d := range f.dies {
+			bm := &d.blockMeta[victim]
+			for pg := 0; pg < nc.PagesPerBlock; pg++ {
+				if bm.lpns[pg] == parityMark {
+					if !f.relocateParity(p, f.encode(dieIdx, victim, pg)) {
+						ok = false
+					}
+				}
 			}
+		}
+		// Pass 3: stale members of cross-boundary stripes — their parity
+		// must stop depending on bytes the erase destroys.
+		for dieIdx := range f.dies {
+			if !ok {
+				break
+			}
+			if !f.releaseStaleMembers(p, dieIdx, victim) {
+				ok = false
+			}
+		}
+		// Final gates, re-checked after all the blocking relocations:
+		// every constituent block must be drained and unpinned before
+		// any of them is erased.
+		for dieIdx, d := range f.dies {
+			if !ok {
+				break
+			}
+			bm := &d.blockMeta[victim]
+			if bm.valid > 0 || f.blockHasOpenMember(dieIdx, victim) || f.blockStripePinned(dieIdx, victim) {
+				ok = false
+			}
+		}
+		if !ok {
+			skipped[victim] = true
+		} else {
+			// Erase the constituent blocks in parallel — they sit on
+			// distinct dies. A block whose erase fails is retired; the
+			// superblock returns to the pool with less capacity.
+			done := sim.NewCompletion(f.env, len(f.dies))
+			for dieIdx, d := range f.dies {
+				dieIdx := dieIdx
+				if d.blockMeta[victim].bad {
+					done.Done(nil)
+					continue
+				}
+				f.env.Spawn("ftl-gc-erase", func(ep *sim.Proc) {
+					addr := nand.BlockAddr{Channel: dieIdx / nc.WaysPerChannel, Way: dieIdx % nc.WaysPerChannel, Block: victim}
+					if err := f.arr.Erase(ep, addr); err != nil {
+						f.retire(dieIdx, victim)
+					}
+					done.Done(nil)
+				})
+			}
+			done.Wait(p)
+			f.freeSB = append(f.freeSB, victim)
+			f.sbFree[victim] = true
 		}
 		sp.Arg("moves", moved).End()
 		f.hists.Observe("ftl.gc.round", int64(p.Now()-roundStart))
 	}
 }
 
-func (f *FTL) isFree(d *dieState, block int) bool {
-	for _, b := range d.free {
-		if b == block {
+// moveData relocates the live data page at src to a fresh frontier
+// page, rebuilding its contents from parity when the relocation read
+// exhausts its retries. It reports whether the page is off its block
+// (false only when the bytes are currently unreadable and
+// unreconstructable).
+func (f *FTL) moveData(p *sim.Proc, src int) bool {
+	die, block, pg := f.decode(src)
+	bm := &f.dies[die].blockMeta[block]
+	lpn := bm.lpns[pg]
+	if lpn < 0 {
+		return true // went stale before we got to it
+	}
+	ps := f.PageSize()
+	data, err := f.readRetry(p, f.ppa(src), 0, ps)
+	if err != nil {
+		if !errors.Is(err, fault.ErrUncorrectable) {
+			return false
+		}
+		data, err = f.reconstruct(p, src)
+		if err != nil {
+			// Unreadable and beyond parity's reach: the data is gone.
+			// Poison the logical page — host reads surface
+			// ErrUncorrectable until it is rewritten — rather than pin
+			// the only (broken) copy against the erase forever.
+			if bm.lpns[pg] != lpn || f.l2p[lpn] != src {
+				return true // superseded while we tried; nothing lost
+			}
+			f.invalidate(src)
+			f.l2p[lpn] = -1
+			f.lost[lpn] = true
+			f.lostPages++
+			f.ctrs.Add("ftl.rain.lost", 1)
+			f.tr.Instant(f.fwTk, "gc.dataloss").Arg("lpn", int64(lpn))
 			return true
 		}
+		f.gcRecovers++
+		f.tr.Instant(f.gcTk, "gc.recover")
+		f.arr.Injector().Record(fault.GCRecover, "ftl.gc "+f.ppa(src).String())
 	}
-	return false
+	if bm.lpns[pg] != lpn {
+		return true // overwritten or trimmed while reading: nothing to move
+	}
+	dst, err := f.writePage(p, data, nil, gcStream)
+	if err != nil {
+		return false
+	}
+	if bm.lpns[pg] != lpn {
+		return true // overwritten while programming: the fresh copy is garbage
+	}
+	f.invalidate(src)
+	ndie, nblock, npg := f.decode(dst)
+	nbm := &f.dies[ndie].blockMeta[nblock]
+	nbm.lpns[npg] = lpn
+	nbm.valid++
+	f.l2p[lpn] = dst
+	f.gcMoves++
+	f.stripeAdd(p, dst, data, gcStream)
+	return true
+}
+
+// isFree reports whether this die's block would be reused by a future
+// superblock open: its superblock is pooled and the block itself is
+// not retired.
+func (f *FTL) isFree(d *dieState, block int) bool {
+	return f.sbFree[block] && !d.blockMeta[block].bad
 }
 
 // MaxErase returns the highest per-block erase count (wear-leveling

@@ -38,8 +38,15 @@ func TestCapacityReflectsOverProvision(t *testing.T) {
 	if f.NumPages() >= total {
 		t.Fatalf("logical pages %d must be < physical %d", f.NumPages(), total)
 	}
-	if f.NumPages() < int(float64(total)*0.9) {
-		t.Fatalf("OP too large: %d of %d", f.NumPages(), total)
+	// Raw capacity minus OP, minus the frontier/GC superblock reserve,
+	// minus one parity page per W data pages (with its own OP margin).
+	cfg := smallNAND()
+	want := float64(total)*0.9 - float64(5*cfg.Dies()*cfg.PagesPerBlock)
+	if w := f.StripeWidth(); w > 0 {
+		want *= float64(w) / float64(w+1) * 0.9
+	}
+	if f.NumPages() < int(want) {
+		t.Fatalf("capacity reserves too large: %d of %d (floor %d)", f.NumPages(), total, int(want))
 	}
 }
 

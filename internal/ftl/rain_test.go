@@ -1,0 +1,255 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"biscuit/internal/fault"
+	"biscuit/internal/nand"
+	"biscuit/internal/sim"
+)
+
+// fillPattern writes pages logical pages of deterministic content and
+// seals the trailing stripe so every page is parity-protected.
+func fillPattern(t *testing.T, f *FTL, p *sim.Proc, pages int) []byte {
+	t.Helper()
+	ps := f.PageSize()
+	data := make([]byte, pages*ps)
+	for i := range data {
+		data[i] = byte(i*7 + i/ps)
+	}
+	if err := f.WriteRange(p, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	f.SealStripe(p)
+	return data
+}
+
+func TestHostReadReconstructsLatentPage(t *testing.T) {
+	// Latent sector errors planted at program time make the damaged page
+	// fail every host read. The degraded-mode read path must rebuild the
+	// contents from the page's stripe siblings plus parity, invisibly to
+	// the caller except for the added latency.
+	e, f, inj := newFaultyFTL(t, fault.Plan{Seed: 21, SilentProb: 0.05})
+	pages := 128
+	e.Spawn("io", func(p *sim.Proc) {
+		data := fillPattern(t, f, p, pages)
+		ps := f.PageSize()
+		for lpn := 0; lpn < pages; lpn++ {
+			got, err := f.Read(p, lpn, 0, ps)
+			if err != nil {
+				t.Fatalf("lpn %d: degraded read failed: %v", lpn, err)
+			}
+			if !bytes.Equal(got, data[lpn*ps:(lpn+1)*ps]) {
+				t.Fatalf("lpn %d: reconstructed content wrong", lpn)
+			}
+		}
+	})
+	e.Run()
+	if inj.Count(fault.SilentCorrupt) == 0 {
+		t.Fatal("plan injected no silent corruption; test exercised nothing")
+	}
+	rs := f.Rain()
+	if rs.DegradedReads == 0 || rs.Reconstructs == 0 {
+		t.Fatalf("no degraded reads went through reconstruction: %+v", rs)
+	}
+	if inj.Count(fault.Reconstruct) != rs.Reconstructs {
+		t.Fatalf("injector logged %d reconstructs, FTL counted %d",
+			inj.Count(fault.Reconstruct), rs.Reconstructs)
+	}
+}
+
+func TestDegradedReadCostsStripeReads(t *testing.T) {
+	// Reconstruction is not free: it must pay for reading the W
+	// surviving members plus parity, so a degraded read takes longer
+	// than a clean one.
+	e, f, _ := newFaultyFTL(t, fault.Plan{Seed: 21, SilentProb: 0.05})
+	pages := 128
+	var clean, degraded sim.Time
+	e.Spawn("io", func(p *sim.Proc) {
+		fillPattern(t, f, p, pages)
+		ps := f.PageSize()
+		for lpn := 0; lpn < pages; lpn++ {
+			before := f.Rain().DegradedReads
+			start := p.Now()
+			if _, err := f.Read(p, lpn, 0, ps); err != nil {
+				t.Fatal(err)
+			}
+			d := p.Now() - start
+			if f.Rain().DegradedReads > before {
+				if degraded == 0 || d < degraded {
+					degraded = d // fastest degraded read
+				}
+			} else if d > clean {
+				clean = d // slowest clean read
+			}
+		}
+	})
+	e.Run()
+	if degraded == 0 {
+		t.Skip("no degraded read under this seed")
+	}
+	if degraded <= clean {
+		t.Fatalf("degraded read (%v) should cost more than any clean read (%v)", degraded, clean)
+	}
+}
+
+func TestDegradedReadAfterDieFailure(t *testing.T) {
+	// A whole die dies after the data lands. Every page on it is gone
+	// from the media, but each sits in a stripe whose other pages live
+	// on different channels — the read path must rebuild all of them.
+	e, f, inj := newFaultyFTL(t, fault.Plan{Seed: 22})
+	pages := 64
+	e.Spawn("io", func(p *sim.Proc) {
+		data := fillPattern(t, f, p, pages)
+		inj.FailDie(0)
+		ps := f.PageSize()
+		for lpn := 0; lpn < pages; lpn++ {
+			got, err := f.Read(p, lpn, 0, ps)
+			if err != nil {
+				t.Fatalf("lpn %d unreadable after die failure: %v", lpn, err)
+			}
+			if !bytes.Equal(got, data[lpn*ps:(lpn+1)*ps]) {
+				t.Fatalf("lpn %d content wrong after die failure", lpn)
+			}
+		}
+	})
+	e.Run()
+	if !f.Array().DieDead(0) {
+		t.Fatal("die 0 should be dead")
+	}
+	rs := f.Rain()
+	if rs.Reconstructs == 0 || rs.DegradedReads == 0 {
+		t.Fatalf("die failure produced no reconstructions: %+v", rs)
+	}
+	if inj.Count(fault.DieFail) == 0 {
+		t.Fatal("die failure not recorded in the injector log")
+	}
+}
+
+func TestScrubRepairsLatentDamage(t *testing.T) {
+	// The patrol scrub walks the stripe population and converts latent
+	// sector errors into repairs: damaged members are rebuilt from
+	// parity and remapped to fresh pages. After a full pass the data
+	// must read back clean without any further degraded reads.
+	e, f, inj := newFaultyFTL(t, fault.Plan{Seed: 23, SilentProb: 0.05})
+	pages := 128
+	e.Spawn("io", func(p *sim.Proc) {
+		data := fillPattern(t, f, p, pages)
+		// Walk every stripe twice: the first pass repairs the damage it
+		// finds (possibly planting fresh latent errors on the rewritten
+		// pages), the second catches stragglers.
+		seals := int(f.Rain().StripeSeals)
+		for i := 0; i < 2*seals; i++ {
+			if !f.ScrubStep(p) {
+				break
+			}
+		}
+		ps := f.PageSize()
+		for lpn := 0; lpn < pages; lpn++ {
+			got, err := f.Read(p, lpn, 0, ps)
+			if err != nil {
+				t.Fatalf("lpn %d unreadable after scrub: %v", lpn, err)
+			}
+			if !bytes.Equal(got, data[lpn*ps:(lpn+1)*ps]) {
+				t.Fatalf("lpn %d content wrong after scrub", lpn)
+			}
+		}
+	})
+	e.Run()
+	if inj.Count(fault.SilentCorrupt) == 0 {
+		t.Fatal("plan injected no silent corruption; test exercised nothing")
+	}
+	rs := f.Rain()
+	if rs.ScrubStripes == 0 {
+		t.Fatal("scrub examined no stripes")
+	}
+	if rs.ScrubRepairs == 0 && rs.ScrubParityFixes == 0 {
+		t.Fatalf("scrub repaired nothing under 5%% silent corruption: %+v", rs)
+	}
+	if inj.Count(fault.ScrubRepair) != rs.ScrubRepairs+rs.ScrubParityFixes {
+		t.Fatalf("injector logged %d scrub repairs, FTL counted %d+%d",
+			inj.Count(fault.ScrubRepair), rs.ScrubRepairs, rs.ScrubParityFixes)
+	}
+}
+
+func TestBeyondParityLossSurfaces(t *testing.T) {
+	// Single parity protects against one lost page per stripe. When the
+	// whole array goes unreadable (every sibling read fails too),
+	// reconstruction must give up and surface the media error rather
+	// than fabricate data.
+	e, f, _ := newFaultyFTL(t, fault.Plan{Seed: 24, UncorrectableProb: 1})
+	e.Spawn("io", func(p *sim.Proc) {
+		data := bytes.Repeat([]byte{0xA5}, f.PageSize())
+		if err := f.Write(p, 0, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		f.SealStripe(p)
+		_, err := f.Read(p, 0, 0, f.PageSize())
+		if !errors.Is(err, fault.ErrUncorrectable) {
+			t.Fatalf("want wrapped ErrUncorrectable, got %v", err)
+		}
+	})
+	e.Run()
+	rs := f.Rain()
+	if rs.ReconstructFails == 0 {
+		t.Fatal("failed reconstruction not counted")
+	}
+	if rs.DegradedReads != 0 {
+		t.Fatal("a failed reconstruction must not count as a degraded read")
+	}
+}
+
+// rainRun executes one full write/corrupt/scrub/read cycle and returns
+// a transcript capturing everything observable: content hashes, stats,
+// and the injector's event log.
+func rainRun(seed int64) string {
+	e := sim.NewEnv()
+	arr := nand.New(e, smallNAND())
+	inj, err := fault.NewInjector(e, fault.Plan{Seed: seed, SilentProb: 0.04})
+	if err != nil {
+		panic(err)
+	}
+	arr.SetInjector(inj)
+	f := New(e, arr, DefaultConfig())
+	pages := 96
+	var out []byte
+	e.Spawn("io", func(p *sim.Proc) {
+		ps := f.PageSize()
+		data := make([]byte, pages*ps)
+		for i := range data {
+			data[i] = byte(i * 11)
+		}
+		if err := f.WriteRange(p, 0, data); err != nil {
+			panic(err)
+		}
+		f.SealStripe(p)
+		for i := 0; i < 32; i++ {
+			f.ScrubStep(p)
+		}
+		out, err = f.ReadRange(p, 0, len(data))
+		if err != nil {
+			panic(err)
+		}
+	})
+	e.Run()
+	sum := 0
+	for _, b := range out {
+		sum = sum*31 + int(b)
+	}
+	return fmt.Sprintf("content=%x stats=%+v sig=%s now=%d", sum, f.Rain(), inj.Signature(), e.Now())
+}
+
+func TestRainDeterminism(t *testing.T) {
+	// Identical seeds must give byte-identical behavior: same repairs,
+	// same reconstructions, same injector event log, same sim clock.
+	a, b := rainRun(9), rainRun(9)
+	if a != b {
+		t.Fatalf("same-seed runs diverged:\n%s\n%s", a, b)
+	}
+	if c := rainRun(10); c == a {
+		t.Fatal("different seeds produced identical fault transcripts")
+	}
+}

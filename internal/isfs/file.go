@@ -226,7 +226,14 @@ func (f *File) Flush(p *sim.Proc) error {
 	if first != nil {
 		return fmt.Errorf("isfs: flush %s: %w", f.ino.Name, first)
 	}
-	return f.fs.Sync(p)
+	if err := f.fs.Sync(p); err != nil {
+		return err
+	}
+	// Close the open RAIN stripes: a durable flush means the data is
+	// parity-protected now, not once later traffic happens to fill the
+	// stripe's remaining slots.
+	f.fs.f.SealStripe(p)
+	return nil
 }
 
 // Truncate shrinks the file to size bytes, releasing whole pages beyond

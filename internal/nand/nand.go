@@ -113,6 +113,7 @@ type Array struct {
 	channels []*sim.Resource // bus occupancy, one per channel
 	dies     []*die          // [channel*ways + way]
 	data     map[uint64][]byte
+	latent   map[uint64]bool // pages silently damaged at program time
 	inj      *fault.Injector // nil = perfectly reliable media
 
 	tr    *trace.Tracer   // nil = tracing disabled
@@ -127,7 +128,7 @@ func New(env *sim.Env, cfg Config) *Array {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	a := &Array{cfg: cfg, env: env, data: make(map[uint64][]byte)}
+	a := &Array{cfg: cfg, env: env, data: make(map[uint64][]byte), latent: make(map[uint64]bool)}
 	a.channels = make([]*sim.Resource, cfg.Channels)
 	for i := range a.channels {
 		a.channels[i] = env.NewResource(fmt.Sprintf("nand-ch%d", i), 1)
@@ -202,6 +203,27 @@ func (a *Array) die(addr PPA) *die {
 	return a.dies[addr.Channel*a.cfg.WaysPerChannel+addr.Way]
 }
 
+// dieIndex returns the flat die index of addr.
+func (a *Array) dieIndex(addr PPA) int {
+	return addr.Channel*a.cfg.WaysPerChannel + addr.Way
+}
+
+// DieDead reports whether addr's die has failed at the current virtual
+// time; the FTL consults it to steer writes away from dead dies.
+func (a *Array) DieDead(d int) bool { return a.inj.DieDown(d) }
+
+// dieFail charges the cost of discovering a dead die: the controller
+// issues the command cycles on the channel bus and the die never
+// answers. The die's busy resource is not touched — a dead die serves
+// nobody — and no media state changes.
+func (a *Array) dieFail(p *sim.Proc, addr PPA) {
+	bus := a.channels[addr.Channel]
+	bus.Acquire(p)
+	p.Sleep(a.cfg.ChannelCmdCost)
+	bus.Release()
+	a.tr.Instant(a.dieTrack(addr), "die.dead")
+}
+
 func (a *Array) key(addr PPA) uint64 {
 	c := a.cfg
 	return uint64(((addr.Channel*c.WaysPerChannel+addr.Way)*c.BlocksPerDie+addr.Block)*c.PagesPerBlock + addr.Page)
@@ -233,6 +255,10 @@ func (a *Array) Read(p *sim.Proc, addr PPA, offset, length int) ([]byte, error) 
 	if offset < 0 || length < 0 || offset+length > a.cfg.PageSize {
 		panic(fmt.Sprintf("nand: read [%d,%d) out of page bounds", offset, offset+length))
 	}
+	if a.inj.DieDown(a.dieIndex(addr)) {
+		a.dieFail(p, addr)
+		return nil, fmt.Errorf("nand: read %v: %w (%w)", addr, fault.ErrDieFail, fault.ErrUncorrectable)
+	}
 	dec := a.inj.Read(func() string { return "nand.read " + addr.String() })
 	// The die holds the data in its page register until the transfer
 	// completes, so it stays busy across both phases; only the bus is
@@ -258,6 +284,13 @@ func (a *Array) Read(p *sim.Proc, addr PPA, offset, length int) ([]byte, error) 
 		a.tr.Instant(a.dieTrack(addr), "ecc.uncorrectable")
 		return nil, fmt.Errorf("nand: read %v: %w", addr, fault.ErrUncorrectable)
 	}
+	if a.latent[a.key(addr)] {
+		// Latent damage from program time: the end-to-end CRC fails on
+		// every read of this physical page until it is erased. Only
+		// RAIN reconstruction (or scrub, proactively) can recover it.
+		a.tr.Instant(a.dieTrack(addr), "crc.latent")
+		return nil, fmt.Errorf("nand: read %v: latent damage: %w", addr, fault.ErrUncorrectable)
+	}
 	out := make([]byte, length)
 	if page, ok := a.data[a.key(addr)]; ok {
 		copy(out, page[offset:offset+length])
@@ -280,6 +313,10 @@ func (a *Array) ReadThrough(p *sim.Proc, addr PPA, offset, length int, ipOverhea
 	if offset < 0 || length < 0 || offset+length > a.cfg.PageSize {
 		panic(fmt.Sprintf("nand: readthrough [%d,%d) out of page bounds", offset, offset+length))
 	}
+	if a.inj.DieDown(a.dieIndex(addr)) {
+		a.dieFail(p, addr)
+		return fmt.Errorf("nand: readthrough %v: %w (%w)", addr, fault.ErrDieFail, fault.ErrUncorrectable)
+	}
 	dec := a.inj.Read(func() string { return "nand.readthrough " + addr.String() })
 	d := a.die(addr)
 	d.busy.Acquire(p)
@@ -301,6 +338,10 @@ func (a *Array) ReadThrough(p *sim.Proc, addr PPA, offset, length int, ipOverhea
 	if dec.Uncorrectable {
 		a.tr.Instant(a.dieTrack(addr), "ecc.uncorrectable")
 		return fmt.Errorf("nand: readthrough %v: %w", addr, fault.ErrUncorrectable)
+	}
+	if a.latent[a.key(addr)] {
+		a.tr.Instant(a.dieTrack(addr), "crc.latent")
+		return fmt.Errorf("nand: readthrough %v: latent damage: %w", addr, fault.ErrUncorrectable)
 	}
 	buf := make([]byte, length)
 	if page, ok := a.data[a.key(addr)]; ok {
@@ -345,6 +386,12 @@ func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) error {
 	if st.programmed != addr.Page {
 		panic(fmt.Sprintf("nand: out-of-order program of %v (next programmable page is %d)", addr, st.programmed))
 	}
+	if a.inj.DieDown(a.dieIndex(addr)) {
+		// The dead die consumes no page: the command never reaches the
+		// word line, so the block frontier is untouched.
+		a.dieFail(p, addr)
+		return fmt.Errorf("nand: program %v: %w (%w)", addr, fault.ErrDieFail, fault.ErrProgramFail)
+	}
 	fail := a.inj.Program(func() string { return "nand.program " + addr.String() })
 
 	d.busy.Acquire(p)
@@ -364,6 +411,13 @@ func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) error {
 	page := make([]byte, a.cfg.PageSize)
 	copy(page, data)
 	a.data[a.key(addr)] = page
+	if a.inj.Silent(func() string { return "nand.program " + addr.String() }) {
+		// Latent damage: the program status lies. The stored bytes stay
+		// intact (a reconstruction from parity must observe the truth),
+		// but every future read fails its end-to-end CRC.
+		a.latent[a.key(addr)] = true
+		a.tr.Instant(a.dieTrack(addr), "silent.corrupt")
+	}
 	a.programs++
 	return nil
 }
@@ -375,6 +429,10 @@ func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) error {
 func (a *Array) Erase(p *sim.Proc, b BlockAddr) error {
 	addr := PPA{b.Channel, b.Way, b.Block, 0}
 	a.check(addr)
+	if a.inj.DieDown(a.dieIndex(addr)) {
+		a.dieFail(p, addr)
+		return fmt.Errorf("nand: erase ch%d/w%d/b%d: %w (%w)", b.Channel, b.Way, b.Block, fault.ErrDieFail, fault.ErrEraseFail)
+	}
 	fail := a.inj.Erase(func() string { return fmt.Sprintf("nand.erase ch%d/w%d/b%d", b.Channel, b.Way, b.Block) })
 	d := a.die(addr)
 	d.busy.Acquire(p)
@@ -388,6 +446,7 @@ func (a *Array) Erase(p *sim.Proc, b BlockAddr) error {
 	}
 	for pg := 0; pg < st.programmed; pg++ {
 		delete(a.data, a.key(PPA{b.Channel, b.Way, b.Block, pg}))
+		delete(a.latent, a.key(PPA{b.Channel, b.Way, b.Block, pg}))
 	}
 	st.programmed = 0
 	st.erases++

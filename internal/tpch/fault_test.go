@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
@@ -103,6 +104,87 @@ func TestQ1Q6ResultsUnchangedUnderFaultPlans(t *testing.T) {
 				t.Fatalf("plan %s injected nothing; test exercised no fault path", tc.name)
 			}
 		})
+	}
+}
+
+// dieFailPlan loses a whole die mid-run while latent sector errors
+// accumulate — the campaign RAIN exists for.
+func dieFailPlan() fault.Plan {
+	return fault.Plan{
+		Seed:         5,
+		SilentProb:   1e-3,
+		DieFailMask:  1 << 3,
+		DieFailAfter: 20 * sim.Millisecond,
+	}
+}
+
+func TestQ6ReconstructionMatchesFaultFreeRun(t *testing.T) {
+	// A dead die plus latent sector errors must not change a single
+	// output row: every page on the lost die comes back through RAIN
+	// parity reconstruction, row for row identical to the fault-free
+	// baseline.
+	sys, data := testData(t)
+	var baseline []db.Row
+	sys.Run(func(h *biscuit.Host) {
+		rows, err := ByID(6).Run(&QCtx{Ex: db.NewExec(h, data.DB), D: data})
+		if err != nil {
+			t.Fatalf("baseline Q6: %v", err)
+		}
+		baseline = rows
+	})
+
+	fsys, fdata := faultData(t, dieFailPlan())
+	fsys.Run(func(h *biscuit.Host) {
+		rows, _ := runWithLadder(t, h, fdata, ByID(6))
+		if !rowsEqual(rows, baseline) {
+			t.Error("Q6 rows diverged under die failure + latent damage")
+		}
+	})
+	if fsys.Plat.Inj.Count(fault.DieFail) == 0 {
+		t.Fatal("planned die failure never fired")
+	}
+	rs := fsys.Plat.FTL.Rain()
+	if rs.Reconstructs == 0 {
+		t.Fatalf("no RAIN reconstruction under a dead die: %+v", rs)
+	}
+}
+
+func TestQ6DeterministicUnderDieFailure(t *testing.T) {
+	// Two identically-seeded runs of load + Q6 under the diefail plan
+	// must agree on everything observable: the rows, the injector's
+	// event log, and the byte-exact execution trace.
+	run := func() ([]db.Row, string, string) {
+		cfg := biscuit.DefaultConfig()
+		cfg.NAND.BlocksPerDie = 256
+		cfg.NAND.PagesPerBlock = 64
+		cfg.Fault = dieFailPlan()
+		sys := biscuit.NewSystem(cfg)
+		tr := sys.NewTracer()
+		d := db.Open(sys)
+		var rows []db.Row
+		sys.Run(func(h *biscuit.Host) {
+			data, err := Gen{SF: 0.002}.Load(h, d, biscuit.SeededRand(7))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			rows, _ = runWithLadder(t, h, data, ByID(6))
+		})
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return rows, sys.Plat.Inj.Signature(), buf.String()
+	}
+	rows1, sig1, trace1 := run()
+	rows2, sig2, trace2 := run()
+	if !rowsEqual(rows1, rows2) {
+		t.Fatal("same-seed diefail runs returned different rows")
+	}
+	if sig1 != sig2 {
+		t.Fatal("same-seed diefail runs produced different fault schedules")
+	}
+	if trace1 != trace2 {
+		t.Fatal("same-seed diefail runs produced different execution traces")
 	}
 }
 
