@@ -9,7 +9,7 @@ VETTOOL := bin/biscuitvet
 # dangerous kind.
 TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
 
-.PHONY: all build test race vet fmt check faulttest faultbench benchsmoke tracesmoke clean
+.PHONY: all build test race racefault vet vet-fix fmt check faulttest faultbench benchsmoke tracesmoke clean
 
 all: build
 
@@ -21,6 +21,16 @@ test:
 
 race:
 	$(GO) test -race $(TIER1)
+
+# Race detector over the failure paths + trace determinism: the fault
+# suite exercises the retry/reconstruction/fallback schedules where a
+# data race would silently break determinism, and
+# TestTraceDeterministic is the end-to-end witness that the whole span
+# pipeline stays schedule-independent.
+racefault:
+	$(GO) test -race -count=2 ./internal/fault/...
+	$(GO) test -race -run $(FAULTRUN) $(FAULTPKGS)
+	$(GO) test -race -run TestTraceDeterministic .
 
 # Failure-path suite (DESIGN.md "Fault model"): the fault engine's own
 # tests plus every fault/corruption/retry/degradation test across the
@@ -67,18 +77,30 @@ tracesmoke:
 	cmp trace-out/q6.json trace-out/q6.rerun.json
 	$(GO) run ./cmd/tracecheck trace-out/q6.json
 
-# vet = stock go vet + the biscuitvet analyzer suite (walltime,
-# detrand, fiberyield, nogoroutine, portcheck, simtimemix, spanbalance —
-# see DESIGN.md "Invariants"). biscuitvet runs through the standard vettool
-# protocol, so suppressions use //biscuitvet:<name>-ok directives.
+# vet = stock go vet + the biscuitvet analyzer suite (arenaescape,
+# detrand, eventpurity, fiberyield, nogoroutine, portcheck, simtimemix,
+# spanbalance, walltime — see DESIGN.md "Invariants"). biscuitvet runs
+# through the standard vettool protocol; waivers are either the legacy
+# //biscuitvet:<name>-ok directive or //biscuitvet:ignore <name>: <reason>
+# (a reasonless ignore is itself a finding, so `make vet` fails on it).
 vet: $(VETTOOL)
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(VETTOOL) ./...
 
-$(VETTOOL): FORCE
-	$(GO) build -o $(VETTOOL) ./cmd/biscuitvet
+# vet-fix applies each diagnostic's first suggested fix in place
+# (arenaescape's Clone/append-copy rewrites), then reports whatever
+# could not be fixed mechanically. The BISCUITVET_FIX toggle is folded
+# into the tool's build ID, so fix runs never share go vet's result
+# cache with plain vet runs.
+vet-fix: $(VETTOOL)
+	BISCUITVET_FIX=1 $(GO) vet -vettool=$(VETTOOL) ./...
 
-FORCE:
+# Rebuild only when the tool's sources change, so CI can cache the
+# binary (keyed on the same file set) and skip the build entirely.
+VETSRC := $(shell find cmd/biscuitvet internal/analysis -name '*.go' -not -path '*/testdata/*') go.mod
+
+$(VETTOOL): $(VETSRC)
+	$(GO) build -o $(VETTOOL) ./cmd/biscuitvet
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -13,14 +13,27 @@
 // alone — this module builds offline with no dependencies, so x/tools
 // is not available. The protocol is small: `-V=full` prints an
 // identity for the build cache, `-flags` declares supported flags, and
-// an invocation with a *.cfg argument analyzes one package. Facts are
-// not used (every analyzer is intra-package), so dependency passes
-// (VetxOnly) only need to materialize an empty facts file.
+// an invocation with a *.cfg argument analyzes one package.
+//
+// Facts: the dataflow analyzers (arenaescape, eventpurity) exchange
+// per-object facts across package boundaries. Dependency passes
+// (VetxOnly) of this module's packages run the fact-producing analyzers
+// and persist their exports in the package's .vetx file; because each
+// .vetx carries the package's own facts merged with everything it
+// imported, loading the direct dependencies' files is enough to see the
+// whole transitive closure. Standard-library packages get an empty
+// .vetx without analysis.
+//
+// Fix mode (`biscuitvet -fix`, `make vet-fix`, or BISCUITVET_FIX=1)
+// applies each diagnostic's first suggested fix to the source tree;
+// diagnostics without a mechanical fix are still reported and keep the
+// exit status non-zero.
 package main
 
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -34,7 +47,9 @@ import (
 	"sort"
 	"strings"
 
+	"biscuit/internal/analysis/arenaescape"
 	"biscuit/internal/analysis/detrand"
+	"biscuit/internal/analysis/eventpurity"
 	"biscuit/internal/analysis/fiberyield"
 	"biscuit/internal/analysis/framework"
 	"biscuit/internal/analysis/nogoroutine"
@@ -47,7 +62,9 @@ import (
 // analyzers is the suite. Order fixes the order of same-position
 // diagnostics, keeping output deterministic.
 var analyzers = []*framework.Analyzer{
+	arenaescape.Analyzer,
 	detrand.Analyzer,
+	eventpurity.Analyzer,
 	fiberyield.Analyzer,
 	nogoroutine.Analyzer,
 	portcheck.Analyzer,
@@ -56,6 +73,10 @@ var analyzers = []*framework.Analyzer{
 	walltime.Analyzer,
 }
 
+// modulePrefix gates fact analysis of dependency packages: only this
+// module's packages can carry facts the analyzers care about.
+const modulePrefix = "biscuit"
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("biscuitvet: ")
@@ -63,15 +84,23 @@ func main() {
 	switch {
 	case len(args) == 1 && args[0] == "-V=full":
 		printVersion()
+		return
 	case len(args) == 1 && args[0] == "-flags":
-		// No tool-specific flags; an empty JSON list tells the go
-		// command there is nothing to forward.
-		fmt.Println("[]")
-	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
-		run(args[0])
-	default:
+		// Declared flags are forwarded by the go command from the
+		// `go vet` command line to every per-package invocation.
+		fmt.Println(`[{"Name":"fix","Bool":true,"Usage":"apply suggested fixes to source files"}]`)
+		return
+	}
+	fs := flag.NewFlagSet("biscuitvet", flag.ExitOnError)
+	fixFlag := fs.Bool("fix", false, "apply suggested fixes to source files")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	rest := fs.Args()
+	if len(rest) != 1 || !strings.HasSuffix(rest[0], ".cfg") {
 		log.Fatalf("this tool is a go vet backend; run:  go vet -vettool=$(command -v biscuitvet) ./...\n(analyzers: %s)", names())
 	}
+	run(rest[0], *fixFlag || os.Getenv("BISCUITVET_FIX") != "")
 }
 
 func names() string {
@@ -84,7 +113,9 @@ func names() string {
 
 // printVersion emits the identity line the go command hashes into its
 // build cache key. Hashing the executable itself makes the cache
-// invalidate whenever the tool is rebuilt with different analyzers.
+// invalidate whenever the tool is rebuilt with different analyzers; the
+// fix-mode environment variable is folded in so switching it on cannot
+// be hidden by cached clean results.
 func printVersion() {
 	exe, err := os.Executable()
 	if err != nil {
@@ -98,6 +129,12 @@ func printVersion() {
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {
 		log.Fatal(err)
+	}
+	// The output must be exactly "<name> version <ver> buildID=<id>", so
+	// the fix-mode environment variable is folded into the hash rather
+	// than printed as its own field.
+	if os.Getenv("BISCUITVET_FIX") != "" {
+		io.WriteString(h, "fix")
 	}
 	fmt.Printf("biscuitvet version devel buildID=%x\n", h.Sum(nil))
 }
@@ -135,7 +172,30 @@ func (cfg *vetConfig) lookup(path string) (io.ReadCloser, error) {
 	return os.Open(file)
 }
 
-func run(cfgFile string) {
+// factPrototypes maps each fact-carrying analyzer to its registered
+// fact types, for decoding dependency .vetx files.
+func factPrototypes() map[string][]framework.Fact {
+	protos := map[string][]framework.Fact{}
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			protos[a.Name] = a.FactTypes
+		}
+	}
+	return protos
+}
+
+// writeVetx materializes the facts file the go command expects after
+// every invocation.
+func writeVetx(path string, data []byte) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfgFile string, fix bool) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		log.Fatal(err)
@@ -145,16 +205,33 @@ func run(cfgFile string) {
 		log.Fatalf("parsing %s: %v", cfgFile, err)
 	}
 
-	// The go command expects the facts file to exist after every
-	// invocation. The suite is factless, so an empty file suffices —
-	// and dependency-only passes are done once it is written.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			log.Fatal(err)
-		}
-	}
-	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+	// Only this module's packages produce facts; everything else
+	// (standard library dependency passes) just needs the empty file.
+	inModule := cfg.ImportPath == modulePrefix || strings.HasPrefix(cfg.ImportPath, modulePrefix+"/")
+	if (cfg.VetxOnly && !inModule) || len(cfg.GoFiles) == 0 {
+		writeVetx(cfg.VetxOutput, nil)
 		return
+	}
+
+	// Merge the facts of every direct dependency. Each dependency's
+	// .vetx already holds its own transitive view, so one level is the
+	// whole closure. Missing files (e.g. cached factless runs from an
+	// older tool) read as empty.
+	facts := framework.NewFactStore()
+	protos := factPrototypes()
+	var vetxFiles []string
+	for _, f := range cfg.PackageVetx {
+		vetxFiles = append(vetxFiles, f)
+	}
+	sort.Strings(vetxFiles)
+	for _, f := range vetxFiles {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			continue
+		}
+		if err := facts.Decode(raw, protos); err != nil {
+			log.Fatalf("reading facts %s: %v", f, err)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -163,6 +240,7 @@ func run(cfgFile string) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg.VetxOutput, nil)
 				return
 			}
 			log.Fatal(err)
@@ -192,26 +270,122 @@ func run(cfgFile string) {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput, nil)
 			return
 		}
 		log.Fatalf("type-checking %s: %v", cfg.ImportPath, err)
 	}
 
+	// Dependency passes only need the fact-producing analyzers; their
+	// diagnostics are discarded (the package is re-vetted as a target).
+	suite := analyzers
+	if cfg.VetxOnly {
+		suite = nil
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				suite = append(suite, a)
+			}
+		}
+	}
+
 	var diags []framework.Diagnostic
-	for _, a := range analyzers {
+	for _, a := range suite {
 		pass := framework.NewPass(a, fset, files, pkg, info, func(d framework.Diagnostic) {
 			diags = append(diags, d)
 		})
+		pass.Facts = facts
 		if err := a.Run(pass); err != nil {
 			log.Fatalf("analyzer %s on %s: %v", a.Name, cfg.ImportPath, err)
 		}
 	}
+
+	// The pass's exports landed in the shared store; persist the merged
+	// view for dependents.
+	encoded, err := facts.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeVetx(cfg.VetxOutput, encoded)
+	if cfg.VetxOnly {
+		return
+	}
+
+	// Every waiver must say why: a bare //biscuitvet:ignore is itself a
+	// finding.
+	diags = append(diags, framework.CheckIgnoreDirectives(files)...)
 	if len(diags) == 0 {
 		return
 	}
 	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	if fix {
+		diags = applyFixes(fset, diags)
+		if len(diags) == 0 {
+			return
+		}
+	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 	}
 	os.Exit(2)
+}
+
+// applyFixes applies the first suggested fix of each diagnostic to the
+// source files and returns the diagnostics that remain (no fix, or the
+// file's edits could not be applied).
+func applyFixes(fset *token.FileSet, diags []framework.Diagnostic) []framework.Diagnostic {
+	type fileEdits struct {
+		edits []framework.TextEdit
+		diags []int // indices into diags resolved by these edits
+	}
+	perFile := map[string]*fileEdits{}
+	var remaining []framework.Diagnostic
+	for i, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			remaining = append(remaining, d)
+			continue
+		}
+		name := fset.Position(d.Pos).Filename
+		fe := perFile[name]
+		if fe == nil {
+			fe = &fileEdits{}
+			perFile[name] = fe
+		}
+		fe.edits = append(fe.edits, d.SuggestedFixes[0].TextEdits...)
+		fe.diags = append(fe.diags, i)
+	}
+	var fnames []string
+	for name := range perFile {
+		fnames = append(fnames, name)
+	}
+	sort.Strings(fnames)
+	applied := 0
+	for _, name := range fnames {
+		fe := perFile[name]
+		src, err := os.ReadFile(name)
+		if err == nil {
+			var out []byte
+			out, err = framework.ApplyEdits(fset, src, fe.edits)
+			if err == nil {
+				err = os.WriteFile(name, out, 0o666)
+			}
+		}
+		if err != nil {
+			log.Printf("fix %s: %v", name, err)
+			for _, i := range fe.diags {
+				remaining = append(remaining, diags[i])
+			}
+			continue
+		}
+		applied += len(fe.diags)
+		for _, i := range fe.diags {
+			d := diags[i]
+			fmt.Fprintf(os.Stderr, "%s: fixed: %s\n", fset.Position(d.Pos), d.Message)
+		}
+	}
+	if applied > 0 {
+		fmt.Fprintf(os.Stderr, "biscuitvet: applied %d suggested fix(es)\n", applied)
+	}
+	sort.SliceStable(remaining, func(i, j int) bool { return remaining[i].Pos < remaining[j].Pos })
+	return remaining
 }

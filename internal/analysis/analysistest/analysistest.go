@@ -35,24 +35,123 @@ import (
 // Run loads each package under testdata/src and applies a to it,
 // reporting any mismatch between emitted diagnostics and // want
 // annotations as test errors.
+//
+// Facts propagate the way the vettool propagates them: every testdata
+// dependency package is analyzed (facts only) before its dependents,
+// sharing one fact store, so a fixture package importing another sees
+// the analyzer's exported facts exactly as a real downstream package
+// would through its .vetx files.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
 	t.Helper()
+	run(t, testdata, a, false, pkgpaths...)
+}
+
+// RunWithSuggestedFixes is Run plus a fix round-trip: after checking
+// diagnostics, the suggested fixes of each file that has a sibling
+// <file>.golden are applied (first fix per diagnostic) and the result
+// must match the golden file byte for byte.
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	run(t, testdata, a, true, pkgpaths...)
+}
+
+func run(t *testing.T, testdata string, a *framework.Analyzer, fix bool, pkgpaths ...string) {
+	t.Helper()
 	ld := newLoader(filepath.Join(testdata, "src"))
-	for _, path := range pkgpaths {
+	facts := framework.NewFactStore()
+	analyzed := map[string][]framework.Diagnostic{}
+
+	// analyze runs the analyzer over one loaded testdata package once,
+	// caching its diagnostics; fact exports accumulate in the shared
+	// store.
+	analyze := func(path string) ([]framework.Diagnostic, error) {
+		if diags, ok := analyzed[path]; ok {
+			return diags, nil
+		}
 		pkg, files, info, err := ld.loadAnalyzed(path)
 		if err != nil {
-			t.Errorf("loading %s: %v", path, err)
-			continue
+			return nil, err
 		}
 		var diags []framework.Diagnostic
 		pass := framework.NewPass(a, ld.fset, files, pkg, info, func(d framework.Diagnostic) {
 			diags = append(diags, d)
 		})
+		pass.Facts = facts
 		if err := a.Run(pass); err != nil {
-			t.Errorf("analyzer %s failed on %s: %v", a.Name, path, err)
+			return nil, fmt.Errorf("analyzer %s failed on %s: %v", a.Name, path, err)
+		}
+		analyzed[path] = diags
+		return diags, nil
+	}
+
+	for _, path := range pkgpaths {
+		// Loading the package first records its testdata dependencies
+		// (loader.order) in topological order; analyze them for facts
+		// before the package itself.
+		if _, _, _, err := ld.loadAnalyzed(path); err != nil {
+			t.Errorf("loading %s: %v", path, err)
 			continue
 		}
+		var diags []framework.Diagnostic
+		var err error
+		for _, dep := range ld.order {
+			diags, err = analyze(dep)
+			if err != nil {
+				t.Error(err)
+				break
+			}
+			if dep == path {
+				break
+			}
+		}
+		if err != nil {
+			continue
+		}
+		files := ld.files[path]
 		check(t, ld.fset, files, diags)
+		if fix {
+			checkFixes(t, ld.fset, files, diags)
+		}
+	}
+}
+
+// checkFixes applies each diagnostic's first suggested fix and compares
+// every fixed file against its .golden sibling, if one exists.
+func checkFixes(t *testing.T, fset *token.FileSet, files []*ast.File, diags []framework.Diagnostic) {
+	t.Helper()
+	edits := map[string][]framework.TextEdit{} // filename -> edits
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, e := range d.SuggestedFixes[0].TextEdits {
+			name := fset.Position(e.Pos).Filename
+			edits[name] = append(edits[name], e)
+		}
+	}
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		golden := name + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			if len(edits[name]) > 0 && !os.IsNotExist(err) {
+				t.Errorf("reading %s: %v", golden, err)
+			}
+			continue
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Errorf("reading %s: %v", name, err)
+			continue
+		}
+		got, err := framework.ApplyEdits(fset, src, edits[name])
+		if err != nil {
+			t.Errorf("applying fixes to %s: %v", name, err)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("suggested fixes to %s do not match %s:\n--- got ---\n%s\n--- want ---\n%s", name, golden, got, want)
+		}
 	}
 }
 
@@ -134,6 +233,7 @@ type loader struct {
 	pkgs  map[string]*types.Package
 	files map[string][]*ast.File
 	infos map[string]*types.Info
+	order []string // testdata packages in completion (topological) order
 }
 
 func newLoader(srcDir string) *loader {
@@ -212,5 +312,9 @@ func (l *loader) loadDir(path, dir string) (*types.Package, error) {
 	}
 	l.files[path] = files
 	l.infos[path] = info
+	// Type-checking recursed into testdata dependencies first, so
+	// appending here yields a topological order: dependencies before
+	// dependents — the order facts must be computed in.
+	l.order = append(l.order, path)
 	return pkg, nil
 }

@@ -1,0 +1,12 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/arenaescape"
+)
+
+func TestArenaescape(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", arenaescape.Analyzer, "store")
+}

@@ -1,0 +1,15 @@
+// Package retain exists to exercise cross-package fact propagation:
+// Keep earns an escape fact (param 0 reaches a store), First earns a
+// source fact (returns arena-backed memory). The store fixture imports
+// this package and must see both through the fact channel alone.
+package retain
+
+import "biscuit/internal/db"
+
+var kept []db.Row
+
+// Keep retains r past the call.
+func Keep(r db.Row) { kept = append(kept, r) }
+
+// First returns a row still backed by b's arena.
+func First(b *db.RowBatch) db.Row { return b.Row(0) }

@@ -1,0 +1,21 @@
+// The two mechanical-fix shapes: rows get .Clone(), byte windows get
+// an append-copy. fix.go.golden is the expected -fix output.
+package store
+
+import (
+	"biscuit/internal/db"
+	"biscuit/internal/mem"
+)
+
+func fixRow(c *cache, b *db.RowBatch) {
+	c.last = b.Row(0) // want `arena-backed value stored in field last`
+}
+
+func fixBuf(ch chan []byte, blk mem.Block) error {
+	data, err := blk.Bytes("user")
+	if err != nil {
+		return err
+	}
+	ch <- data // want `arena-backed value sent on a channel`
+	return nil
+}

@@ -1,0 +1,12 @@
+package eventpurity_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/eventpurity"
+)
+
+func TestEventpurity(t *testing.T) {
+	analysistest.Run(t, "testdata", eventpurity.Analyzer, "evloop")
+}

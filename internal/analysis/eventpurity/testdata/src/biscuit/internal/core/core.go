@@ -1,0 +1,9 @@
+// Package core is a stub of the SSDlet runtime for analyzer testdata.
+package core
+
+// Context is the per-SSDlet runtime handle; any function taking one is
+// device code.
+type Context struct{}
+
+// Compute charges simulated device cycles.
+func (c *Context) Compute(cycles float64) {}

@@ -1,0 +1,16 @@
+// Package fibers is a stub of the device fiber runtime for analyzer
+// testdata.
+package fibers
+
+// Fiber is one device-side fiber.
+type Fiber struct{}
+
+// Yield gives up the simulated CPU.
+func (f *Fiber) Yield() {}
+
+// Group schedules fibers cooperatively on virtual time.
+type Group struct{}
+
+// Go starts a fiber running fn. Fiber bodies are simulated device code
+// and must be pure.
+func (g *Group) Go(name string, fn func(f *Fiber)) *Fiber { return nil }

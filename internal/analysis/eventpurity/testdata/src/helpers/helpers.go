@@ -1,0 +1,16 @@
+// Package helpers exists to exercise cross-package fact propagation:
+// its impurity verdicts are exported as IsImpure facts and consumed by
+// the evloop fixture, which never sees this package's bodies.
+package helpers
+
+import "time"
+
+// Blocker sleeps on the wall clock: impure.
+func Blocker() { time.Sleep(time.Millisecond) }
+
+// Deep hides the impurity one call deeper: still impure, and the fact
+// carries the chain.
+func Deep() { Blocker() }
+
+// Pure is pure.
+func Pure(n int) int { return n * 2 }

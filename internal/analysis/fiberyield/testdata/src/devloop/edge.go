@@ -1,0 +1,53 @@
+// Edge cases: nested loops are judged independently, methods with a
+// Context parameter are in scope, and only calls that reach the
+// runtime (directly or by forwarding the Context) count as yields.
+package devloop
+
+import "biscuit/internal/core"
+
+func nestedSpin(c *core.Context, work []int) {
+	for { // outer loop yields via Compute below: fine
+		for { // want `unconditional loop in device function nestedSpin`
+			if len(work) == 0 {
+				break
+			}
+			work = work[1:]
+		}
+		c.Compute(10)
+	}
+}
+
+type pump struct{ buf []int }
+
+func (p *pump) drain(c *core.Context) {
+	for { // want `unconditional loop in device function drain`
+		if len(p.buf) == 0 {
+			return
+		}
+		p.buf = p.buf[1:]
+	}
+}
+
+func helperNoCtx(c *core.Context, work []int) {
+	for { // want `unconditional loop in device function helperNoCtx`
+		if len(work) == 0 {
+			break
+		}
+		work = crunch(work)
+	}
+}
+
+func crunch(w []int) []int { return w[1:] }
+
+func forwardSecondArg(c *core.Context) {
+	for { // forwards the Context (any argument position): fine
+		if !tick(1, c) {
+			break
+		}
+	}
+}
+
+func tick(n int, c *core.Context) bool {
+	c.Compute(float64(n))
+	return false
+}

@@ -1,0 +1,61 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ApplyEdits applies text edits (all belonging to the file src was read
+// from) to src and returns the edited content. Edits are applied last
+// to first so earlier offsets stay valid; duplicate edits (the same
+// range and replacement reported twice, e.g. once per test variant) are
+// collapsed, and otherwise-overlapping edits are an error.
+func ApplyEdits(fset *token.FileSet, src []byte, edits []TextEdit) ([]byte, error) {
+	if len(edits) == 0 {
+		return src, nil
+	}
+	type span struct {
+		start, end int
+		text       []byte
+	}
+	spans := make([]span, 0, len(edits))
+	for _, e := range edits {
+		start := fset.Position(e.Pos).Offset
+		end := start
+		if e.End.IsValid() {
+			end = fset.Position(e.End).Offset
+		}
+		if start < 0 || end < start || end > len(src) {
+			return nil, fmt.Errorf("framework: edit out of range [%d, %d) of %d bytes", start, end, len(src))
+		}
+		spans = append(spans, span{start, end, e.NewText})
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].start != spans[j].start {
+			return spans[i].start < spans[j].start
+		}
+		return spans[i].end < spans[j].end
+	})
+	// Collapse exact duplicates, then check for overlap.
+	dedup := spans[:1]
+	for _, s := range spans[1:] {
+		last := dedup[len(dedup)-1]
+		if s.start == last.start && s.end == last.end && string(s.text) == string(last.text) {
+			continue
+		}
+		if s.start < last.end {
+			return nil, fmt.Errorf("framework: overlapping edits at offsets %d and %d", last.start, s.start)
+		}
+		dedup = append(dedup, s)
+	}
+	out := make([]byte, 0, len(src)+64)
+	at := 0
+	for _, s := range dedup {
+		out = append(out, src[at:s.start]...)
+		out = append(out, s.text...)
+		at = s.end
+	}
+	out = append(out, src[at:]...)
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Facts are the framework's cross-package dataflow channel, mirroring
+// golang.org/x/tools/go/analysis facts: an analyzer attaches a fact to
+// an exported package-level object (function, method, or variable)
+// while analyzing the object's own package, and every downstream
+// package that can see the object can import the fact. The driver
+// persists facts in the package's .vetx file (the go vet protocol's
+// per-package side channel), so information flows along the build
+// graph exactly once per package.
+//
+// Unlike x/tools, facts here are serialized as JSON keyed by a stable
+// object key, which keeps the vettool dependency-free and the files
+// inspectable.
+
+// A Fact is analyzer-specific knowledge about an object. Implementations
+// must be JSON-serializable structs; AFact is a marker.
+type Fact interface{ AFact() }
+
+// ObjKey returns the stable cross-package key of a package-level object:
+// "Name" for package functions/vars, "Recv.Name" for methods (pointer
+// receivers stripped), matching how a downstream package sees the object
+// through export data. Objects without a package (builtins) and local
+// objects have no stable key and return "".
+func ObjKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			named, ok := types.Unalias(t).(*types.Named)
+			if !ok {
+				return ""
+			}
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	// Only package-scope non-function objects are addressable.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return obj.Name()
+}
+
+// FactKey fully qualifies an object key with its package path.
+func FactKey(obj types.Object) string {
+	k := ObjKey(obj)
+	if k == "" {
+		return ""
+	}
+	return PkgPath(obj.Pkg()) + "." + k
+}
+
+// FactStore holds every fact visible to one analysis pass: facts
+// imported from dependency .vetx files plus facts exported during the
+// current package's analysis. Keys: analyzer name -> FactKey -> fact.
+type FactStore struct {
+	facts map[string]map[string]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: map[string]map[string]Fact{}}
+}
+
+// put records a fact, replacing any previous fact of the same analyzer
+// on the same object.
+func (s *FactStore) put(analyzer, key string, f Fact) {
+	m := s.facts[analyzer]
+	if m == nil {
+		m = map[string]Fact{}
+		s.facts[analyzer] = m
+	}
+	m[key] = f
+}
+
+// get looks a fact up.
+func (s *FactStore) get(analyzer, key string) (Fact, bool) {
+	f, ok := s.facts[analyzer][key]
+	return f, ok
+}
+
+// All returns the facts of one analyzer keyed by FactKey.
+func (s *FactStore) All(analyzer string) map[string]Fact {
+	return s.facts[analyzer]
+}
+
+// wireFacts is the .vetx JSON shape: analyzer -> object key -> raw fact.
+type wireFacts map[string]map[string]json.RawMessage
+
+// Encode serializes the store for a .vetx file. Map iteration order is
+// irrelevant: json.Marshal sorts object keys, so output is deterministic.
+func (s *FactStore) Encode() ([]byte, error) {
+	wire := wireFacts{}
+	for an, m := range s.facts {
+		wm := map[string]json.RawMessage{}
+		for k, f := range m {
+			raw, err := json.Marshal(f)
+			if err != nil {
+				return nil, fmt.Errorf("framework: encoding %s fact for %s: %w", an, k, err)
+			}
+			wm[k] = raw
+		}
+		wire[an] = wm
+	}
+	return json.Marshal(wire)
+}
+
+// Decode merges facts from one .vetx payload into the store. prototypes
+// maps analyzer name to the registered fact types (Analyzer.FactTypes);
+// a fact is decoded into a fresh value of the prototype whose JSON
+// round-trips. Empty payloads (factless dependency packages) are legal.
+func (s *FactStore) Decode(data []byte, prototypes map[string][]Fact) error {
+	if len(data) == 0 {
+		return nil
+	}
+	wire := wireFacts{}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return fmt.Errorf("framework: parsing facts: %w", err)
+	}
+	for an, m := range wire {
+		protos := prototypes[an]
+		if len(protos) == 0 {
+			continue // analyzer no longer registered; drop its facts
+		}
+		for k, raw := range m {
+			f, err := decodeFact(raw, protos)
+			if err != nil {
+				return fmt.Errorf("framework: decoding %s fact for %s: %w", an, k, err)
+			}
+			s.put(an, k, f)
+		}
+	}
+	return nil
+}
+
+// decodeFact unmarshals raw into a new value of the matching prototype
+// type. Analyzers with multiple fact types distinguish them with a
+// "kind" discriminator field; the first prototype whose re-marshaling
+// preserves the discriminator wins.
+func decodeFact(raw json.RawMessage, protos []Fact) (Fact, error) {
+	var firstErr error
+	for _, p := range protos {
+		f := newOf(p)
+		if err := json.Unmarshal(raw, f); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		back, err := json.Marshal(f)
+		if err != nil {
+			continue
+		}
+		if jsonEqual(raw, back) {
+			return f, nil
+		}
+		// Keep the first type that at least unmarshals; exact
+		// round-trip is preferred but single-type analyzers always
+		// land here on the first iteration anyway.
+		if len(protos) == 1 {
+			return f, nil
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Ambiguous between several prototypes: take the first that parses.
+	for _, p := range protos {
+		f := newOf(p)
+		if json.Unmarshal(raw, f) == nil {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("no registered fact type matches %s", raw)
+}
+
+// jsonEqual compares two JSON documents structurally (via canonical
+// re-marshaling of their generic decoding).
+func jsonEqual(a, b json.RawMessage) bool {
+	var av, bv any
+	if json.Unmarshal(a, &av) != nil || json.Unmarshal(b, &bv) != nil {
+		return false
+	}
+	ac, err1 := json.Marshal(av)
+	bc, err2 := json.Marshal(bv)
+	return err1 == nil && err2 == nil && string(ac) == string(bc)
+}
+
+// newOf returns a fresh zero value of the prototype's dynamic type.
+// Prototypes must be pointers to structs.
+func newOf(p Fact) Fact {
+	return reflect.New(reflect.TypeOf(p).Elem()).Interface().(Fact)
+}
+
+// SortedKeys returns the store's analyzer names, sorted (for tests and
+// deterministic dumps).
+func (s *FactStore) SortedKeys() []string {
+	var ks []string
+	for k := range s.facts {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// String renders the store compactly for debugging: one line per fact.
+func (s *FactStore) String() string {
+	var b strings.Builder
+	for _, an := range s.SortedKeys() {
+		m := s.facts[an]
+		var ks []string
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			fmt.Fprintf(&b, "%s %s %+v\n", an, k, m[k])
+		}
+	}
+	return b.String()
+}

@@ -15,6 +15,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"strings"
 )
 
@@ -31,6 +32,12 @@ type Analyzer struct {
 	// Doc is the analyzer's one-paragraph documentation.
 	Doc string
 
+	// FactTypes lists prototype values (pointers to structs) of every
+	// Fact type the analyzer exports. Analyzers with an empty list are
+	// purely intra-package; analyzers with facts see their dependency
+	// packages' facts through Pass.ImportObjectFact.
+	FactTypes []Fact
+
 	// Run applies the analyzer to one type-checked package.
 	Run func(*Pass) error
 }
@@ -43,20 +50,81 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the cross-package fact store: dependency facts merged by
+	// the driver, plus whatever this pass exports. Nil means the driver
+	// does not support facts (fact calls then no-op / miss).
+	Facts *FactStore
+
 	// report receives each diagnostic; installed by the driver.
 	report func(Diagnostic)
 }
 
+// A TextEdit replaces [Pos, End) with NewText. Pos == End inserts.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// A SuggestedFix is one self-contained mechanical remedy for a
+// diagnostic; the vettool's -fix mode applies the first fix of each
+// diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
 // A Diagnostic is one finding, anchored at a position.
 type Diagnostic struct {
-	Pos      token.Pos
-	Category string // analyzer name
-	Message  string
+	Pos            token.Pos
+	Category       string // analyzer name
+	Message        string
+	SuggestedFixes []SuggestedFix
 }
 
 // NewPass assembles a Pass; drivers (unitchecker, analysistest) use it.
 func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
 	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, report: report}
+}
+
+// ExportObjectFact attaches fact to obj for downstream packages. The
+// object must be a package-level function, method or variable of the
+// package under analysis (facts on other packages' objects would never
+// be seen by anyone: dependencies are already analyzed).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts == nil {
+		return
+	}
+	key := FactKey(obj)
+	if key == "" {
+		return
+	}
+	p.Facts.put(p.Analyzer.Name, key, fact)
+}
+
+// ImportObjectFact copies the fact of this pass's analyzer attached to
+// obj into *fact (a pointer to the matching Fact struct), reporting
+// whether one exists. Facts exported earlier in the same pass are
+// visible too.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	key := FactKey(obj)
+	if key == "" {
+		return false
+	}
+	f, ok := p.Facts.get(p.Analyzer.Name, key)
+	if !ok {
+		return false
+	}
+	src := reflect.ValueOf(f)
+	dst := reflect.ValueOf(fact)
+	if src.Type() != dst.Type() {
+		return false
+	}
+	dst.Elem().Set(src.Elem())
+	return true
 }
 
 // Report emits d unless it is suppressed by the analyzer's directive.
@@ -81,10 +149,12 @@ func (p *Pass) Directive() string {
 	return "//biscuitvet:" + p.Analyzer.Name + "-ok"
 }
 
-// suppressed reports whether the analyzer's directive covers pos: on the
-// same source line, on the line immediately above, or anywhere in the
-// file header (comments before the package clause — whole-file waiver,
-// used e.g. by host-side CLIs that legitimately read the wall clock).
+// suppressed reports whether a suppression covers pos: the legacy
+// "<name>-ok" directive or a reasoned "ignore <name>: why" directive on
+// the same source line, on the line immediately above, or anywhere in
+// the file header (comments before the package clause — whole-file
+// waiver, used e.g. by host-side CLIs that legitimately read the wall
+// clock).
 func (p *Pass) suppressed(pos token.Pos) bool {
 	f := p.FileFor(pos)
 	if f == nil {
@@ -94,7 +164,7 @@ func (p *Pass) suppressed(pos token.Pos) bool {
 	line := p.Fset.Position(pos).Line
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if !strings.Contains(c.Text, directive) {
+			if !strings.Contains(c.Text, directive) && !ignoreCovers(c.Text, p.Analyzer.Name) {
 				continue
 			}
 			cline := p.Fset.Position(c.Pos()).Line
@@ -107,6 +177,69 @@ func (p *Pass) suppressed(pos token.Pos) bool {
 		}
 	}
 	return false
+}
+
+// IgnorePrefix is the reasoned suppression directive:
+// //biscuitvet:ignore <analyzer>: <reason>. The reason is mandatory —
+// a reasonless ignore suppresses nothing and is itself flagged by the
+// driver (CheckIgnoreDirectives), so every waiver in the tree documents
+// why the invariant does not apply.
+const IgnorePrefix = "//biscuitvet:ignore"
+
+// parseIgnore splits an ignore directive into its analyzer name and
+// reason. ok is false when text is not an ignore directive at all. Like
+// all Go directives, the comment must start with the directive —
+// mentioning //biscuitvet:ignore in prose does not trigger it.
+func parseIgnore(text string) (name, reason string, ok bool) {
+	if !strings.HasPrefix(text, IgnorePrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(text[len(IgnorePrefix):])
+	name, reason, found := strings.Cut(rest, ":")
+	if !found {
+		return strings.TrimSpace(name), "", true
+	}
+	return strings.TrimSpace(name), strings.TrimSpace(reason), true
+}
+
+// ignoreCovers reports whether text is a well-formed (reasoned) ignore
+// directive naming the analyzer.
+func ignoreCovers(text, analyzer string) bool {
+	name, reason, ok := parseIgnore(text)
+	return ok && name == analyzer && reason != ""
+}
+
+// CheckIgnoreDirectives scans every comment of files for ignore
+// directives missing their reason string (or analyzer name) and returns
+// one diagnostic per offender. The driver runs this alongside the
+// analyzer suite so CI fails on undocumented waivers.
+func CheckIgnoreDirectives(files []*ast.File) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				switch {
+				case name == "":
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Category: "ignore",
+						Message:  "biscuitvet:ignore directive names no analyzer (want //biscuitvet:ignore <analyzer>: <reason>)",
+					})
+				case reason == "":
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Category: "ignore",
+						Message:  fmt.Sprintf("biscuitvet:ignore %s lacks a reason string (want //biscuitvet:ignore %s: <reason>)", name, name),
+					})
+				}
+			}
+		}
+	}
+	return diags
 }
 
 // FileFor returns the syntax tree containing pos, or nil.

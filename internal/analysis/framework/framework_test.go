@@ -1,0 +1,273 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/framework"
+)
+
+// markFact is the fixture fact: attached to every function whose name
+// starts with Mark.
+type markFact struct {
+	Why string `json:"why"`
+}
+
+func (*markFact) AFact() {}
+
+// marktest is a miniature facts-using analyzer: it exports a fact on
+// every Mark* function of the package under analysis and reports every
+// call to a function carrying the fact — in-package or imported.
+var marktest = &framework.Analyzer{
+	Name:      "marktest",
+	Doc:       "fixture: export facts on Mark* functions, flag their callers",
+	FactTypes: []framework.Fact{(*markFact)(nil)},
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !strings.HasPrefix(fd.Name.Name, "Mark") {
+					continue
+				}
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					pass.ExportObjectFact(obj, &markFact{Why: "name starts with Mark"})
+				}
+			}
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := framework.FuncFor(pass.TypesInfo, call.Fun)
+				if fn == nil {
+					return true
+				}
+				var fact markFact
+				if pass.ImportObjectFact(fn, &fact) {
+					pass.Reportf(call.Pos(), "call to marked function %s (%s)", framework.FactKey(fn), fact.Why)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestCrossPackageFacts runs the fixture over two testdata packages:
+// package a exports facts (and sees them in-package), package b imports
+// a and must observe them through the shared store — the same flow the
+// vettool drives through .vetx files.
+func TestCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, "testdata", marktest, "a", "b")
+}
+
+func TestFactStoreRoundTrip(t *testing.T) {
+	s := framework.NewFactStore()
+	enc0, err := s.Encode()
+	if err != nil {
+		t.Fatalf("encoding empty store: %v", err)
+	}
+
+	// Round-trip through Decode must preserve facts of registered
+	// analyzers and drop facts of unregistered ones.
+	src := framework.NewFactStore()
+	if err := src.Decode([]byte(`{
+		"marktest": {"a.MarkSource": {"why": "fixture"}},
+		"retired":  {"a.Old": {"gone": true}}
+	}`), map[string][]framework.Fact{"marktest": {(*markFact)(nil)}}); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	all := src.All("marktest")
+	if len(all) != 1 {
+		t.Fatalf("marktest facts = %d, want 1", len(all))
+	}
+	f, ok := all["a.MarkSource"].(*markFact)
+	if !ok || f.Why != "fixture" {
+		t.Fatalf("fact = %#v, want &markFact{Why: %q}", all["a.MarkSource"], "fixture")
+	}
+	if got := src.All("retired"); got != nil {
+		t.Fatalf("unregistered analyzer facts survived: %v", got)
+	}
+
+	enc, err := src.Encode()
+	if err != nil {
+		t.Fatalf("re-encoding: %v", err)
+	}
+	back := framework.NewFactStore()
+	if err := back.Decode(enc, map[string][]framework.Fact{"marktest": {(*markFact)(nil)}}); err != nil {
+		t.Fatalf("decoding re-encoded store: %v", err)
+	}
+	if back.String() != src.String() {
+		t.Fatalf("round-trip mismatch:\n%s\nvs\n%s", back.String(), src.String())
+	}
+
+	// An empty payload (factless dependency) is legal input.
+	if err := back.Decode(nil, nil); err != nil {
+		t.Fatalf("decoding empty payload: %v", err)
+	}
+	if err := back.Decode(enc0, nil); err != nil {
+		t.Fatalf("decoding empty-store payload: %v", err)
+	}
+}
+
+// typecheck parses and checks one in-memory file.
+func typecheck(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	info := &types.Info{
+		Defs: map[*ast.Ident]types.Object{},
+		Uses: map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	return fset, f, pkg, info
+}
+
+func TestFactKeys(t *testing.T) {
+	_, _, pkg, _ := typecheck(t, `package p
+
+type T struct{}
+
+func (t *T) Method() {}
+
+func Fn() {}
+
+var V int
+
+func local() {
+	x := 0
+	_ = x
+}
+`)
+	scope := pkg.Scope()
+	cases := []struct {
+		obj  types.Object
+		want string
+	}{
+		{scope.Lookup("Fn"), "p.Fn"},
+		{scope.Lookup("V"), "p.V"},
+	}
+	for _, c := range cases {
+		if got := framework.FactKey(c.obj); got != c.want {
+			t.Errorf("FactKey(%s) = %q, want %q", c.obj.Name(), got, c.want)
+		}
+	}
+	// Methods key as Recv.Name with the pointer stripped.
+	tObj := scope.Lookup("T").(*types.TypeName)
+	named := tObj.Type().(*types.Named)
+	var method *types.Func
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "Method" {
+			method = named.Method(i)
+		}
+	}
+	if got := framework.FactKey(method); got != "p.T.Method" {
+		t.Errorf("FactKey(T.Method) = %q, want %q", got, "p.T.Method")
+	}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package p
+
+//biscuitvet:ignore marktest: fixture reason, suppression is honored
+func a() {}
+
+//biscuitvet:ignore marktest
+func b() {}
+
+//biscuitvet:ignore
+func c() {}
+
+// Mentioning //biscuitvet:ignore in prose must not count as a directive.
+func d() {}
+`
+	fset, f, pkg, info := typecheck(t, src)
+	diags := framework.CheckIgnoreDirectives([]*ast.File{f})
+	if len(diags) != 2 {
+		t.Fatalf("CheckIgnoreDirectives found %d diagnostics, want 2 (reasonless + nameless):\n%v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "lacks a reason") && !strings.Contains(diags[1].Message, "lacks a reason") {
+		t.Errorf("no 'lacks a reason' diagnostic in %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "names no analyzer") && !strings.Contains(diags[1].Message, "names no analyzer") {
+		t.Errorf("no 'names no analyzer' diagnostic in %v", diags)
+	}
+
+	// A reasoned ignore suppresses reports on the following line; a
+	// reasonless one does not.
+	var got []string
+	pass := framework.NewPass(marktest, fset, []*ast.File{f}, pkg, info, func(d framework.Diagnostic) {
+		got = append(got, d.Message)
+	})
+	for _, name := range []string{"a", "b"} {
+		fn := pkg.Scope().Lookup(name)
+		pass.Reportf(fn.Pos(), "finding in %s", name)
+	}
+	if len(got) != 1 || !strings.Contains(got[0], "finding in b") {
+		t.Fatalf("reports after suppression = %v, want only the finding in b", got)
+	}
+}
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("package p\n\nvar x = old + old\n")
+	fset := token.NewFileSet()
+	file := fset.AddFile("p.go", -1, len(src))
+	file.SetLinesForContent(src)
+	pos := func(off int) token.Pos { return file.Pos(off) }
+
+	first := strings.Index(string(src), "old")
+	second := strings.LastIndex(string(src), "old")
+
+	t.Run("replace-and-insert", func(t *testing.T) {
+		out, err := framework.ApplyEdits(fset, src, []framework.TextEdit{
+			{Pos: pos(second), End: pos(second + 3), NewText: []byte("newer")},
+			{Pos: pos(first), End: pos(first + 3), NewText: []byte("new")},
+			{Pos: pos(len(src)), End: pos(len(src)), NewText: []byte("var y = 1\n")},
+		})
+		if err != nil {
+			t.Fatalf("ApplyEdits: %v", err)
+		}
+		want := "package p\n\nvar x = new + newer\nvar y = 1\n"
+		if string(out) != want {
+			t.Fatalf("edited = %q, want %q", out, want)
+		}
+	})
+
+	t.Run("duplicates-collapse", func(t *testing.T) {
+		out, err := framework.ApplyEdits(fset, src, []framework.TextEdit{
+			{Pos: pos(first), End: pos(first + 3), NewText: []byte("new")},
+			{Pos: pos(first), End: pos(first + 3), NewText: []byte("new")},
+		})
+		if err != nil {
+			t.Fatalf("ApplyEdits: %v", err)
+		}
+		if want := "package p\n\nvar x = new + old\n"; string(out) != want {
+			t.Fatalf("edited = %q, want %q", out, want)
+		}
+	})
+
+	t.Run("overlap-rejected", func(t *testing.T) {
+		_, err := framework.ApplyEdits(fset, src, []framework.TextEdit{
+			{Pos: pos(first), End: pos(first + 3), NewText: []byte("new")},
+			{Pos: pos(first + 1), End: pos(first + 2), NewText: []byte("q")},
+		})
+		if err == nil || !strings.Contains(err.Error(), "overlapping") {
+			t.Fatalf("overlapping edits err = %v, want overlap error", err)
+		}
+	})
+}

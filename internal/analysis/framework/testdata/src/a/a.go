@@ -1,0 +1,20 @@
+// Package a is the fact-producing side of the cross-package fixture:
+// the marktest analyzer exports a fact on every function whose name
+// starts with Mark.
+package a
+
+// MarkSource is picked up by the marktest analyzer.
+func MarkSource() {}
+
+// Plain is not marked.
+func Plain() {}
+
+// T carries a marked method.
+type T struct{}
+
+// MarkMethod is marked too (method fact key: T.MarkMethod).
+func (T) MarkMethod() {}
+
+func use() { // in-package calls see the fact exported moments earlier
+	MarkSource() // want `call to marked function a\.MarkSource`
+}

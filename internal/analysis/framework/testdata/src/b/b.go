@@ -1,0 +1,12 @@
+// Package b is the downstream side of the cross-package fixture: it
+// must see the facts package a exported, via the shared fact store.
+package b
+
+import "a"
+
+func calls() {
+	a.MarkSource() // want `call to marked function a\.MarkSource`
+	a.Plain()
+	var t a.T
+	t.MarkMethod() // want `call to marked function a\.T\.MarkMethod`
+}

@@ -1,0 +1,79 @@
+// Edge cases around deferred Ends and multi-return functions: the
+// deferred End must be credited to the right span variable, and every
+// return path of a multi-return function must be checked separately.
+package spans
+
+func multiReturn(d *dev, k int) error {
+	sp := d.tr.Begin(d.tk, "op")
+	switch k {
+	case 0:
+		sp.End()
+		return nil
+	case 1:
+		return errFail // want `span sp is not ended on this path`
+	}
+	sp.End()
+	return nil
+}
+
+func deferredMultiReturn(d *dev, k int) error {
+	sp := d.tr.Begin(d.tk, "op")
+	defer sp.End()
+	if k == 0 {
+		return nil
+	}
+	if k == 1 {
+		return errFail
+	}
+	return nil
+}
+
+func wrongSpanDeferred(d *dev) {
+	a := d.tr.Begin(d.tk, "a") // want `span a is not ended before it goes out of scope`
+	b := d.tr.Begin(d.tk, "b")
+	defer b.End()
+	_ = a
+}
+
+func gotoSkipsEnd(d *dev, fail bool) {
+	sp := d.tr.Begin(d.tk, "op")
+	if fail {
+		goto out // want `span sp is not ended on this path`
+	}
+	sp.End()
+out:
+	return
+}
+
+func selectOneBranch(d *dev, ch chan int) {
+	sp := d.tr.Begin(d.tk, "op") // want `span sp is not ended before it goes out of scope`
+	select {
+	case <-ch:
+		sp.End()
+	default:
+	}
+}
+
+func selectAllEnd(d *dev, ch chan int) {
+	sp := d.tr.Begin(d.tk, "op")
+	select {
+	case <-ch:
+		sp.End()
+	default:
+		sp.Arg("idle", 1).End()
+	}
+}
+
+func deferredClosureMultiReturn(d *dev, k int) error {
+	sp := d.tr.BeginAsync(d.tk, "op")
+	defer func() {
+		sp.Arg("k", int64(k)).End()
+	}()
+	switch k {
+	case 0:
+		return nil
+	case 1:
+		return errFail
+	}
+	return nil
+}

@@ -138,11 +138,15 @@ type aggGroup struct {
 }
 
 // Open drains the input, grouping and aggregating.
-func (h *HashAggOp) Open() error {
+func (h *HashAggOp) Open() (err error) {
 	if err := h.In.Open(); err != nil {
 		return err
 	}
-	defer h.In.Close()
+	defer func() {
+		if cerr := h.In.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	groups := make(map[string]*aggGroup)
 	var order []string
 	in := NewRowBatch(h.Ex.batchCap())

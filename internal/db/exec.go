@@ -193,7 +193,7 @@ func Collect(it Iterator) ([]Row, error) {
 	for {
 		n, err := it.NextBatch(b)
 		if err != nil {
-			it.Close()
+			_ = it.Close() // the NextBatch error is the interesting one
 			return nil, err
 		}
 		if n == 0 {

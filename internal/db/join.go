@@ -134,13 +134,18 @@ func (j *BNLJoin) NextBatch(b *RowBatch) (int, error) {
 	}
 }
 
-// Close closes both inputs.
+// Close closes both inputs, reporting the first error.
 func (j *BNLJoin) Close() error {
+	var ierr error
 	if j.inner != nil {
-		j.inner.Close()
+		ierr = j.inner.Close()
 		j.inner = nil
 	}
-	return j.Outer.Close()
+	oerr := j.Outer.Close()
+	if ierr != nil {
+		return ierr
+	}
+	return oerr
 }
 
 // HashJoin is an in-memory equality join: the right (build) input is

@@ -81,7 +81,6 @@ func TestYieldInterleaves(t *testing.T) {
 	g := rt.NewGroup()
 	var order []string
 	for _, name := range []string{"a", "b"} {
-		name := name
 		g.Go(name, func(f *Fiber) {
 			for i := 0; i < 2; i++ {
 				order = append(order, name)

@@ -909,7 +909,6 @@ func (f *FTL) collect(p *sim.Proc) {
 			// superblock returns to the pool with less capacity.
 			done := sim.NewCompletion(f.env, len(f.dies))
 			for dieIdx, d := range f.dies {
-				dieIdx := dieIdx
 				if d.blockMeta[victim].bad {
 					done.Done(nil)
 					continue

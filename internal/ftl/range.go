@@ -44,7 +44,6 @@ func (f *FTL) ReadRangeAsyncInto(p *sim.Proc, off int64, buf []byte) *sim.Comple
 	}
 	done := sim.NewCompletion(f.env, len(pieces))
 	for _, pc := range pieces {
-		pc := pc
 		f.env.Spawn("ftl-read", func(rp *sim.Proc) {
 			data, err := f.Read(rp, pc.lpn, pc.pageOff, pc.n)
 			if err == nil {
@@ -84,7 +83,6 @@ func (f *FTL) ReadRangeThrough(p *sim.Proc, off int64, length int, ipOverhead si
 	}
 	done := sim.NewCompletion(f.env, len(pieces))
 	for _, pc := range pieces {
-		pc := pc
 		f.env.Spawn("ftl-match", func(rp *sim.Proc) {
 			done.Done(f.ReadThrough(rp, pc.lpn, pc.pageOff, pc.n, ipOverhead, func(b []byte) {
 				sink(pc.at, b)
@@ -124,7 +122,6 @@ func (f *FTL) WriteRangeAsync(p *sim.Proc, off int64, buf []byte) *sim.Completio
 	}
 	done := sim.NewCompletion(f.env, len(pieces))
 	for _, pc := range pieces {
-		pc := pc
 		f.env.Spawn("ftl-write", func(wp *sim.Proc) {
 			done.Done(f.Write(wp, pc.lpn, pc.pageOff, pc.data))
 		})

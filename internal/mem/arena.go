@@ -181,6 +181,16 @@ func (b Block) Bytes(asOwner string) ([]byte, error) {
 	return b.arena.buf[b.off+headerSize : b.off+headerSize+b.n], nil
 }
 
+// Materialize copies an arena-backed byte window into freshly allocated
+// host memory. It is the sanctioned escape hatch recognized by the
+// arenaescape vet check: a materialized slice no longer aliases arena
+// storage, so it may be stored, sent on channels, or captured by
+// goroutines. Use it at the boundary where data must outlive the arena
+// window it was read from.
+func Materialize(data []byte) []byte {
+	return append([]byte(nil), data...)
+}
+
 // Alloc allocates n payload bytes (n > 0) using best-effort first fit in
 // the segregated bins, splitting oversized chunks.
 func (a *Arena) Alloc(n int) (Block, error) {

@@ -131,7 +131,6 @@ func TestChannelParallelism(t *testing.T) {
 	var ends []sim.Time
 	// Two reads on different channels should fully overlap.
 	for ch := 0; ch < 2; ch++ {
-		ch := ch
 		e.Spawn("io", func(p *sim.Proc) {
 			a.Read(p, PPA{Channel: ch}, 0, 4096)
 			ends = append(ends, p.Now())
@@ -150,7 +149,6 @@ func TestSameChannelSerializesBusButOverlapsSense(t *testing.T) {
 	var ends []sim.Time
 	// Same channel, different ways: tR overlaps, bus transfers serialize.
 	for w := 0; w < 2; w++ {
-		w := w
 		e.Spawn("io", func(p *sim.Proc) {
 			a.Read(p, PPA{Channel: 0, Way: w}, 0, 4096)
 			ends = append(ends, p.Now())

@@ -42,7 +42,6 @@ func TestDeterministicInterleaving(t *testing.T) {
 		e := NewEnv()
 		var log []string
 		for _, name := range []string{"p1", "p2", "p3"} {
-			name := name
 			e.Spawn(name, func(p *Proc) {
 				for i := 0; i < 3; i++ {
 					p.Sleep(10)
@@ -153,7 +152,6 @@ func TestResourceFIFOOrder(t *testing.T) {
 	r := e.NewResource("r", 1)
 	var order []int
 	for i := 0; i < 5; i++ {
-		i := i
 		e.SpawnAt(Time(i), "u", func(p *Proc) {
 			r.Acquire(p)
 			p.Sleep(50)

@@ -203,9 +203,13 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 		return nil, err
 	}
 	for i, r := range regions {
-		lr.Add(db.Row{db.Int(int64(i)), db.Str(r), db.Str(comment(rng, 4))})
+		if err := lr.Add(db.Row{db.Int(int64(i)), db.Str(r), db.Str(comment(rng, 4))}); err != nil {
+			return nil, err
+		}
 	}
-	lr.Close()
+	if err := lr.Close(); err != nil {
+		return nil, err
+	}
 	out.Region = d.Table("region")
 
 	// nation
@@ -214,9 +218,13 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 		return nil, err
 	}
 	for i, n := range nations {
-		ln.Add(db.Row{db.Int(int64(i)), db.Str(n.name), db.Int(int64(n.region)), db.Str(comment(rng, 4))})
+		if err := ln.Add(db.Row{db.Int(int64(i)), db.Str(n.name), db.Int(int64(n.region)), db.Str(comment(rng, 4))}); err != nil {
+			return nil, err
+		}
 	}
-	ln.Close()
+	if err := ln.Close(); err != nil {
+		return nil, err
+	}
 	out.Nation = d.Table("nation")
 
 	// supplier
@@ -231,7 +239,7 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 		if i%200 == 13 { // Q16/Q21 complaint suppliers
 			cmt += " Customer Complaints"
 		}
-		ls.Add(db.Row{
+		if err := ls.Add(db.Row{
 			db.Int(int64(i + 1)),
 			db.Str(fmt.Sprintf("Supplier#%09d", i+1)),
 			db.Str(fmt.Sprintf("addr %d %s", rng.Intn(999), commentWords[rng.Intn(len(commentWords))])),
@@ -239,9 +247,13 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 			db.Str(phone(rng, nat)),
 			db.Dec(int64(rng.Intn(2000000) - 100000)),
 			db.Str(cmt),
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
-	ls.Close()
+	if err := ls.Close(); err != nil {
+		return nil, err
+	}
 	out.Supplier = d.Table("supplier")
 
 	// part
@@ -255,7 +267,7 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 			colors[rng.Intn(len(colors))] + " " + colors[rng.Intn(len(colors))] + " " + colors[rng.Intn(len(colors))]
 		mfgr := 1 + rng.Intn(5)
 		brand := mfgr*10 + 1 + rng.Intn(5)
-		lp.Add(db.Row{
+		if err := lp.Add(db.Row{
 			db.Int(int64(i + 1)),
 			db.Str(name),
 			db.Str(fmt.Sprintf("Manufacturer#%d", mfgr)),
@@ -265,9 +277,13 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 			db.Str(containers1[rng.Intn(5)] + " " + containers2[rng.Intn(8)]),
 			db.Dec(int64(90000 + (i%200)*10 + rng.Intn(1000))),
 			db.Str(comment(rng, 3)),
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
-	lp.Close()
+	if err := lp.Close(); err != nil {
+		return nil, err
+	}
 	out.Part = d.Table("part")
 
 	// partsupp: 4 suppliers per part
@@ -278,16 +294,20 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 	for i := 0; i < nPart; i++ {
 		for j := 0; j < 4; j++ {
 			supp := (i+j*(nSupp/4+1))%nSupp + 1
-			lps.Add(db.Row{
+			if err := lps.Add(db.Row{
 				db.Int(int64(i + 1)),
 				db.Int(int64(supp)),
 				db.Int(int64(1 + rng.Intn(9999))),
 				db.Dec(int64(100 + rng.Intn(99900))),
 				db.Str(comment(rng, 6)),
-			})
+			}); err != nil {
+				return nil, err
+			}
 		}
 	}
-	lps.Close()
+	if err := lps.Close(); err != nil {
+		return nil, err
+	}
 	out.PartSupp = d.Table("partsupp")
 
 	// customer
@@ -298,7 +318,7 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 	}
 	for i := 0; i < nCust; i++ {
 		nat := rng.Intn(25)
-		lc.Add(db.Row{
+		if err := lc.Add(db.Row{
 			db.Int(int64(i + 1)),
 			db.Str(fmt.Sprintf("Customer#%09d", i+1)),
 			db.Str(fmt.Sprintf("addr %d %s", rng.Intn(999), commentWords[rng.Intn(len(commentWords))])),
@@ -307,9 +327,13 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 			db.Dec(int64(rng.Intn(2000000) - 100000)),
 			db.Str(segments[rng.Intn(5)]),
 			db.Str(comment(rng, 6)),
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
-	lc.Close()
+	if err := lc.Close(); err != nil {
+		return nil, err
+	}
 	out.Customer = d.Table("customer")
 
 	// orders + lineitem, generated in o_orderdate order (time-ordered
@@ -384,7 +408,7 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 		if rng.Intn(100) == 0 {
 			ocmt += " " + specialComment
 		}
-		lo.Add(db.Row{
+		if err := lo.Add(db.Row{
 			db.Int(okey),
 			db.Int(int64(1 + rng.Intn(nCust))),
 			db.Str(status),
@@ -394,13 +418,21 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 			db.Str(fmt.Sprintf("Clerk#%09d", 1+rng.Intn(1000))),
 			db.Int(0),
 			db.Str(ocmt),
-		})
+		}); err != nil {
+			return nil, err
+		}
 		for _, r := range rows {
-			ll.Add(r)
+			if err := ll.Add(r); err != nil {
+				return nil, err
+			}
 		}
 	}
-	lo.Close()
-	ll.Close()
+	if err := lo.Close(); err != nil {
+		return nil, err
+	}
+	if err := ll.Close(); err != nil {
+		return nil, err
+	}
 	out.Orders = d.Table("orders")
 	out.Lineitem = d.Table("lineitem")
 	return out, nil

@@ -86,7 +86,7 @@ func (t *Tracer) WriteFile(path string) error {
 		return err
 	}
 	if err := t.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the interesting one
 		return err
 	}
 	return f.Close()

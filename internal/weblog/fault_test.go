@@ -55,7 +55,6 @@ func TestSearchCountsUnchangedUnderFaultPlans(t *testing.T) {
 			StallProb: 0.2, StallDelay: 100 * sim.Microsecond}},
 	}
 	for _, tc := range plans {
-		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			sys := faultSys(tc.plan)
 			sys.Run(func(h *biscuit.Host) {
