@@ -9,7 +9,7 @@ VETTOOL := bin/biscuitvet
 # dangerous kind.
 TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
 
-.PHONY: all build test race racefault vet vet-fix fmt check faulttest faultbench benchsmoke tracesmoke clean
+.PHONY: all build test race racefault vet vet-fix fmt check faulttest faultbench benchsmoke benchgate bless-bench tracesmoke clean
 
 all: build
 
@@ -54,11 +54,32 @@ faultbench:
 	$(GO) run ./cmd/biscuitbench -exp faultcurve -quick -json bench-out -trace bench-out/faultcurve.trace.json
 	for f in bench-out/faultcurve.trace.json*; do $(GO) run ./cmd/tracecheck $$f || exit 1; done
 
-# Benchmark smoke: run the executor benchmarks once (-benchtime=1x) so
-# CI catches bit-rot in the benchmark harness without paying for a real
-# measurement run.
+# Benchmark smoke: run the executor, DES-core, and fiber-switch
+# benchmarks once (-benchtime=1x) so CI catches bit-rot in the benchmark
+# harness without paying for a real measurement run.
 benchsmoke:
-	$(GO) test -run '^$$' -bench BenchmarkExecBatch -benchtime=1x ./internal/db
+	$(GO) test -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkSimCore|BenchmarkFiberSwitch' \
+		-benchtime=1x ./internal/db ./internal/sim ./internal/fibers
+
+# Bench gate (DESIGN.md "Simulator performance"): regenerate the
+# simcore and table3 measurements and compare them against the
+# committed baselines/ JSON with cmd/benchgate. Deterministic fields
+# (op counts, final sim times, pop-order checksums, latency summaries)
+# must match exactly; allocs/op must not rise; wall-clock throughput
+# may drift within GATETOL. This is the CI tripwire that keeps the
+# zero-alloc DES core from regressing silently.
+GATETOL ?= 0.10
+
+benchgate: benchsmoke
+	mkdir -p bench-out
+	$(GO) run ./cmd/biscuitbench -exp simcore,table3 -json bench-out
+	$(GO) run ./cmd/benchgate -walltol $(GATETOL) baselines bench-out
+
+# bless-bench: accept the current bench-out measurements as the new
+# committed baselines (after an intended perf or schema change). Run
+# `make benchgate` first so bench-out is fresh, then commit baselines/.
+bless-bench:
+	$(GO) run ./cmd/benchgate -bless baselines bench-out
 
 # Trace smoke (DESIGN.md "Observability"): run TPC-H Q6 end to end with
 # tracing on, validate the export is a well-formed Chrome trace

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: table2,table3,fig7,table4,table5,fig8,fig9,fig10,faultcurve")
+		exps     = flag.String("exp", "all", "comma-separated experiments: simcore,table2,table3,fig7,table4,table5,fig8,fig9,fig10,faultcurve")
 		sf       = flag.Float64("sf", 0, "TPC-H scale factor override for fig8/fig9/fig10")
 		joinbuf  = flag.Int("joinbuf", 0, "join buffer rows override for fig10")
 		quick    = flag.Bool("quick", false, "use reduced experiment sizes")
@@ -95,6 +95,21 @@ func main() {
 
 	var csvOut strings.Builder
 
+	if all || want["simcore"] {
+		sc := bench.RunSimCore()
+		writeJSON(*jsonDir, "simcore", sc)
+		fmt.Println("Simulator core — DES kernel throughput (not a paper figure; see DESIGN.md \"Simulator performance\")")
+		fmt.Printf("  %-12s %10s %12s %14s %10s %10s\n", "scenario", "ops", "events/s", "allocs/op", "final-sim", "vs-ref")
+		for _, s := range sc.Scenarios {
+			ref := "-"
+			if s.SpeedupVsRef > 0 {
+				ref = fmt.Sprintf("%.2fx", s.SpeedupVsRef)
+			}
+			fmt.Printf("  %-12s %10d %12.3g %14.4f %10v %10s\n",
+				s.Name, s.Ops, s.EventsPerSec, s.AllocsPerOp, s.FinalSim, ref)
+		}
+		fmt.Println()
+	}
 	if all || want["table2"] {
 		t2 := bench.RunTable2()
 		writeJSON(*jsonDir, "table2", t2)

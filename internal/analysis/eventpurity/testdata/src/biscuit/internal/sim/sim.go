@@ -29,3 +29,17 @@ func (e *Env) SetSchedHook(fn func(SchedEvent)) { e.schedHook = fn }
 // Spawn starts a host-side process. Process bodies are host code and
 // may print progress; they are deliberately NOT eventpurity roots.
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc { return nil }
+
+// Event is a one-shot latch processes wait on.
+type Event struct{ env *Env }
+
+// NewEvent returns an unfired event.
+func (e *Env) NewEvent() *Event { return &Event{env: e} }
+
+// Fire fires the event now, waking all waiters.
+func (ev *Event) Fire() {}
+
+// FireAfter schedules the event to fire after delay d via a typed fire
+// target — no closure is allocated, and there is no user callback to
+// leak impurity through.
+func (ev *Event) FireAfter(d Time) {}

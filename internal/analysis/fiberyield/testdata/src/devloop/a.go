@@ -1,7 +1,10 @@
 // Package devloop exercises the scheduler-starvation check.
 package devloop
 
-import "biscuit/internal/core"
+import (
+	"biscuit/internal/core"
+	"biscuit/internal/sim"
+)
 
 // Context mirrors the public biscuit.Context alias: the analyzer must
 // see through it to the core type.
@@ -70,6 +73,17 @@ func nestedClosure(c *core.Context) {
 		}
 	}
 	f()
+}
+
+func fireTimeouts(c *core.Context, done *sim.Event, work []int) {
+	for { // sim.Event.FireAfter is a typed scheduler entry: a yield point, fine
+		if len(work) == 0 {
+			done.Fire()
+			break
+		}
+		done.FireAfter(sim.Time(len(work)))
+		work = work[1:]
+	}
 }
 
 func conditionalLoop(c *core.Context, n int) {

@@ -1,0 +1,27 @@
+package fibers
+
+import (
+	"testing"
+
+	"biscuit/internal/sim"
+)
+
+// BenchmarkFiberSwitch measures one full cooperative context switch —
+// Yield: span end, core release, park, typed wake, FIFO re-acquire,
+// context-switch charge — with observability disabled (the production
+// default for untraced runs). Must report 0 allocs/op.
+func BenchmarkFiberSwitch(b *testing.B) {
+	env := sim.NewEnv()
+	rt := New(env, Config{Cores: 1, Hz: 750e6, CSW: 100})
+	g := rt.NewGroup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < 2; i++ {
+		g.Go("pingpong", func(f *Fiber) {
+			for j := 0; j < b.N/2; j++ {
+				f.Yield()
+			}
+		})
+	}
+	env.Run()
+}

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Env is a simulation environment: a virtual clock plus the pending-event
 // queue that drives it. An Env and everything attached to it must be used
@@ -16,6 +13,10 @@ type Env struct {
 
 	// handoff carries control back from a running process to the scheduler.
 	handoff chan struct{}
+
+	// waiterPool recycles Event waiter slices (see Event.fire) so that
+	// the steady-state wait/fire cycle never allocates.
+	waiterPool [][]*Proc
 
 	running   bool
 	nprocs    int
@@ -58,44 +59,196 @@ func (e *Env) SetTrace(fn func(string)) {
 	}
 }
 
+// event is one pending queue entry. Exactly one of the three targets is
+// set: a typed wake target (resume a parked process), a typed fire
+// target (fire a latched event), or a general action closure. The typed
+// targets exist so the hot park/resume and wait/fire paths schedule a
+// plain value instead of allocating a resume closure per dispatch.
 type event struct {
-	at     Time
-	seq    uint64
-	action func()
+	at   Time
+	seq  uint64
+	proc *Proc  // wake target: resume this parked process
+	ev   *Event // fire target: fire this event
+	fn   func() // general action (Spawn bootstrap, After callbacks)
 }
 
-type eventQueue []*event
+// heapEntry is one node of the scheduling heap: the full (at, seq)
+// ordering key plus the slab slot of the event payload. Caching the
+// key in the node means ordering never dereferences the slab — every
+// comparison during a sift reads memory that is contiguous with the
+// node being sifted, which is what makes deep queues fast.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventQueue is the pending-event priority queue: a flat 4-ary min-heap
+// of (at, seq, slot) keys over a value slab of event payloads, with a
+// free list recycling slab slots.
+//
+// The layout is chosen for the steady-state path. Events live by value
+// in slab, so pushing one writes a recycled slot instead of allocating
+// a heap-boxed node (the old container/heap of *event paid one
+// allocation plus an interface conversion per schedule, and every
+// comparison chased a pointer). The heap itself is a flat array of
+// 24-byte keyed entries — sift operations compare and move entries in
+// place with no indirection and no dynamic dispatch — and the 4-ary
+// fanout halves the tree depth against a binary heap, with each
+// node's four children sharing cache lines. free recycles slab slots
+// so a warmed queue never grows.
+//
+// Because (at, seq) is a strict total order (seq is unique), any
+// correct min-heap pops events in exactly the same order, so swapping
+// the implementation cannot perturb a seeded trace by even one byte
+// (guarded by the differential tests against the retained refQueue and
+// by TestTraceDeterministic).
+type eventQueue struct {
+	slab []event     // slot-addressed event payloads
+	free []int32     // recycled slab slots
+	heap []heapEntry // 4-ary min-heap keyed by (at, seq)
+}
+
+func (q *eventQueue) len() int { return len(q.heap) }
+
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() (popped any) {
-	old := *q
-	n := len(old)
-	popped = old[n-1]
-	*q = old[:n-1]
-	return
+
+// push inserts ev, reusing a free slab slot when one exists.
+func (q *eventQueue) push(ev event) {
+	var slot int32
+	if n := len(q.free) - 1; n >= 0 {
+		slot = q.free[n]
+		q.free = q.free[:n]
+	} else {
+		slot = int32(len(q.slab))
+		q.slab = append(q.slab, event{})
+	}
+	q.slab[slot] = ev
+	// Sift the new entry up with the hole technique: shift losing
+	// parents down and store the entry once at its final position.
+	e := heapEntry{at: ev.at, seq: ev.seq, slot: slot}
+	i := len(q.heap)
+	q.heap = append(q.heap, e)
+	h := q.heap
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(e, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// minAt returns the firing time of the earliest pending event. It must
+// not be called on an empty queue.
+func (q *eventQueue) minAt() Time {
+	return q.heap[0].at
+}
+
+// pop removes and returns the earliest pending event, recycling its
+// slab slot.
+func (q *eventQueue) pop() event {
+	h := q.heap
+	slot := h[0].slot
+	ev := q.slab[slot]
+	// Clear pointer fields so the freed slot does not retain the
+	// closure or its captures until the slot is reused.
+	q.slab[slot] = event{}
+	q.free = append(q.free, slot)
+
+	last := h[len(h)-1]
+	q.heap = h[:len(h)-1]
+	h = q.heap
+	n := len(h)
+	if n == 0 {
+		return ev
+	}
+	// Sift the displaced last entry down from the root.
+	i := 0
+	for {
+		child := i<<2 + 1
+		if child >= n {
+			break
+		}
+		best := child
+		end := child + 4
+		if end > n {
+			end = n
+		}
+		for c := child + 1; c < end; c++ {
+			if entryLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !entryLess(h[best], last) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = last
+	return ev
+}
+
+// put stamps ev with the next sequence number and queues it at at.
+func (e *Env) put(at Time, ev event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", at, e.now))
+	}
+	e.seq++
+	ev.at = at
+	ev.seq = e.seq
+	e.eq.push(ev)
 }
 
 // schedule queues action to run at absolute time at. Actions run in the
 // scheduler's context and must not block; they typically resume a process.
 func (e *Env) schedule(at Time, action func()) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", at, e.now))
-	}
-	e.seq++
-	heap.Push(&e.eq, &event{at: at, seq: e.seq, action: action})
+	e.put(at, event{fn: action})
+}
+
+// scheduleWake queues a typed wake target: at time at the scheduler
+// resumes p directly, with no closure in between.
+func (e *Env) scheduleWake(at Time, p *Proc) {
+	e.put(at, event{proc: p})
+}
+
+// scheduleFire queues a typed fire target: at time at the scheduler
+// fires ev (a no-op if it already fired by then).
+func (e *Env) scheduleFire(at Time, ev *Event) {
+	e.put(at, event{ev: ev})
 }
 
 // After queues fn to run (in scheduler context) after delay d.
 func (e *Env) After(d Time, fn func()) {
 	e.schedule(e.now+d, fn)
+}
+
+// getWaiters takes a recycled waiter slice (empty, non-nil) or makes a
+// fresh one.
+func (e *Env) getWaiters() []*Proc {
+	if n := len(e.waiterPool) - 1; n >= 0 {
+		w := e.waiterPool[n]
+		e.waiterPool[n] = nil
+		e.waiterPool = e.waiterPool[:n]
+		return w
+	}
+	return make([]*Proc, 0, 4)
+}
+
+// putWaiters recycles a waiter slice whose waiters have been woken.
+func (e *Env) putWaiters(w []*Proc) {
+	for i := range w {
+		w[i] = nil
+	}
+	e.waiterPool = append(e.waiterPool, w[:0])
 }
 
 // Run executes the simulation until no events remain. It panics with the
@@ -110,18 +263,27 @@ func (e *Env) RunUntil(deadline Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.eq) > 0 {
-		ev := e.eq[0]
-		if ev.at > deadline {
+	for e.eq.len() > 0 {
+		if e.eq.minAt() > deadline {
 			e.now = deadline
 			return
 		}
-		heap.Pop(&e.eq)
+		ev := e.eq.pop()
 		e.now = ev.at
 		if e.schedHook != nil {
 			e.schedHook(SchedEvent{At: ev.at, Seq: ev.seq})
 		}
-		ev.action()
+		switch {
+		case ev.proc != nil:
+			// Typed wake: hand control to the parked process and wait
+			// for it to park again (or terminate).
+			ev.proc.resume <- struct{}{}
+			<-e.handoff
+		case ev.ev != nil:
+			ev.ev.fire()
+		default:
+			ev.fn()
+		}
 		if e.panicV != nil {
 			v := e.panicV
 			e.panicV = nil
@@ -131,7 +293,7 @@ func (e *Env) RunUntil(deadline Time) {
 }
 
 // Idle reports whether no events are pending.
-func (e *Env) Idle() bool { return len(e.eq) == 0 }
+func (e *Env) Idle() bool { return e.eq.len() == 0 }
 
 // NumProcs reports the number of live (spawned, unfinished) processes.
 func (e *Env) NumProcs() int { return e.nprocs }

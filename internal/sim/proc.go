@@ -53,13 +53,10 @@ func (p *Proc) park() {
 }
 
 // wake schedules p to resume at the current virtual time. It must be
-// called at most once per park.
+// called at most once per park. The wake is a typed scheduler target,
+// not a closure, so waking is allocation-free.
 func (p *Proc) wake() {
-	e := p.env
-	e.schedule(e.now, func() {
-		p.resume <- struct{}{}
-		<-e.handoff
-	})
+	p.env.scheduleWake(p.env.now, p)
 }
 
 // Env returns the environment the process belongs to.
@@ -81,10 +78,7 @@ func (p *Proc) Sleep(d Time) {
 		// but still deterministic by not yielding at all.
 		return
 	}
-	p.env.schedule(p.env.now+d, func() {
-		p.resume <- struct{}{}
-		<-p.env.handoff
-	})
+	p.env.scheduleWake(p.env.now+d, p)
 	p.park()
 }
 
@@ -116,6 +110,14 @@ func (ev *Event) Fired() bool { return ev.fired }
 // the event fired. Firing twice is a no-op.
 func (ev *Event) Fire() { ev.fire() }
 
+// FireAfter schedules the event to fire after delay d, as a typed
+// scheduler target (no closure, no allocation). If the event fires
+// earlier by other means the delayed firing is a no-op, so FireAfter
+// composes with Fire as a deadline or timeout.
+func (ev *Event) FireAfter(d Time) {
+	ev.env.scheduleFire(ev.env.now+d, ev)
+}
+
 func (ev *Event) fire() {
 	if ev.fired {
 		return
@@ -124,7 +126,10 @@ func (ev *Event) fire() {
 	for _, w := range ev.waiters {
 		w.wake()
 	}
-	ev.waiters = nil
+	if ev.waiters != nil {
+		ev.env.putWaiters(ev.waiters)
+		ev.waiters = nil
+	}
 }
 
 // Wait blocks p until the event fires. Returns immediately if already
@@ -132,6 +137,9 @@ func (ev *Event) fire() {
 func (p *Proc) Wait(ev *Event) {
 	if ev.fired {
 		return
+	}
+	if ev.waiters == nil {
+		ev.waiters = ev.env.getWaiters()
 	}
 	ev.waiters = append(ev.waiters, p)
 	p.park()

@@ -12,7 +12,11 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	// waiters[head:] is the FIFO wait queue. Dequeuing advances head
+	// instead of reslicing so the backing array is reused once drained:
+	// the steady-state acquire/wait/release cycle never allocates.
+	waiters []*Proc
+	head    int
 
 	lastChange Time
 	busyInt    float64 // integral of inUse over time, in server-ns
@@ -36,7 +40,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting to acquire.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.head }
 
 func (r *Resource) account() {
 	now := r.env.now
@@ -61,7 +65,7 @@ func (r *Resource) Utilization(since Time, busyAtSince float64) float64 {
 
 // Acquire takes one server, blocking p in FIFO order while none is free.
 func (r *Resource) Acquire(p *Proc) {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.QueueLen() == 0 {
 		r.account()
 		r.inUse++
 		return
@@ -73,7 +77,7 @@ func (r *Resource) Acquire(p *Proc) {
 
 // TryAcquire takes a server if one is immediately free.
 func (r *Resource) TryAcquire() bool {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.QueueLen() == 0 {
 		r.account()
 		r.inUse++
 		return true
@@ -88,9 +92,14 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Release of idle resource " + r.name)
 	}
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	if r.QueueLen() > 0 {
+		w := r.waiters[r.head]
+		r.waiters[r.head] = nil
+		r.head++
+		if r.head == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.head = 0
+		}
 		w.wake() // server stays accounted as in use
 		return
 	}

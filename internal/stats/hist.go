@@ -198,6 +198,22 @@ func (hs *Histograms) Observe(name string, v int64) {
 	h.Record(v)
 }
 
+// H returns the named histogram, creating it if needed, so hot paths
+// can resolve the name once and Record directly instead of paying the
+// map lookup per sample. A nil registry returns nil (and a nil
+// *Histogram ignores Record), so callers need no guard.
+func (hs *Histograms) H(name string) *Histogram {
+	if hs == nil {
+		return nil
+	}
+	h := hs.m[name]
+	if h == nil {
+		h = NewHistogram()
+		hs.m[name] = h
+	}
+	return h
+}
+
 // Get returns the named histogram, or nil if nothing was observed
 // under that name (nil is safe to query).
 func (hs *Histograms) Get(name string) *Histogram {
