@@ -9,7 +9,7 @@ VETTOOL := bin/biscuitvet
 # dangerous kind.
 TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
 
-.PHONY: all build test race racefault vet vet-fix fmt check faulttest faultbench benchsmoke benchgate bless-bench tracesmoke clean
+.PHONY: all build test race racefault vet vet-fix fmt check faulttest faultbench benchsmoke benchgate bless-bench servebench tracesmoke clean
 
 all: build
 
@@ -54,12 +54,29 @@ faultbench:
 	$(GO) run ./cmd/biscuitbench -exp faultcurve -quick -json bench-out -trace bench-out/faultcurve.trace.json
 	for f in bench-out/faultcurve.trace.json*; do $(GO) run ./cmd/tracecheck $$f || exit 1; done
 
-# Benchmark smoke: run the executor, DES-core, and fiber-switch
-# benchmarks once (-benchtime=1x) so CI catches bit-rot in the benchmark
-# harness without paying for a real measurement run.
+# Benchmark smoke: run the executor, DES-core, proc-wake, and
+# fiber-switch benchmarks once (-benchtime=1x) so CI catches bit-rot in
+# the benchmark harness without paying for a real measurement run.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkSimCore|BenchmarkFiberSwitch' \
+	$(GO) test -run '^$$' -bench 'BenchmarkExecBatch|BenchmarkSimCore|BenchmarkProcWake|BenchmarkFiberSwitch' \
 		-benchtime=1x ./internal/db ./internal/sim ./internal/fibers
+
+# Serve bench (DESIGN.md "Array serving layer"): the multi-tenant
+# serving curve — per-tenant throughput and tail latency vs offered
+# load × device count × scheduling policy — as BENCH_servecurve.json,
+# plus one traced serving window: rerun with the same seed, compared
+# byte-for-byte, and validated by tracecheck. Every field of the curve
+# is simulated-time deterministic, so benchgate compares it exactly
+# against baselines/BENCH_servecurve.json.
+SERVETRACE := -devices 2 -tenants 2 -sf 0.002 -rate 150 -window 200 -seed 7
+
+servebench:
+	mkdir -p bench-out
+	$(GO) run ./cmd/biscuitbench -exp servecurve -json bench-out
+	$(GO) run ./cmd/sqlssd $(SERVETRACE) -trace bench-out/serve.trace.json > /dev/null
+	$(GO) run ./cmd/sqlssd $(SERVETRACE) -trace bench-out/serve.rerun.trace.json > /dev/null
+	cmp bench-out/serve.trace.json bench-out/serve.rerun.trace.json
+	$(GO) run ./cmd/tracecheck bench-out/serve.trace.json
 
 # Bench gate (DESIGN.md "Simulator performance"): regenerate the
 # simcore and table3 measurements and compare them against the
@@ -70,7 +87,7 @@ benchsmoke:
 # zero-alloc DES core from regressing silently.
 GATETOL ?= 0.10
 
-benchgate: benchsmoke
+benchgate: benchsmoke servebench
 	mkdir -p bench-out
 	$(GO) run ./cmd/biscuitbench -exp simcore,table3 -json bench-out
 	$(GO) run ./cmd/benchgate -walltol $(GATETOL) baselines bench-out
@@ -99,8 +116,9 @@ tracesmoke:
 	$(GO) run ./cmd/tracecheck trace-out/q6.json
 
 # vet = stock go vet + the biscuitvet analyzer suite (arenaescape,
-# detrand, eventpurity, fiberyield, nogoroutine, portcheck, simtimemix,
-# spanbalance, walltime — see DESIGN.md "Invariants"). biscuitvet runs
+# detrand, eventpurity, fiberyield, ndpframing, nogoroutine, portcheck,
+# simtimemix, spanbalance, walltime — see DESIGN.md "Invariants").
+# biscuitvet runs
 # through the standard vettool protocol; waivers are either the legacy
 # //biscuitvet:<name>-ok directive or //biscuitvet:ignore <name>: <reason>
 # (a reasonless ignore is itself a finding, so `make vet` fails on it).

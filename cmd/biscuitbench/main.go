@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: simcore,table2,table3,fig7,table4,table5,fig8,fig9,fig10,faultcurve")
+		exps     = flag.String("exp", "all", "comma-separated experiments: simcore,table2,table3,fig7,table4,table5,fig8,fig9,fig10,faultcurve,servecurve")
 		sf       = flag.Float64("sf", 0, "TPC-H scale factor override for fig8/fig9/fig10")
 		joinbuf  = flag.Int("joinbuf", 0, "join buffer rows override for fig10")
 		quick    = flag.Bool("quick", false, "use reduced experiment sizes")
@@ -214,6 +214,26 @@ func main() {
 			csvOut.WriteString(fmt.Sprintf("faultcurve,%g,%f,%d,%d,%d,%d,%d,%d,%d,%d\n",
 				pt.Intensity, pt.Availability, pt.OK, pt.ConvReruns,
 				pt.Lat.P50, pt.Lat.P95, pt.Lat.P99, pt.Reconstructs, pt.DegradedReads, pt.LostPages))
+		}
+		fmt.Println()
+	}
+
+	if all || want["servecurve"] {
+		sc := bench.RunServeCurve(cfg)
+		writeJSON(*jsonDir, "servecurve", sc)
+		fmt.Printf("Serve curve — multi-tenant array serving (SF %.3f, %.0fms windows)\n",
+			sc.SF, float64(sc.WindowNs)/1e6)
+		fmt.Printf("  %-8s %-7s %-9s %-9s %-9s | %-24s | %s\n",
+			"devices", "policy", "offered", "agg-qps", "rejected", "acme p50/p99(ms) miss", "bolt p50/p99(ms) miss")
+		for _, pt := range sc.Points {
+			r := pt.Report
+			line := fmt.Sprintf("  %-8d %-7s %-9.0f %-9.1f %-9d |", pt.Devices, pt.Policy, pt.OfferedQPS, r.AggThroughputQPS, r.Rejected)
+			for _, tr := range r.Tenants {
+				line += fmt.Sprintf(" %6.2f /%7.2f %4d    |", float64(tr.Lat.P50)/1e6, float64(tr.Lat.P99)/1e6, tr.DeadlineMisses)
+			}
+			fmt.Println(line)
+			csvOut.WriteString(fmt.Sprintf("servecurve,%d,%s,%g,%f,%d\n",
+				pt.Devices, pt.Policy, pt.OfferedQPS, r.AggThroughputQPS, r.Rejected))
 		}
 		fmt.Println()
 	}

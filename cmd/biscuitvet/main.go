@@ -52,6 +52,7 @@ import (
 	"biscuit/internal/analysis/eventpurity"
 	"biscuit/internal/analysis/fiberyield"
 	"biscuit/internal/analysis/framework"
+	"biscuit/internal/analysis/ndpframing"
 	"biscuit/internal/analysis/nogoroutine"
 	"biscuit/internal/analysis/portcheck"
 	"biscuit/internal/analysis/simtimemix"
@@ -66,6 +67,7 @@ var analyzers = []*framework.Analyzer{
 	detrand.Analyzer,
 	eventpurity.Analyzer,
 	fiberyield.Analyzer,
+	ndpframing.Analyzer,
 	nogoroutine.Analyzer,
 	portcheck.Analyzer,
 	simtimemix.Analyzer,

@@ -4,6 +4,14 @@
 //
 //	sqlssd -sf 0.01 -q "SELECT l_orderkey FROM lineitem WHERE l_shipdate = '1995-1-17'"
 //	echo "SELECT ... ; SELECT ..." | sqlssd    # one query per ';'
+//
+// With -devices N and/or -tenants M it instead runs one multi-tenant
+// serving window on an N-device array (internal/serve): the catalog is
+// shard-loaded across the devices, M tenants offer open-loop query
+// streams, and the scheduler (-policy wfq|edf) serves them under
+// admission control.
+//
+//	sqlssd -devices 4 -tenants 2 -rate 200 -window 300
 package main
 
 import (
@@ -18,8 +26,11 @@ import (
 	"biscuit/internal/db"
 	"biscuit/internal/db/planner"
 	"biscuit/internal/fault"
+	"biscuit/internal/serve"
+	"biscuit/internal/sim"
 	"biscuit/internal/sql"
 	"biscuit/internal/tpch"
+	"biscuit/internal/trace"
 )
 
 func main() {
@@ -32,8 +43,18 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace of the whole run to this JSON file")
 		stats    = flag.Bool("stats", false, "print platform counters and latency percentiles after the run")
 		faultArg = flag.String("fault", "", "arm a fault campaign, e.g. \"seed=7 silent=1e-3 diefail=3\" (see internal/fault)")
+		devices  = flag.Int("devices", 1, "array width; >1 selects the multi-tenant serving mode")
+		tenants  = flag.Int("tenants", 0, "tenant count; >0 selects the multi-tenant serving mode")
+		rate     = flag.Float64("rate", 120, "serving mode: total offered load, queries/s split across tenants")
+		windowMs = flag.Int("window", 300, "serving mode: arrival window in simulated milliseconds")
+		policy   = flag.String("policy", "wfq", "serving mode: scheduling policy, wfq or edf")
 	)
 	flag.Parse()
+
+	if *devices > 1 || *tenants > 0 {
+		serveMain(*devices, *tenants, *rate, *windowMs, *policy, *sf, *seed, *faultArg, *traceOut)
+		return
+	}
 
 	var queries []string
 	if *q != "" {
@@ -129,6 +150,77 @@ func main() {
 	}
 	if *stats {
 		printStats(sys)
+	}
+}
+
+// serveMain runs one multi-tenant serving window on an N-device array.
+// Tenants are named t1..tM and cycle through the built-in workloads;
+// the total offered rate is split evenly. A -fault campaign arms on
+// every device of the array.
+func serveMain(devices, tenants int, rate float64, windowMs int, policy string, sf float64, seed int64, faultArg, traceOut string) {
+	if devices < 1 {
+		fmt.Fprintln(os.Stderr, "sqlssd: -devices must be >= 1")
+		os.Exit(2)
+	}
+	if tenants < 1 {
+		tenants = 2
+	}
+	workloads := []string{"q6", "qpoint", "q1"}
+	cfg := serve.Config{
+		SF:      sf,
+		Devices: devices,
+		Policy:  policy,
+		Window:  sim.Time(windowMs) * sim.Millisecond,
+		Seed:    seed,
+	}
+	if faultArg != "" {
+		plan, err := fault.ParsePlan(faultArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fault:", err)
+			os.Exit(2)
+		}
+		cfg.PerDevice = func(i int, c biscuit.Config) biscuit.Config {
+			c.Fault = plan
+			return c
+		}
+	}
+	for i := 0; i < tenants; i++ {
+		cfg.Tenants = append(cfg.Tenants, serve.TenantConfig{
+			Name:     fmt.Sprintf("t%d", i+1),
+			Workload: workloads[i%len(workloads)],
+			RateQPS:  rate / float64(tenants),
+		})
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	var tr *trace.Tracer
+	if traceOut != "" {
+		tr = s.MS.NewTracer()
+		s.SetTracer(tr)
+	}
+	fmt.Printf("TPC-H SF %.3f shard-loaded across %d devices; %d tenants at %.0f qps total, policy %s, %dms window.\n\n",
+		sf, devices, tenants, rate, policy, windowMs)
+	rep := s.Run()
+
+	fmt.Printf("window %v | completed %d | rejected %d | %.1f queries/s aggregate | dispatch digest %016x\n\n",
+		time.Duration(rep.DurationNs), rep.Completed, rep.Rejected, rep.AggThroughputQPS, rep.DispatchDigest)
+	fmt.Printf("  %-8s %-8s %-8s %-8s %-8s %-6s %-10s %-10s %-10s %-8s %s\n",
+		"tenant", "workload", "offered", "admit", "done", "miss", "p50", "p95", "p99", "qps", "row digest")
+	for _, t := range rep.Tenants {
+		fmt.Printf("  %-8s %-8s %-8d %-8d %-8d %-6d %-10v %-10v %-10v %-8.1f %016x\n",
+			t.Name, t.Workload, t.Offered, t.Admitted, t.Completed, t.DeadlineMisses,
+			time.Duration(t.Lat.P50), time.Duration(t.Lat.P95), time.Duration(t.Lat.P99),
+			t.ThroughputQPS, t.RowDigest)
+	}
+	if traceOut != "" {
+		if err := tr.WriteFile(traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (load in https://ui.perfetto.dev)\n", traceOut)
 	}
 }
 

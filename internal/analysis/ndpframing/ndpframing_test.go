@@ -1,0 +1,12 @@
+package ndpframing_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/ndpframing"
+)
+
+func TestNDPFraming(t *testing.T) {
+	analysistest.Run(t, "testdata", ndpframing.Analyzer, "devenc")
+}

@@ -1,0 +1,9 @@
+// Package biscuit is a stub of the public facade, just deep enough for
+// analyzer testdata to import it by path.
+package biscuit
+
+// Packet is an opaque message crossing a port.
+type Packet struct{ data []byte }
+
+// NewPacket wraps raw bytes in a Packet.
+func NewPacket(b []byte) Packet { return Packet{data: b} }

@@ -1,0 +1,12 @@
+// Package core is a stub of the SSDlet runtime, just deep enough for
+// analyzer testdata to import it by path.
+package core
+
+// Context is the per-SSDlet runtime handle.
+type Context struct{}
+
+// OutPort is an SSDlet output port.
+type OutPort struct{}
+
+// Put enqueues v; false means the peer closed.
+func (p *OutPort) Put(v any) bool { return true }

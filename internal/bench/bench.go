@@ -38,6 +38,13 @@ type Config struct {
 	// issues; FaultSF sizes its TPC-H load.
 	FaultQueries int
 	FaultSF      float64
+	// ServeSF / ServeWindow / ServeLoads / ServeDevices size the
+	// multi-tenant serving-curve grid: each device count is swept over
+	// both scheduling policies at each total offered load.
+	ServeSF      float64
+	ServeWindow  sim.Time
+	ServeLoads   []float64
+	ServeDevices []int
 	// Seed drives all generators.
 	Seed int64
 }
@@ -61,6 +68,11 @@ func DefaultConfig() Config {
 		FaultQueries:     12,
 		FaultSF:          0.004,
 
+		ServeSF:      0.002,
+		ServeWindow:  250 * sim.Millisecond,
+		ServeLoads:   []float64{150, 700},
+		ServeDevices: []int{1, 2, 4},
+
 		Seed: 1,
 	}
 }
@@ -79,6 +91,9 @@ func QuickConfig() Config {
 	c.FaultIntensities = []float64{0, 2, 16}
 	c.FaultQueries = 4
 	c.FaultSF = 0.002
+	c.ServeWindow = 150 * sim.Millisecond
+	c.ServeLoads = []float64{300}
+	c.ServeDevices = []int{1, 2}
 	return c
 }
 

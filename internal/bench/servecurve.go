@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+
+	"biscuit/internal/serve"
+	"biscuit/internal/sim"
+)
+
+// ServePoint is one cell of the serving-curve grid: a full multi-tenant
+// serving window at a given array width, scheduling policy and total
+// offered load. The embedded report carries per-tenant p50/p95/p99
+// sojourn, throughput, deadline misses and FNV row digests — all
+// deterministic per seed, so benchgate compares every field exactly.
+type ServePoint struct {
+	Devices    int           `json:"devices"`
+	Policy     string        `json:"policy"`
+	OfferedQPS float64       `json:"offered_qps"`
+	Report     *serve.Report `json:"report"`
+}
+
+// ServeCurve is the multi-tenant array serving experiment: throughput
+// and tail latency per tenant vs offered load × device count ×
+// scheduling policy (BENCH_servecurve.json).
+type ServeCurve struct {
+	SF       float64      `json:"sf"`
+	WindowNs int64        `json:"window_ns"`
+	Points   []ServePoint `json:"points"`
+}
+
+// OnServer, when non-nil, is invoked on every serving array the
+// servecurve experiment builds, before the window runs — the serve-
+// layer counterpart of OnSystem.
+var OnServer func(*serve.Server)
+
+// RunServeCurve sweeps the serving grid. Each point builds a fresh
+// shard-loaded array and serves one window with two tenants: "acme"
+// (TPC-H Q6, weight 2, 50ms SLO) and "bolt" (point lookup, weight 1,
+// 25ms SLO). The low load point sits inside array capacity; the high
+// one overloads it so admission control and the policies' differing
+// miss profiles show in the curve.
+func RunServeCurve(cfg Config) ServeCurve {
+	out := ServeCurve{SF: cfg.ServeSF, WindowNs: int64(cfg.ServeWindow)}
+	for _, devices := range cfg.ServeDevices {
+		for _, policy := range []string{"wfq", "edf"} {
+			for _, qps := range cfg.ServeLoads {
+				out.Points = append(out.Points, ServePoint{
+					Devices:    devices,
+					Policy:     policy,
+					OfferedQPS: qps,
+					Report:     runServePoint(cfg, devices, policy, qps),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func runServePoint(cfg Config, devices int, policy string, qps float64) *serve.Report {
+	s, err := serve.New(serve.Config{
+		SF:      cfg.ServeSF,
+		Devices: devices,
+		Policy:  policy,
+		Window:  cfg.ServeWindow,
+		Seed:    cfg.Seed,
+		Tenants: []serve.TenantConfig{
+			{Name: "acme", Workload: "q6", RateQPS: 0.4 * qps, Weight: 2, SLO: 50 * sim.Millisecond},
+			{Name: "bolt", Workload: "qpoint", RateQPS: 0.6 * qps, SLO: 25 * sim.Millisecond},
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: servecurve %d devices %s %g qps: %v", devices, policy, qps, err))
+	}
+	if OnServer != nil {
+		OnServer(s)
+	}
+	return s.Run()
+}

@@ -1,29 +1,52 @@
-// Package loadgen models StreamBench-style background system load
-// (paper §V-C): N threads continuously streaming through the host memory
-// system while a foreground workload runs. Tables IV and V sweep this
-// load from 0 to 24 threads and show Conv degrading while Biscuit stays
-// flat, because only the host-side path touches the contended memory
-// hierarchy.
+// Package loadgen drives the workloads *around* the foreground query
+// path: StreamBench-style background host load (paper §V-C) and the
+// open-loop arrival processes the serving layer (internal/serve)
+// schedules against.
 //
-// Each load thread is modeled as a permanent processor-sharing claimant
-// on the platform's shared memory bandwidth; foreground host scans get
-// capacity/(1+N) of it. Simulating the threads as individual processes
-// would flood the event queue for identical effect, so the claim is
-// analytic — this is the same substitution DESIGN.md documents for
+// StreamBench models N threads continuously streaming through the host
+// memory system while a foreground workload runs. Tables IV and V sweep
+// this load from 0 to 24 threads and show Conv degrading while Biscuit
+// stays flat, because only the host-side path touches the contended
+// memory hierarchy. Each load thread is a permanent processor-sharing
+// claimant on the platform's shared memory bandwidth; foreground host
+// scans get capacity/(1+N) of it. Simulating the threads as individual
+// processes would flood the event queue for identical effect, so the
+// claim is analytic — the same substitution DESIGN.md documents for
 // StreamBench itself (we do not have the original benchmark binary).
+//
+// On a scale-up array (biscuit.MultiSystem, Fig. 1(b)) the N devices
+// front one physical host, so the same thread count loads the host-side
+// path of every per-device platform: a Conv scan contends identically
+// no matter which shard it gathers from, while the devices' NDP engines
+// stay out of the contended hierarchy entirely.
 package loadgen
 
-import "biscuit/internal/device"
+import (
+	"biscuit"
+	"biscuit/internal/device"
+)
 
-// StreamBench is a handle on the background load applied to a platform.
+// StreamBench is a handle on the background load applied to the host
+// fronting one or more platforms.
 type StreamBench struct {
-	plat    *device.Platform
+	plats   []*device.Platform
 	threads int
 }
 
-// New creates an idle load generator for plat.
+// New creates an idle load generator for a single platform.
 func New(plat *device.Platform) *StreamBench {
-	return &StreamBench{plat: plat}
+	return &StreamBench{plats: []*device.Platform{plat}}
+}
+
+// NewMulti creates an idle load generator for the shared host of a
+// device array: every device's host-side path sees the same thread
+// count, because there is only one memory hierarchy in front of them.
+func NewMulti(ms *biscuit.MultiSystem) *StreamBench {
+	s := &StreamBench{}
+	for _, sys := range ms.Systems {
+		s.plats = append(s.plats, sys.Plat)
+	}
+	return s
 }
 
 // Threads reports the current number of load threads.
@@ -35,7 +58,9 @@ func (s *StreamBench) Start(threads int) {
 		panic("loadgen: negative thread count")
 	}
 	s.threads = threads
-	s.plat.SetHostLoad(threads)
+	for _, plat := range s.plats {
+		plat.SetHostLoad(threads)
+	}
 }
 
 // Stop removes all background load.

@@ -1,0 +1,73 @@
+package serve
+
+import "fmt"
+
+// policy picks which tenant's queue head runs next. pick returns the
+// tenant index, or -1 if nothing is dispatchable. Implementations must
+// be deterministic: ties always break toward the lower tenant index.
+type policy interface {
+	name() string
+	pick(s *Server) int
+}
+
+func newPolicy(name string) (policy, error) {
+	switch name {
+	case "", "wfq":
+		return &wfqPolicy{}, nil
+	case "edf":
+		return &edfPolicy{}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown policy %q (want wfq or edf)", name)
+}
+
+// wfqPolicy is weighted fair queueing over per-tenant virtual time:
+// each dispatch advances the tenant's virtual clock by 1/weight, and
+// the backlogged tenant with the smallest clock runs next, so over any
+// backlogged interval tenants receive service proportional to weight.
+// A tenant waking from idle rejoins at the global virtual time rather
+// than its stale clock, so idling never banks credit.
+type wfqPolicy struct{}
+
+func (*wfqPolicy) name() string { return "wfq" }
+
+func (*wfqPolicy) pick(s *Server) int {
+	best := -1
+	for i, t := range s.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if t.vt < s.virt {
+			t.vt = s.virt // catch an idle tenant up; no banked credit
+		}
+		if best < 0 || t.vt < s.tenants[best].vt {
+			best = i
+		}
+	}
+	if best >= 0 {
+		t := s.tenants[best]
+		s.virt = t.vt
+		t.vt += 1.0 / float64(t.cfg.Weight)
+	}
+	return best
+}
+
+// edfPolicy is earliest-deadline-first: the backlogged request with
+// the nearest deadline (arrival + tenant SLO) runs next. Under
+// overload EDF sheds lateness onto whoever already missed, which the
+// deadline-miss accounting makes visible per tenant.
+type edfPolicy struct{}
+
+func (*edfPolicy) name() string { return "edf" }
+
+func (*edfPolicy) pick(s *Server) int {
+	best := -1
+	for i, t := range s.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if best < 0 || t.queue[0].deadline < s.tenants[best].queue[0].deadline {
+			best = i
+		}
+	}
+	return best
+}

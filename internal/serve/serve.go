@@ -1,0 +1,495 @@
+// Package serve is the host-side serving layer over an SSD array: it
+// shards the TPC-H catalog across the devices of a biscuit.MultiSystem
+// (the paper's Fig. 1(b) scale-up organization), accepts queries from
+// multiple tenants via open-loop arrival processes, and schedules them
+// through admission control plus a pluggable policy — weighted fair
+// queueing over per-tenant virtual time, or earliest-deadline-first
+// against per-tenant SLOs.
+//
+// One logical query scatters over the tenant's device subset (one
+// simulated host thread per shard), runs the workload's per-shard
+// partial plan — NDP where the offload planner accepts, with the
+// per-shard NDP→Conv fault fallback degrading only that shard — and
+// gathers/merges partial aggregates on the host (db.ShardedAggPlan).
+//
+// Everything is deterministic per seed: arrivals pre-draw from
+// biscuit.SeededRand, the scheduler breaks ties by tenant index, and
+// per-tenant FNV row digests plus a dispatch-order digest pin the whole
+// serving window's output for the bench gate.
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"biscuit"
+	"biscuit/internal/db"
+	"biscuit/internal/loadgen"
+	"biscuit/internal/sim"
+	"biscuit/internal/stats"
+	"biscuit/internal/tpch"
+	"biscuit/internal/trace"
+)
+
+// DefaultSLO is the per-query deadline when a tenant does not set one.
+const DefaultSLO = 250 * sim.Millisecond
+
+// DefaultQueueCap bounds each tenant's admission queue.
+const DefaultQueueCap = 32
+
+// TenantConfig describes one tenant of the serving window.
+type TenantConfig struct {
+	// Name labels the tenant's counters ("tenant.<name>."), histograms
+	// and trace track ("tenant/<name>").
+	Name string
+	// Workload names a built-in query plan: "q6", "q1" or "qpoint".
+	Workload string
+	// RateQPS is the open-loop offered arrival rate in queries per
+	// simulated second.
+	RateQPS float64
+	// Deterministic spaces arrivals exactly 1/RateQPS apart instead of
+	// drawing Poisson interarrivals.
+	Deterministic bool
+	// Weight is the WFQ share (default 1).
+	Weight int
+	// SLO is the per-query deadline measured from arrival (default
+	// DefaultSLO). EDF schedules against it; both policies count
+	// completions past it as deadline misses.
+	SLO sim.Time
+	// QueueCap bounds the admission queue; arrivals beyond it are
+	// rejected (default DefaultQueueCap).
+	QueueCap int
+	// Devices pins the tenant to a shard subset (default: all devices).
+	// A tenant's queries touch only its shards, so a fault plan on one
+	// device degrades exactly the tenants placed on it.
+	Devices []int
+}
+
+// Config describes one serving window.
+type Config struct {
+	// SF is the TPC-H scale factor shard-loaded across the array.
+	SF float64
+	// Devices is the array width.
+	Devices int
+	// Tenants is the tenant mix (at least one).
+	Tenants []TenantConfig
+	// Policy selects the scheduler: "wfq" (default) or "edf".
+	Policy string
+	// Window is the arrival window; the server drains all admitted
+	// queries after it closes.
+	Window sim.Time
+	// MaxInFlight bounds concurrently dispatched queries (default
+	// 2×Devices).
+	MaxInFlight int
+	// Seed drives arrivals, data generation and per-shard planner
+	// sampling.
+	Seed int64
+	// Base optionally overrides the device/platform config (default
+	// biscuit.DefaultConfig with a small NAND array).
+	Base *biscuit.Config
+	// PerDevice optionally rewrites the config per device — fault plans
+	// on a shard subset in particular.
+	PerDevice func(i int, cfg biscuit.Config) biscuit.Config
+}
+
+// Server is a built array with shard-loaded data, ready to Run one
+// serving window.
+type Server struct {
+	Cfg   Config
+	MS    *biscuit.MultiSystem
+	DBs   []*db.Database
+	Datas []*tpch.Data
+	Ctrs  *stats.Counters
+	Hists *stats.Histograms
+
+	tr      *trace.Tracer
+	schedTk trace.TrackID
+	tenants []*tenant
+	policy  policy
+
+	// dispatcher state
+	wake      *sim.Event
+	inFlight  int
+	completed int
+	rejected  int
+	total     int
+	virt      float64 // WFQ global virtual time
+
+	dispatchHash hash64
+	dispatchSeq  []string // per-dispatch "tenant:seq", for determinism tests
+}
+
+// hash64 is the running FNV-1a digest the reports embed.
+type hash64 struct{ h uint64 }
+
+func newHash64() hash64 { return hash64{h: 14695981039346656037} }
+func (d *hash64) write(s string) {
+	for i := 0; i < len(s); i++ {
+		d.h ^= uint64(s[i])
+		d.h *= 1099511628211
+	}
+	d.h ^= 0xff // record separator
+	d.h *= 1099511628211
+}
+
+type request struct {
+	t        *tenant
+	seq      int
+	arrive   sim.Time
+	deadline sim.Time
+	span     trace.Span
+}
+
+type tenant struct {
+	cfg      TenantConfig
+	idx      int
+	wl       *workload
+	devices  []int
+	arrivals []sim.Time
+
+	queue []*request // admitted, FIFO per tenant
+	vt    float64    // WFQ per-tenant virtual time
+
+	ctrs  *stats.PrefixedCounters
+	lat   *stats.Histogram
+	track trace.TrackID
+	rows  hash64
+
+	admitted, rejected, completed, misses int
+}
+
+// New builds the array and shard-loads the catalog. The returned
+// server holds fresh stats registries; call SetTracer before Run to
+// record a trace.
+func New(cfg Config) (*Server, error) {
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("serve: need at least one device, got %d", cfg.Devices)
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: need at least one tenant")
+	}
+	base := defaultBase()
+	if cfg.Base != nil {
+		base = *cfg.Base
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * cfg.Devices
+	}
+	pol, err := newPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		Cfg:    cfg,
+		MS:     biscuit.NewMultiSystemConfigs(base, cfg.Devices, cfg.PerDevice),
+		Ctrs:   stats.NewCounters(),
+		Hists:  stats.NewHistograms(),
+		policy: pol,
+	}
+	s.DBs = make([]*db.Database, cfg.Devices)
+	for i, sys := range s.MS.Systems {
+		s.DBs[i] = db.Open(sys)
+	}
+	var loadErr error
+	s.MS.Run(func(h *biscuit.MultiHost) {
+		hosts := make([]*biscuit.Host, cfg.Devices)
+		for i := range hosts {
+			hosts[i] = h.Unit(i)
+		}
+		s.Datas, loadErr = tpch.Gen{SF: cfg.SF}.LoadShards(hosts, s.DBs, biscuit.SeededRand(cfg.Seed))
+	})
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	if err := s.buildTenants(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func defaultBase() biscuit.Config {
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 256
+	cfg.NAND.PagesPerBlock = 64
+	return cfg
+}
+
+func (s *Server) buildTenants() error {
+	for ti := range s.Cfg.Tenants {
+		tc := s.Cfg.Tenants[ti]
+		if tc.Name == "" {
+			return fmt.Errorf("serve: tenant %d has no name", ti)
+		}
+		if tc.RateQPS <= 0 {
+			return fmt.Errorf("serve: tenant %s needs RateQPS > 0", tc.Name)
+		}
+		if tc.Weight <= 0 {
+			tc.Weight = 1
+		}
+		if tc.SLO <= 0 {
+			tc.SLO = DefaultSLO
+		}
+		if tc.QueueCap <= 0 {
+			tc.QueueCap = DefaultQueueCap
+		}
+		devs := tc.Devices
+		if len(devs) == 0 {
+			devs = make([]int, s.Cfg.Devices)
+			for i := range devs {
+				devs[i] = i
+			}
+		}
+		for _, d := range devs {
+			if d < 0 || d >= s.Cfg.Devices {
+				return fmt.Errorf("serve: tenant %s pinned to device %d of %d", tc.Name, d, s.Cfg.Devices)
+			}
+		}
+		wl, err := newWorkload(tc.Workload, s.Datas[0])
+		if err != nil {
+			return fmt.Errorf("serve: tenant %s: %w", tc.Name, err)
+		}
+		t := &tenant{
+			cfg:     tc,
+			idx:     ti,
+			wl:      wl,
+			devices: devs,
+			ctrs:    s.Ctrs.Prefixed("tenant." + tc.Name + "."),
+			lat:     s.Hists.H("tenant." + tc.Name + ".sojourn_ns"),
+			rows:    newHash64(),
+		}
+		t.arrivals = loadgen.Arrivals(
+			loadgen.ArrivalSpec{RateQPS: tc.RateQPS, Deterministic: tc.Deterministic},
+			s.Cfg.Window, tenantRand(s.Cfg.Seed, ti))
+		s.tenants = append(s.tenants, t)
+		s.total += len(t.arrivals)
+	}
+	return nil
+}
+
+// tenantRand derives an independent deterministic stream per tenant.
+func tenantRand(seed int64, idx int) *rand.Rand {
+	return biscuit.SeededRand(seed*1000003 + int64(idx+1)*7919)
+}
+
+// SetTracer records the serving window into tr: every device traces
+// under its "ssd<i>/" namespace, each tenant gets a "tenant/<name>"
+// track of arrival→completion spans, and the scheduler dispatches on
+// "serve/sched" — one Perfetto export, all tenants interleaved.
+func (s *Server) SetTracer(tr *trace.Tracer) {
+	s.tr = tr
+	s.MS.SetTracer(tr)
+	s.schedTk = tr.Track("serve/sched")
+	for _, t := range s.tenants {
+		t.track = tr.Track("tenant/" + t.cfg.Name)
+	}
+}
+
+// Run executes the serving window to drain and reports it. Run
+// consumes the server: build a fresh one per window.
+func (s *Server) Run() *Report {
+	s.dispatchHash = newHash64()
+	took := s.MS.Run(func(h *biscuit.MultiHost) {
+		s.wake = h.Proc().Env().NewEvent()
+		for _, t := range s.tenants {
+			s.spawnArrivals(h, t)
+		}
+		s.dispatchLoop(h)
+	})
+	return s.report(took)
+}
+
+// spawnArrivals runs one tenant's open-loop arrival process: sleep to
+// each pre-drawn arrival, admit or reject, and nudge the dispatcher.
+func (s *Server) spawnArrivals(h *biscuit.MultiHost, t *tenant) {
+	h.Go("arrive."+t.cfg.Name, func(h2 *biscuit.MultiHost) {
+		p := h2.Proc()
+		for seq, at := range t.arrivals {
+			if d := at - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			if len(t.queue) >= t.cfg.QueueCap {
+				t.rejected++
+				s.rejected++
+				t.ctrs.Add("rejected", 1)
+				s.tr.Instant(t.track, "reject").Arg("seq", int64(seq))
+			} else {
+				req := &request{t: t, seq: seq, arrive: p.Now(), deadline: p.Now() + t.cfg.SLO}
+				req.span = s.tr.BeginAsync(t.track, t.wl.name).Arg("seq", int64(seq))
+				t.queue = append(t.queue, req)
+				t.admitted++
+				t.ctrs.Add("admitted", 1)
+			}
+			s.wake.Fire()
+		}
+	})
+}
+
+// dispatchLoop is the scheduler: while work remains, fill service
+// slots by policy, then sleep until an arrival or completion.
+func (s *Server) dispatchLoop(h *biscuit.MultiHost) {
+	p := h.Proc()
+	for s.completed+s.rejected < s.total {
+		for s.inFlight < s.Cfg.MaxInFlight {
+			ti := s.policy.pick(s)
+			if ti < 0 {
+				break
+			}
+			t := s.tenants[ti]
+			req := t.queue[0]
+			t.queue = t.queue[1:]
+			s.dispatch(h, req)
+		}
+		if s.completed+s.rejected >= s.total {
+			break
+		}
+		s.wake = p.Env().NewEvent()
+		p.Wait(s.wake)
+	}
+}
+
+// dispatch starts one admitted query on its own host thread.
+func (s *Server) dispatch(h *biscuit.MultiHost, req *request) {
+	t := req.t
+	s.inFlight++
+	tag := fmt.Sprintf("%s:%d", t.cfg.Name, req.seq)
+	s.dispatchHash.write(tag)
+	s.dispatchSeq = append(s.dispatchSeq, tag)
+	s.tr.Instant(s.schedTk, "dispatch").ArgStr("tenant", t.cfg.Name).Arg("seq", int64(req.seq))
+	h.Go(fmt.Sprintf("q.%s.%d", t.cfg.Name, req.seq), func(h2 *biscuit.MultiHost) {
+		rows, err := s.runQuery(h2, req)
+		now := h2.Now()
+		t.completed++
+		s.completed++
+		t.ctrs.Add("completed", 1)
+		if err != nil {
+			t.ctrs.Add("errors", 1)
+			t.rows.write("error:" + err.Error())
+		} else {
+			t.ctrs.Add("rows", int64(len(rows)))
+			for _, r := range rows {
+				for _, v := range r {
+					t.rows.write(v.String())
+				}
+			}
+		}
+		if now > req.deadline {
+			t.misses++
+			t.ctrs.Add("deadline_miss", 1)
+		}
+		t.lat.Record(int64(now - req.arrive))
+		req.span.End()
+		s.inFlight--
+		s.wake.Fire()
+	})
+}
+
+// runQuery scatters the workload's per-shard plan over the tenant's
+// device subset, one host thread per shard, and merges the partials.
+// A shard whose NDP path faults falls back to Conv inside NDPScan —
+// only that shard degrades; a shard that fails outright contributes an
+// error without sinking the other shards' work.
+func (s *Server) runQuery(h *biscuit.MultiHost, req *request) ([]db.Row, error) {
+	t := req.t
+	partials := make([][]db.Row, len(t.devices))
+	errs := make([]error, len(t.devices))
+	if len(t.devices) == 1 {
+		dev := t.devices[0]
+		partials[0], errs[0] = s.runShard(h, req, dev)
+	} else {
+		evs := make([]*sim.Event, len(t.devices))
+		for k, dev := range t.devices {
+			k, dev := k, dev
+			evs[k] = h.Go(fmt.Sprintf("q.%s.%d.s%d", t.cfg.Name, req.seq, dev), func(h3 *biscuit.MultiHost) {
+				partials[k], errs[k] = s.runShard(h3, req, dev)
+			})
+		}
+		h.Proc().WaitAll(evs...)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t.wl.merge(partials), nil
+}
+
+// runShard executes the per-shard partial plan on device dev. The
+// planner probe re-samples per request with a stream derived from
+// (seed, tenant, seq, shard) so planning stays reproducible under any
+// interleaving.
+func (s *Server) runShard(h *biscuit.MultiHost, req *request, dev int) ([]db.Row, error) {
+	ex := db.NewExec(h.Unit(dev), s.DBs[dev])
+	rng := biscuit.SeededRand(s.Cfg.Seed ^ int64(req.t.idx+1)<<40 ^ int64(req.seq+1)<<8 ^ int64(dev+1))
+	return req.t.wl.runShard(ex, s.Datas[dev], rng)
+}
+
+// TenantReport is one tenant's serving-window outcome. All fields are
+// deterministic per seed.
+type TenantReport struct {
+	Name           string               `json:"name"`
+	Workload       string               `json:"workload"`
+	Weight         int                  `json:"weight"`
+	OfferedQPS     float64              `json:"offered_qps"`
+	Offered        int                  `json:"offered"`
+	Admitted       int                  `json:"admitted"`
+	Rejected       int                  `json:"rejected"`
+	Completed      int                  `json:"completed"`
+	DeadlineMisses int                  `json:"deadline_misses"`
+	SLONs          int64                `json:"slo_ns"`
+	Lat            stats.LatencySummary `json:"lat"`
+	ThroughputQPS  float64              `json:"throughput_qps"`
+	RowDigest      uint64               `json:"row_digest"`
+}
+
+// Report is the outcome of one serving window.
+type Report struct {
+	Policy           string         `json:"policy"`
+	Devices          int            `json:"devices"`
+	DurationNs       int64          `json:"sim_duration_ns"`
+	Completed        int            `json:"completed"`
+	Rejected         int            `json:"rejected"`
+	AggThroughputQPS float64        `json:"agg_throughput_qps"`
+	DispatchDigest   uint64         `json:"dispatch_digest"`
+	Tenants          []TenantReport `json:"tenants"`
+
+	// DispatchOrder lists every dispatch as "tenant:seq" in scheduling
+	// order — the determinism tests' ground truth (not exported to
+	// bench JSON; the digest stands in for it there).
+	DispatchOrder []string `json:"-"`
+}
+
+func (s *Server) report(took sim.Time) *Report {
+	rep := &Report{
+		Policy:         s.policy.name(),
+		Devices:        s.Cfg.Devices,
+		DurationNs:     int64(took),
+		Completed:      s.completed,
+		Rejected:       s.rejected,
+		DispatchDigest: s.dispatchHash.h,
+		DispatchOrder:  s.dispatchSeq,
+	}
+	if took > 0 {
+		rep.AggThroughputQPS = float64(s.completed) / took.Seconds()
+	}
+	for _, t := range s.tenants {
+		tr := TenantReport{
+			Name:           t.cfg.Name,
+			Workload:       t.cfg.Workload,
+			Weight:         t.cfg.Weight,
+			OfferedQPS:     t.cfg.RateQPS,
+			Offered:        len(t.arrivals),
+			Admitted:       t.admitted,
+			Rejected:       t.rejected,
+			Completed:      t.completed,
+			DeadlineMisses: t.misses,
+			SLONs:          int64(t.cfg.SLO),
+			Lat:            t.lat.Summary(),
+			RowDigest:      t.rows.h,
+		}
+		if took > 0 {
+			tr.ThroughputQPS = float64(t.completed) / took.Seconds()
+		}
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	return rep
+}

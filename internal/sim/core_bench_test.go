@@ -75,3 +75,40 @@ func BenchmarkSimCoreRef(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkProcWake pins the goroutine-handoff cost of one Proc
+// park/resume cycle — the two channel operations (handoff send, resume
+// receive) every process suspension pays. This is the floor under all
+// process-level simulation throughput, so the next sim-core
+// optimization (fiber-style switching, batched wakes) has a committed
+// baseline to beat.
+//
+// yield: pure handoff — wake at the current instant, park, resume.
+// Nothing but the scheduler round-trip; must be 0 allocs/op.
+//
+// sleep: the same round-trip through the timer path — scheduleWake at
+// a future instant plus the queue push/pop; must be 0 allocs/op.
+func BenchmarkProcWake(b *testing.B) {
+	b.Run("yield", func(b *testing.B) {
+		e := NewEnv()
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Spawn("yielder", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Yield()
+			}
+		})
+		e.Run()
+	})
+	b.Run("sleep", func(b *testing.B) {
+		e := NewEnv()
+		b.ReportAllocs()
+		b.ResetTimer()
+		e.Spawn("sleeper", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(1)
+			}
+		})
+		e.Run()
+	})
+}

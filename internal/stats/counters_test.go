@@ -59,3 +59,30 @@ func TestCountersSnapshotStable(t *testing.T) {
 		t.Fatal("mutating a snapshot wrote through to the registry")
 	}
 }
+
+func TestPrefixedCounters(t *testing.T) {
+	c := NewCounters()
+	tenant := c.Prefixed("tenant.acme.")
+	tenant.Add("completed", 2)
+	tenant.Prefixed("q6.").Add("rows", 5)
+	if got := c.Get("tenant.acme.completed"); got != 2 {
+		t.Fatalf("prefixed add landed at %d, want 2", got)
+	}
+	if got := tenant.Get("completed"); got != 2 {
+		t.Fatalf("prefixed get = %d, want 2", got)
+	}
+	if got := c.Get("tenant.acme.q6.rows"); got != 5 {
+		t.Fatalf("nested prefix add landed at %d, want 5", got)
+	}
+	var nilC *Counters
+	v := nilC.Prefixed("x.")
+	v.Add("y", 1) // must not panic
+	if v.Get("y") != 0 {
+		t.Fatal("view of nil registry must read 0")
+	}
+	var nilView *PrefixedCounters
+	nilView.Add("z", 1)
+	if nilView.Get("z") != 0 || nilView.Prefixed("w.").Get("z") != 0 {
+		t.Fatal("nil view must be inert")
+	}
+}

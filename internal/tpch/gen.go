@@ -191,47 +191,84 @@ func phone(rng *rand.Rand, nation int) string {
 	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nation, 100+rng.Intn(900), 100+rng.Intn(900), 1000+rng.Intn(9000))
 }
 
+// rowSink is the destination of one generated table. The generator
+// writes every table through exactly one sink, so the same generation
+// pass can feed a single database (db.Loader satisfies the interface)
+// or an N-way shard router (see LoadShards) without disturbing the rng
+// draw order that fixes table contents.
+type rowSink interface {
+	Add(db.Row) error
+	Close() error
+}
+
+// sinkMaker opens the sink for one named table.
+type sinkMaker func(name string, sch *db.Schema, batchPages int) (rowSink, error)
+
 // Load generates all eight tables at g.SF into d. The caller injects
 // the seeded rng, so table contents are a pure function of
 // (SF, rng state) — see TestLoadDeterministic.
 func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error) {
-	out := &Data{DB: d}
-
-	// region
-	lr, err := d.NewLoader(h, "region", RegionSchema, 4)
-	if err != nil {
+	mk := func(name string, sch *db.Schema, batchPages int) (rowSink, error) {
+		return d.NewLoader(h, name, sch, batchPages)
+	}
+	if err := g.generate(mk, rng); err != nil {
 		return nil, err
+	}
+	return tablesOf(d), nil
+}
+
+// tablesOf resolves the eight loaded tables of d into a Data catalog.
+func tablesOf(d *db.Database) *Data {
+	return &Data{
+		DB:       d,
+		Region:   d.Table("region"),
+		Nation:   d.Table("nation"),
+		Supplier: d.Table("supplier"),
+		Customer: d.Table("customer"),
+		Part:     d.Table("part"),
+		PartSupp: d.Table("partsupp"),
+		Orders:   d.Table("orders"),
+		Lineitem: d.Table("lineitem"),
+	}
+}
+
+// generate is the single generation pass behind Load and LoadShards:
+// all rng draws happen here, in a fixed order independent of where the
+// rows land.
+func (g Gen) generate(mk sinkMaker, rng *rand.Rand) error {
+	// region
+	lr, err := mk("region", RegionSchema, 4)
+	if err != nil {
+		return err
 	}
 	for i, r := range regions {
 		if err := lr.Add(db.Row{db.Int(int64(i)), db.Str(r), db.Str(comment(rng, 4))}); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := lr.Close(); err != nil {
-		return nil, err
+		return err
 	}
-	out.Region = d.Table("region")
 
 	// nation
-	ln, err := d.NewLoader(h, "nation", NationSchema, 4)
+	ln, err := mk("nation", NationSchema, 4)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i, n := range nations {
 		if err := ln.Add(db.Row{db.Int(int64(i)), db.Str(n.name), db.Int(int64(n.region)), db.Str(comment(rng, 4))}); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := ln.Close(); err != nil {
-		return nil, err
+		return err
 	}
-	out.Nation = d.Table("nation")
 
 	// supplier
 	nSupp := scaled(10000, g.SF, 20)
-	ls, err := d.NewLoader(h, "supplier", SupplierSchema, 16)
+	ls, err := mk("supplier", SupplierSchema, 16)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := 0; i < nSupp; i++ {
 		nat := rng.Intn(25)
@@ -248,19 +285,18 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 			db.Dec(int64(rng.Intn(2000000) - 100000)),
 			db.Str(cmt),
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := ls.Close(); err != nil {
-		return nil, err
+		return err
 	}
-	out.Supplier = d.Table("supplier")
 
 	// part
 	nPart := scaled(200000, g.SF, 200)
-	lp, err := d.NewLoader(h, "part", PartSchema, 32)
+	lp, err := mk("part", PartSchema, 32)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := 0; i < nPart; i++ {
 		name := colors[rng.Intn(len(colors))] + " " + colors[rng.Intn(len(colors))] + " " +
@@ -278,18 +314,17 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 			db.Dec(int64(90000 + (i%200)*10 + rng.Intn(1000))),
 			db.Str(comment(rng, 3)),
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := lp.Close(); err != nil {
-		return nil, err
+		return err
 	}
-	out.Part = d.Table("part")
 
 	// partsupp: 4 suppliers per part
-	lps, err := d.NewLoader(h, "partsupp", PartSuppSchema, 32)
+	lps, err := mk("partsupp", PartSuppSchema, 32)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := 0; i < nPart; i++ {
 		for j := 0; j < 4; j++ {
@@ -301,20 +336,19 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 				db.Dec(int64(100 + rng.Intn(99900))),
 				db.Str(comment(rng, 6)),
 			}); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 	if err := lps.Close(); err != nil {
-		return nil, err
+		return err
 	}
-	out.PartSupp = d.Table("partsupp")
 
 	// customer
 	nCust := scaled(150000, g.SF, 150)
-	lc, err := d.NewLoader(h, "customer", CustomerSchema, 32)
+	lc, err := mk("customer", CustomerSchema, 32)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := 0; i < nCust; i++ {
 		nat := rng.Intn(25)
@@ -328,25 +362,24 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 			db.Str(segments[rng.Intn(5)]),
 			db.Str(comment(rng, 6)),
 		}); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if err := lc.Close(); err != nil {
-		return nil, err
+		return err
 	}
-	out.Customer = d.Table("customer")
 
 	// orders + lineitem, generated in o_orderdate order (time-ordered
 	// fact load; see package comment).
 	nOrders := scaled(1500000, g.SF, 1500)
 	totalDays := endDate.I - startDate.I
-	lo, err := d.NewLoader(h, "orders", OrdersSchema, 64)
+	lo, err := mk("orders", OrdersSchema, 64)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	ll, err := d.NewLoader(h, "lineitem", LineitemSchema, 64)
+	ll, err := mk("lineitem", LineitemSchema, 64)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := 0; i < nOrders; i++ {
 		okey := int64(i + 1)
@@ -419,21 +452,16 @@ func (g Gen) Load(h *biscuit.Host, d *db.Database, rng *rand.Rand) (*Data, error
 			db.Int(0),
 			db.Str(ocmt),
 		}); err != nil {
-			return nil, err
+			return err
 		}
 		for _, r := range rows {
 			if err := ll.Add(r); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 	if err := lo.Close(); err != nil {
-		return nil, err
+		return err
 	}
-	if err := ll.Close(); err != nil {
-		return nil, err
-	}
-	out.Orders = d.Table("orders")
-	out.Lineitem = d.Table("lineitem")
-	return out, nil
+	return ll.Close()
 }

@@ -1,0 +1,91 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"biscuit"
+	"biscuit/internal/db"
+)
+
+// LoadShards generates the catalog once and routes it across one
+// database per device of an array: dimension tables (region, nation,
+// supplier, customer, part, partsupp) are replicated to every shard so
+// joins stay local, while the two fact tables (orders, lineitem) are
+// co-partitioned by orderkey%N so each order's lineitems land on the
+// same shard. hosts[i] must be a host view of the device backing
+// dbs[i] (e.g. MultiHost.Unit(i)).
+//
+// The generation pass and rng draw order are identical to Load, so the
+// union of the shards is exactly the single-database catalog and a
+// 1-way LoadShards equals Load byte for byte.
+func (g Gen) LoadShards(hosts []*biscuit.Host, dbs []*db.Database, rng *rand.Rand) ([]*Data, error) {
+	if len(dbs) == 0 || len(hosts) != len(dbs) {
+		return nil, fmt.Errorf("tpch: LoadShards needs one host per database, got %d hosts / %d dbs", len(hosts), len(dbs))
+	}
+	mk := func(name string, sch *db.Schema, batchPages int) (rowSink, error) {
+		ws := make([]*db.Loader, len(dbs))
+		for i := range dbs {
+			w, err := dbs[i].NewLoader(hosts[i], name, sch, batchPages)
+			if err != nil {
+				return nil, err
+			}
+			ws[i] = w
+		}
+		if name == "orders" || name == "lineitem" {
+			return &partitionSink{ws: ws}, nil
+		}
+		return &broadcastSink{ws: ws}, nil
+	}
+	if err := g.generate(mk, rng); err != nil {
+		return nil, err
+	}
+	out := make([]*Data, len(dbs))
+	for i, d := range dbs {
+		out[i] = tablesOf(d)
+	}
+	return out, nil
+}
+
+// broadcastSink replicates every row to all shards (dimension tables).
+type broadcastSink struct {
+	ws []*db.Loader
+}
+
+func (s *broadcastSink) Add(r db.Row) error {
+	for _, w := range s.ws {
+		if err := w.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *broadcastSink) Close() error {
+	for _, w := range s.ws {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partitionSink hashes each row to one shard by its leading key column
+// (o_orderkey / l_orderkey — both tables carry it at index 0, which is
+// what co-partitions an order with its lineitems).
+type partitionSink struct {
+	ws []*db.Loader
+}
+
+func (s *partitionSink) Add(r db.Row) error {
+	return s.ws[r[0].I%int64(len(s.ws))].Add(r)
+}
+
+func (s *partitionSink) Close() error {
+	for _, w := range s.ws {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -32,8 +32,10 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	}
 
 	// Track metadata: names and a sort index pinning viewer order to
-	// registration order.
-	for i, name := range t.tracks {
+	// registration order. Export always walks the shared state, so a
+	// Namespace view exports the whole trace, not just its own slice.
+	st := t.st
+	for i, name := range st.tracks {
 		sep()
 		b.WriteString("{\"ph\":\"M\",\"pid\":1,\"tid\":")
 		b.WriteString(strconv.Itoa(i + 1))
@@ -48,11 +50,11 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		b.WriteString("}}")
 	}
 
-	now := t.env.Now()
+	now := st.env.Now()
 	var openOrder []uint64        // unmatched 'b' ids, in emission order
-	openTrack := map[uint64]int{} // id -> index into t.events of its 'b'
-	for i := range t.events {
-		ev := &t.events[i]
+	openTrack := map[uint64]int{} // id -> index into st.events of its 'b'
+	for i := range st.events {
+		ev := &st.events[i]
 		switch ev.phase {
 		case 'b':
 			openTrack[ev.id] = i
@@ -69,7 +71,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		if !open {
 			continue
 		}
-		ev := t.events[i]
+		ev := st.events[i]
 		closer := event{name: ev.name, phase: 'e', track: ev.track, ts: now, id: ev.id}
 		sep()
 		t.writeEvent(b, &closer, now)

@@ -46,10 +46,10 @@ type event struct {
 	args  []arg
 }
 
-// Tracer accumulates trace events against a sim.Env clock. The zero
-// value is not usable; construct with New. A nil *Tracer is the
-// "tracing disabled" sink: every method no-ops.
-type Tracer struct {
+// state is the event log shared by a root Tracer and every Namespace
+// view derived from it: one clock, one track registry, one event
+// stream, so a multi-device run exports a single interleaved trace.
+type state struct {
 	env    *sim.Env
 	tracks []string           // registration order == export order
 	lookup map[string]TrackID // name -> index into tracks (lookup only)
@@ -57,25 +57,54 @@ type Tracer struct {
 	nextID uint64 // async span id allocator
 }
 
+// Tracer accumulates trace events against a sim.Env clock. The zero
+// value is not usable; construct with New. A nil *Tracer is the
+// "tracing disabled" sink: every method no-ops.
+//
+// A Tracer is a view onto a shared event log: Namespace derives views
+// that prefix track names (e.g. "ssd1/"), which is how an N-device
+// array records all devices — and all tenants — into one export.
+type Tracer struct {
+	st     *state
+	prefix string // prepended to every track name registered via this view
+}
+
 // New returns an empty tracer clocked by env.
 func New(env *sim.Env) *Tracer {
-	return &Tracer{env: env, lookup: map[string]TrackID{}}
+	return &Tracer{st: &state{env: env, lookup: map[string]TrackID{}}}
+}
+
+// Namespace returns a view of the same tracer whose track names are
+// prefixed with prefix (conventionally ending in "/", e.g. "ssd2/").
+// The view shares the clock, track registry and event log, so events
+// from every namespace interleave in one export. Namespace of a nil
+// tracer is nil; prefixes nest by concatenation.
+func (t *Tracer) Namespace(prefix string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{st: t.st, prefix: t.prefix + prefix}
 }
 
 // Track returns the id for the named track, registering it on first
 // use. Registration order fixes the exported thread_sort_index, so
 // components should register tracks at construction time when possible
-// to keep related tracks adjacent in the viewer.
+// to keep related tracks adjacent in the viewer. The view's namespace
+// prefix is applied to name before registration.
 func (t *Tracer) Track(name string) TrackID {
 	if t == nil {
 		return 0
 	}
-	if id, ok := t.lookup[name]; ok {
+	if t.prefix != "" {
+		name = t.prefix + name
+	}
+	st := t.st
+	if id, ok := st.lookup[name]; ok {
 		return id
 	}
-	id := TrackID(len(t.tracks))
-	t.tracks = append(t.tracks, name)
-	t.lookup[name] = id
+	id := TrackID(len(st.tracks))
+	st.tracks = append(st.tracks, name)
+	st.lookup[name] = id
 	return id
 }
 
@@ -84,7 +113,7 @@ func (t *Tracer) Now() sim.Time {
 	if t == nil {
 		return 0
 	}
-	return t.env.Now()
+	return t.st.env.Now()
 }
 
 // Span is a handle to one in-flight span (or instant, for attaching
@@ -103,8 +132,9 @@ func (t *Tracer) Begin(tk TrackID, name string) Span {
 	if t == nil {
 		return Span{}
 	}
-	idx := int32(len(t.events))
-	t.events = append(t.events, event{name: name, phase: 'X', track: tk, ts: t.env.Now(), dur: -1})
+	st := t.st
+	idx := int32(len(st.events))
+	st.events = append(st.events, event{name: name, phase: 'X', track: tk, ts: st.env.Now(), dur: -1})
 	return Span{t: t, idx: idx}
 }
 
@@ -114,9 +144,10 @@ func (t *Tracer) BeginAsync(tk TrackID, name string) Span {
 	if t == nil {
 		return Span{}
 	}
-	t.nextID++
-	idx := int32(len(t.events))
-	t.events = append(t.events, event{name: name, phase: 'b', track: tk, ts: t.env.Now(), id: t.nextID})
+	st := t.st
+	st.nextID++
+	idx := int32(len(st.events))
+	st.events = append(st.events, event{name: name, phase: 'b', track: tk, ts: st.env.Now(), id: st.nextID})
 	return Span{t: t, idx: idx}
 }
 
@@ -126,8 +157,9 @@ func (t *Tracer) Instant(tk TrackID, name string) Span {
 	if t == nil {
 		return Span{}
 	}
-	idx := int32(len(t.events))
-	t.events = append(t.events, event{name: name, phase: 'i', track: tk, ts: t.env.Now()})
+	st := t.st
+	idx := int32(len(st.events))
+	st.events = append(st.events, event{name: name, phase: 'i', track: tk, ts: st.env.Now()})
 	return Span{t: t, idx: idx}
 }
 
@@ -136,7 +168,7 @@ func (s Span) Arg(key string, v int64) Span {
 	if s.t == nil {
 		return s
 	}
-	ev := &s.t.events[s.idx]
+	ev := &s.t.st.events[s.idx]
 	ev.args = append(ev.args, arg{key: key, num: v})
 	return s
 }
@@ -146,7 +178,7 @@ func (s Span) ArgStr(key, v string) Span {
 	if s.t == nil {
 		return s
 	}
-	ev := &s.t.events[s.idx]
+	ev := &s.t.st.events[s.idx]
 	ev.args = append(ev.args, arg{key: key, str: v, isStr: true})
 	return s
 }
@@ -158,12 +190,13 @@ func (s Span) End() {
 	if s.t == nil {
 		return
 	}
-	ev := s.t.events[s.idx]
+	st := s.t.st
+	ev := st.events[s.idx]
 	switch ev.phase {
 	case 'X':
-		s.t.events[s.idx].dur = s.t.env.Now() - ev.ts
+		st.events[s.idx].dur = st.env.Now() - ev.ts
 	case 'b':
-		s.t.events = append(s.t.events, event{name: ev.name, phase: 'e', track: ev.track, ts: s.t.env.Now(), id: ev.id})
+		st.events = append(st.events, event{name: ev.name, phase: 'e', track: ev.track, ts: st.env.Now(), id: ev.id})
 	}
 }
 
@@ -172,7 +205,7 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.events)
+	return len(t.st.events)
 }
 
 // AttachSched routes the sim scheduler's structured dispatch events
@@ -184,7 +217,7 @@ func (t *Tracer) AttachSched() {
 		return
 	}
 	tk := t.Track("sim/sched")
-	t.env.SetSchedHook(func(ev sim.SchedEvent) {
+	t.st.env.SetSchedHook(func(ev sim.SchedEvent) {
 		t.Instant(tk, "dispatch").Arg("seq", int64(ev.Seq))
 	})
 }

@@ -218,3 +218,53 @@ func TestSpanDisabledZeroAllocs(t *testing.T) {
 		t.Fatalf("disabled span path allocates %v allocs/op, want 0", allocs)
 	}
 }
+
+func TestNamespaceSharesStateAndPrefixesTracks(t *testing.T) {
+	env := sim.NewEnv()
+	tr := New(env)
+	host := tr.Track("host/db")
+	ssd0 := tr.Namespace("ssd0/")
+	ssd1 := tr.Namespace("ssd1/")
+	d0 := ssd0.Track("dev/internal")
+	d1 := ssd1.Track("dev/internal")
+	if d0 == d1 {
+		t.Fatal("namespaced tracks must not collide")
+	}
+	// Same name through the same view resolves to the same track.
+	if again := ssd0.Track("dev/internal"); again != d0 {
+		t.Fatalf("re-registration changed id: %d != %d", again, d0)
+	}
+	// Nesting concatenates prefixes.
+	tenant := tr.Namespace("tenant/").Namespace("acme/")
+	tenant.Instant(tenant.Track("q"), "arrive")
+	env.Spawn("p", func(p *sim.Proc) {
+		s := ssd0.Begin(d0, "read")
+		tr.Instant(host, "plan")
+		p.Sleep(sim.Microsecond)
+		s.End()
+		ssd1.Instant(d1, "read")
+	})
+	env.Run()
+	if tr.Len() != ssd0.Len() || tr.Len() != 4 {
+		t.Fatalf("views must share one event log: root %d, view %d", tr.Len(), ssd0.Len())
+	}
+	var buf bytes.Buffer
+	if err := ssd1.WriteJSON(&buf); err != nil { // any view exports the whole trace
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"host/db", "ssd0/dev/internal", "ssd1/dev/internal", "tenant/acme/q"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing track %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNamespaceNilTracer(t *testing.T) {
+	var tr *Tracer
+	ns := tr.Namespace("ssd0/")
+	if ns != nil {
+		t.Fatal("Namespace of nil tracer must be nil")
+	}
+	ns.Instant(ns.Track("x"), "i")
+}

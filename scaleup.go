@@ -8,6 +8,7 @@ import (
 	"biscuit/internal/device"
 	"biscuit/internal/isfs"
 	"biscuit/internal/sim"
+	"biscuit/internal/trace"
 )
 
 // MultiSystem is the Scale-up organization of the paper's Fig. 1(b):
@@ -22,6 +23,15 @@ type MultiSystem struct {
 
 // NewMultiSystem builds n SSDs sharing one simulated host.
 func NewMultiSystem(cfg Config, n int) *MultiSystem {
+	return NewMultiSystemConfigs(cfg, n, nil)
+}
+
+// NewMultiSystemConfigs builds n SSDs sharing one simulated host, with
+// an optional per-device config hook: perDev(i, cfg) returns the config
+// for drive i (e.g. a fault plan injected on one shard only). Host-side
+// parameters (threads, clock, memory bandwidth) always come from the
+// base cfg — the drives share one host.
+func NewMultiSystemConfigs(cfg Config, n int, perDev func(i int, cfg Config) Config) *MultiSystem {
 	if n < 1 {
 		panic("biscuit: need at least one SSD")
 	}
@@ -30,7 +40,11 @@ func NewMultiSystem(cfg Config, n int) *MultiSystem {
 	hostMem := env.NewSharedBW("host-mem", cfg.HostMemBW)
 	m := &MultiSystem{Env: env}
 	for i := 0; i < n; i++ {
-		plat := device.NewShared(env, cfg, hostCPU, hostMem)
+		dcfg := cfg
+		if perDev != nil {
+			dcfg = perDev(i, cfg)
+		}
+		plat := device.NewShared(env, dcfg, hostCPU, hostMem)
 		s := &System{Env: env, Plat: plat}
 		name := fmt.Sprintf("mkfs-%d", i)
 		env.Spawn(name, func(p *sim.Proc) {
@@ -49,6 +63,24 @@ func (m *MultiSystem) Install(img *ModuleImage) {
 	for _, s := range m.Systems {
 		s.RT.InstallImage(img)
 	}
+}
+
+// SetTracer records the whole array into one tracer: drive i observes
+// through the namespace view "ssd<i>/", so every device's tracks (nvme
+// queues, dies, fibers) land in a single interleaved export. Nil
+// uninstalls everywhere.
+func (m *MultiSystem) SetTracer(tr *trace.Tracer) {
+	for i, s := range m.Systems {
+		s.SetTracer(tr.Namespace(fmt.Sprintf("ssd%d/", i)))
+	}
+}
+
+// NewTracer builds a tracer on the array's clock and installs it via
+// SetTracer.
+func (m *MultiSystem) NewTracer() *trace.Tracer {
+	tr := trace.New(m.Env)
+	m.SetTracer(tr)
+	return tr
 }
 
 // MultiHost is the host program context over several SSDs: one simulated
