@@ -9,7 +9,7 @@ VETTOOL := bin/biscuitvet
 # dangerous kind.
 TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
 
-.PHONY: all build test race racefault vet vet-fix fmt check faulttest faultbench benchsmoke benchgate bless-bench servebench tracesmoke clean
+.PHONY: all build test race racefault vet vet-fix fmt check faulttest faultbench benchsmoke benchgate bless-bench servebench tracesmoke telemetrysmoke clean
 
 all: build
 
@@ -115,9 +115,29 @@ tracesmoke:
 	cmp trace-out/q6.json trace-out/q6.rerun.json
 	$(GO) run ./cmd/tracecheck trace-out/q6.json
 
+# Telemetry smoke (DESIGN.md "Telemetry time series & counter
+# tracks"): Q6 with tracing AND gauge sampling on (-sample 100µs),
+# rerun with the same seed and byte-compared — the counter tracks ride
+# the same deterministic pipeline as spans, so any divergence is a
+# determinism bug. tracecheck -counters then validates every counter
+# event (args.value present, per-series timestamps non-decreasing,
+# tracks named, at least one 'C' in the file), and tracestat must
+# parse the merged export and attribute the query window's critical
+# path. The first run also exercises -explain and -stats so the
+# operator breakdown and series summaries print in the CI log.
+telemetrysmoke:
+	mkdir -p trace-out
+	$(GO) run ./cmd/sqlssd -sf 0.002 -seed 7 -q "$(TRACEQ6)" -sample 100 -trace trace-out/q6.telemetry.json -stats -explain
+	$(GO) run ./cmd/sqlssd -sf 0.002 -seed 7 -q "$(TRACEQ6)" -sample 100 -trace trace-out/q6.telemetry.rerun.json > /dev/null
+	cmp trace-out/q6.telemetry.json trace-out/q6.telemetry.rerun.json
+	$(GO) run ./cmd/tracecheck -counters trace-out/q6.telemetry.json
+	$(GO) run ./cmd/tracestat trace-out/q6.telemetry.json > /dev/null
+	$(GO) run ./cmd/tracestat -crit -nth -1 trace-out/q6.telemetry.json
+
 # vet = stock go vet + the biscuitvet analyzer suite (arenaescape,
 # detrand, eventpurity, fiberyield, ndpframing, nogoroutine, portcheck,
-# simtimemix, spanbalance, walltime — see DESIGN.md "Invariants").
+# simtimemix, spanbalance, statnames, walltime — see DESIGN.md
+# "Invariants").
 # biscuitvet runs
 # through the standard vettool protocol; waivers are either the legacy
 # //biscuitvet:<name>-ok directive or //biscuitvet:ignore <name>: <reason>

@@ -57,6 +57,7 @@ import (
 	"biscuit/internal/analysis/portcheck"
 	"biscuit/internal/analysis/simtimemix"
 	"biscuit/internal/analysis/spanbalance"
+	"biscuit/internal/analysis/statnames"
 	"biscuit/internal/analysis/walltime"
 )
 
@@ -72,6 +73,7 @@ var analyzers = []*framework.Analyzer{
 	portcheck.Analyzer,
 	simtimemix.Analyzer,
 	spanbalance.Analyzer,
+	statnames.Analyzer,
 	walltime.Analyzer,
 }
 

@@ -29,8 +29,10 @@ import (
 	"biscuit/internal/serve"
 	"biscuit/internal/sim"
 	"biscuit/internal/sql"
+	"biscuit/internal/telemetry"
 	"biscuit/internal/tpch"
 	"biscuit/internal/trace"
+	"biscuit/internal/tracestat"
 )
 
 func main() {
@@ -48,11 +50,13 @@ func main() {
 		rate     = flag.Float64("rate", 120, "serving mode: total offered load, queries/s split across tenants")
 		windowMs = flag.Int("window", 300, "serving mode: arrival window in simulated milliseconds")
 		policy   = flag.String("policy", "wfq", "serving mode: scheduling policy, wfq or edf")
+		sampleUs = flag.Int64("sample", 0, "sample every gauge each N simulated microseconds; with -trace the series export as Perfetto counter tracks")
+		explain  = flag.Bool("explain", false, "print each Biscuit query's trace-derived per-layer/per-operator sim-time breakdown")
 	)
 	flag.Parse()
 
 	if *devices > 1 || *tenants > 0 {
-		serveMain(*devices, *tenants, *rate, *windowMs, *policy, *sf, *seed, *faultArg, *traceOut)
+		serveMain(*devices, *tenants, *rate, *windowMs, *policy, *sf, *seed, *faultArg, *traceOut, *sampleUs)
 		return
 	}
 
@@ -91,8 +95,13 @@ func main() {
 		cfg.Fault = plan
 	}
 	sys := biscuit.NewSystem(cfg)
-	if *traceOut != "" {
+	if *traceOut != "" || *explain {
 		sys.NewTracer()
+	}
+	var sampler *telemetry.Sampler
+	if *sampleUs > 0 {
+		sampler = telemetry.NewSampler(sys.Env, sim.Time(*sampleUs)*sim.Microsecond)
+		sampler.Attach(sys.Plat.Gauges, "")
 	}
 	d := db.Open(sys)
 	sys.Run(func(h *biscuit.Host) {
@@ -138,10 +147,17 @@ func main() {
 			if len(conv.Rows) != len(bisc.Rows) {
 				fmt.Fprintln(os.Stderr, "WARNING: Conv and Biscuit row counts differ")
 			}
+			if *explain {
+				// The trace now ends with this query's Biscuit run: its
+				// "sql.query" span is the last one, so anchor the
+				// breakdown there (the Conv run's span precedes it).
+				explainQuery(sys.Tracer(), biscT)
+			}
 		}
 	})
 
 	if *traceOut != "" {
+		sampler.ExportCounters(sys.Tracer()) // merge counter tracks into the span trace
 		if err := sys.Tracer().WriteFile(*traceOut); err != nil {
 			fmt.Fprintln(os.Stderr, "trace:", err)
 			os.Exit(1)
@@ -150,6 +166,49 @@ func main() {
 	}
 	if *stats {
 		printStats(sys)
+		printTelemetry(sampler)
+	}
+}
+
+// explainQuery parses the in-memory trace and prints the trace-derived
+// sim-time breakdown of the most recent "sql.query" span — the Biscuit
+// run that just finished.
+func explainQuery(tr *trace.Tracer, biscT sim.Time) {
+	var buf strings.Builder
+	if err := tr.WriteJSON(&buf); err != nil {
+		fmt.Fprintln(os.Stderr, "explain:", err)
+		return
+	}
+	parsed, err := tracestat.Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explain:", err)
+		return
+	}
+	b, err := parsed.CriticalPathNth("sql.query", -1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explain:", err)
+		return
+	}
+	fmt.Printf("-- explain: query span %v, device-side critical path %v (%.1f%% of the span; Biscuit wall %v)\n",
+		sim.Time(b.TotalNs), sim.Time(b.DeviceNs), 100*float64(b.DeviceNs)/float64(b.TotalNs), biscT)
+	for _, op := range b.Operators {
+		fmt.Printf("--   %-6s %-24s %14v  %5.1f%%\n",
+			op.Layer, op.Name, sim.Time(op.Ns), 100*float64(op.Ns)/float64(b.TotalNs))
+	}
+	fmt.Println()
+}
+
+// printTelemetry dumps the sampled series summaries (no-op without
+// -sample).
+func printTelemetry(sampler *telemetry.Sampler) {
+	sums := sampler.Summaries()
+	if len(sums) == 0 {
+		return
+	}
+	fmt.Println("-- telemetry")
+	for _, s := range sums {
+		fmt.Printf("   %-28s samples=%-7d min=%-8d mean=%-8d max=%-8d digest=%s\n",
+			s.Name, s.Samples, s.Min, s.Mean, s.Max, s.Digest)
 	}
 }
 
@@ -157,7 +216,7 @@ func main() {
 // Tenants are named t1..tM and cycle through the built-in workloads;
 // the total offered rate is split evenly. A -fault campaign arms on
 // every device of the array.
-func serveMain(devices, tenants int, rate float64, windowMs int, policy string, sf float64, seed int64, faultArg, traceOut string) {
+func serveMain(devices, tenants int, rate float64, windowMs int, policy string, sf float64, seed int64, faultArg, traceOut string, sampleUs int64) {
 	if devices < 1 {
 		fmt.Fprintln(os.Stderr, "sqlssd: -devices must be >= 1")
 		os.Exit(2)
@@ -201,6 +260,9 @@ func serveMain(devices, tenants int, rate float64, windowMs int, policy string, 
 		tr = s.MS.NewTracer()
 		s.SetTracer(tr)
 	}
+	if sampleUs > 0 {
+		s.EnableTelemetry(sim.Time(sampleUs) * sim.Microsecond)
+	}
 	fmt.Printf("TPC-H SF %.3f shard-loaded across %d devices; %d tenants at %.0f qps total, policy %s, %dms window.\n\n",
 		sf, devices, tenants, rate, policy, windowMs)
 	rep := s.Run()
@@ -214,6 +276,13 @@ func serveMain(devices, tenants int, rate float64, windowMs int, policy string, 
 			t.Name, t.Workload, t.Offered, t.Admitted, t.Completed, t.DeadlineMisses,
 			time.Duration(t.Lat.P50), time.Duration(t.Lat.P95), time.Duration(t.Lat.P99),
 			t.ThroughputQPS, t.RowDigest)
+	}
+	if len(rep.Telemetry) > 0 {
+		fmt.Println("\n-- telemetry")
+		for _, sum := range rep.Telemetry {
+			fmt.Printf("   %-28s samples=%-7d min=%-8d mean=%-8d max=%-8d digest=%s\n",
+				sum.Name, sum.Samples, sum.Min, sum.Mean, sum.Max, sum.Digest)
+		}
 	}
 	if traceOut != "" {
 		if err := tr.WriteFile(traceOut); err != nil {

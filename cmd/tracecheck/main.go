@@ -1,15 +1,21 @@
 // Command tracecheck validates a Chrome/Perfetto trace produced by
 // -trace flags before CI archives it: the file must be well-formed
 // JSON, hold a non-empty traceEvents array of known phases, name every
-// thread it emits events on, and balance every async begin with exactly
-// one end. It exists so `make tracesmoke` fails loudly on a malformed
-// export instead of archiving a file Perfetto will reject.
+// thread it emits events on, balance every async begin with exactly
+// one end, and keep every counter track well-formed (named tid, an
+// args.value, non-decreasing per-series timestamps). It exists so
+// `make tracesmoke` and `make telemetrysmoke` fail loudly on a
+// malformed export instead of archiving a file Perfetto will reject.
 //
-//	tracecheck trace.json [more.json ...]
+// Every violation in every file is reported, and any violation makes
+// the exit status non-zero.
+//
+//	tracecheck [-counters] trace.json [more.json ...]
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -33,32 +39,48 @@ type traceFile struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracecheck: ")
-	if len(os.Args) < 2 {
-		log.Fatal("usage: tracecheck trace.json [more.json ...]")
+	wantCounters := flag.Bool("counters", false, "additionally require at least one counter ('C') event per file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: tracecheck [-counters] trace.json [more.json ...]")
 	}
-	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
-			log.Fatalf("%s: %v", path, err)
+	bad := false
+	for _, path := range flag.Args() {
+		for _, issue := range check(path, *wantCounters) {
+			bad = true
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %s\n", path, issue)
 		}
+	}
+	if bad {
+		os.Exit(1)
 	}
 }
 
-func check(path string) error {
+// check validates one file and returns every violation found; an empty
+// slice means the file passed (and its summary line was printed).
+func check(path string, wantCounters bool) (issues []string) {
+	bad := func(format string, args ...any) {
+		issues = append(issues, fmt.Sprintf(format, args...))
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		bad("%v", err)
+		return issues
 	}
 	var tf traceFile
 	if err := json.Unmarshal(data, &tf); err != nil {
-		return fmt.Errorf("not valid JSON: %v", err)
+		bad("not valid JSON: %v", err)
+		return issues
 	}
 	if len(tf.TraceEvents) == 0 {
-		return fmt.Errorf("traceEvents is empty")
+		bad("traceEvents is empty")
+		return issues
 	}
 
-	named := map[int]string{}     // tid -> thread_name from 'M' metadata
-	asyncOpen := map[string]int{} // async id -> open count
-	spans, instants := 0, 0
+	named := map[int]string{}       // tid -> thread_name from 'M' metadata
+	asyncOpen := map[string]int{}   // async id -> open count
+	ctrLast := map[string]float64{} // per (tid, counter name) last ts
+	spans, instants, counters := 0, 0, 0
 	for i, ev := range tf.TraceEvents {
 		switch ev.Ph {
 		case "M":
@@ -70,7 +92,7 @@ func check(path string) error {
 			continue
 		case "X":
 			if ev.Dur == nil || *ev.Dur < 0 {
-				return fmt.Errorf("event %d (%s): complete span without non-negative dur", i, ev.Name)
+				bad("event %d (%s): complete span without non-negative dur", i, ev.Name)
 			}
 			spans++
 		case "b":
@@ -80,29 +102,53 @@ func check(path string) error {
 			id := fmt.Sprint(ev.ID)
 			asyncOpen[id]--
 			if asyncOpen[id] < 0 {
-				return fmt.Errorf("event %d: async end %q without a begin", i, id)
+				bad("event %d: async end %q without a begin", i, id)
+				asyncOpen[id] = 0
 			}
 		case "i":
 			instants++
+		case "C":
+			counters++
+			if ev.Args == nil {
+				bad("event %d (%s): counter without args.value", i, ev.Name)
+			} else if _, ok := ev.Args["value"].(float64); !ok {
+				bad("event %d (%s): counter args.value missing or not numeric", i, ev.Name)
+			}
+			if ev.Ts != nil {
+				key := fmt.Sprintf("%d\x00%s", ev.Tid, ev.Name)
+				if last, ok := ctrLast[key]; ok && *ev.Ts < last {
+					bad("event %d (%s): counter ts %.3f decreases below %.3f on tid %d",
+						i, ev.Name, *ev.Ts, last, ev.Tid)
+				} else {
+					ctrLast[key] = *ev.Ts
+				}
+			}
 		default:
-			return fmt.Errorf("event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+			bad("event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+			continue
 		}
 		if ev.Ts == nil {
-			return fmt.Errorf("event %d (%s): missing ts", i, ev.Name)
+			bad("event %d (%s): missing ts", i, ev.Name)
+			continue
 		}
 		if *ev.Ts < 0 {
-			return fmt.Errorf("event %d (%s): negative ts", i, ev.Name)
+			bad("event %d (%s): negative ts", i, ev.Name)
 		}
 		if _, ok := named[ev.Tid]; !ok {
-			return fmt.Errorf("event %d (%s): tid %d has no thread_name metadata", i, ev.Name, ev.Tid)
+			bad("event %d (%s): tid %d has no thread_name metadata", i, ev.Name, ev.Tid)
 		}
 	}
 	for id, n := range asyncOpen {
 		if n != 0 {
-			return fmt.Errorf("async span %q left open (%d unmatched begins)", id, n)
+			bad("async span %q left open (%d unmatched begins)", id, n)
 		}
 	}
-	fmt.Printf("%s: ok — %d events (%d spans, %d instants) on %d tracks\n",
-		path, len(tf.TraceEvents), spans, instants, len(named))
-	return nil
+	if wantCounters && counters == 0 {
+		bad("no counter events (run was expected to be sampled)")
+	}
+	if len(issues) == 0 {
+		fmt.Printf("%s: ok — %d events (%d spans, %d instants, %d counters) on %d tracks\n",
+			path, len(tf.TraceEvents), spans, instants, counters, len(named))
+	}
+	return issues
 }

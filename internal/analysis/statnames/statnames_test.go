@@ -1,0 +1,12 @@
+package statnames_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/statnames"
+)
+
+func TestStatnames(t *testing.T) {
+	analysistest.Run(t, "testdata", statnames.Analyzer, "metricuser", "waivedmetrics")
+}

@@ -5,13 +5,15 @@ import (
 
 	"biscuit/internal/serve"
 	"biscuit/internal/sim"
+	"biscuit/internal/telemetry"
 )
 
 // ServePoint is one cell of the serving-curve grid: a full multi-tenant
 // serving window at a given array width, scheduling policy and total
 // offered load. The embedded report carries per-tenant p50/p95/p99
-// sojourn, throughput, deadline misses and FNV row digests — all
-// deterministic per seed, so benchgate compares every field exactly.
+// sojourn, throughput, deadline misses, FNV row digests and per-series
+// telemetry summaries (digest, min/mean/max) — all deterministic per
+// seed, so benchgate compares every field exactly.
 type ServePoint struct {
 	Devices    int           `json:"devices"`
 	Policy     string        `json:"policy"`
@@ -74,5 +76,10 @@ func runServePoint(cfg Config, devices int, policy string, qps float64) *serve.R
 	if OnServer != nil {
 		OnServer(s)
 	}
+	// Sample the gauge registries for the whole window so the report
+	// carries per-series digests and min/mean/max — telemetry drift
+	// (a gauge that stops moving, a changed sampling cadence) then
+	// fails benchgate exactly like a row-digest change would.
+	s.EnableTelemetry(telemetry.DefaultInterval)
 	return s.Run()
 }

@@ -111,6 +111,7 @@ func (r *Runtime) ConnectToHost(p *sim.Proc, prod *letInstance, oi int) (*HostIn
 	if tr := r.Plat.Trace; tr != nil {
 		ch.hostQ.Instrument(tr, tr.Track("port/"+prod.name+"/d2h"))
 	}
+	ch.hostQ.InstrumentGauge(r.Plat.Gauges.G("port." + prod.name + ".d2h.depth"))
 	cn := &conn{kind: hostPort, elem: PacketType, q: newAnyQueue(r.Env()), producers: 1, consumers: 1, hostSide: ch}
 	prod.out[oi] = cn
 
@@ -161,6 +162,7 @@ func (r *Runtime) ConnectFromHost(p *sim.Proc, cons *letInstance, ii int) (*Host
 	if tr := r.Plat.Trace; tr != nil {
 		ch.hostQ.Instrument(tr, tr.Track("port/"+cons.name+"/h2d"))
 	}
+	ch.hostQ.InstrumentGauge(r.Plat.Gauges.G("port." + cons.name + ".h2d.depth"))
 	cn := &conn{kind: hostPort, elem: PacketType, q: newAnyQueue(r.Env()), producers: 1, consumers: 1, hostSide: ch}
 	cons.in[ii] = cn
 

@@ -151,6 +151,12 @@ type Platform struct {
 	// Always non-nil and pre-wired into every component.
 	Hists *stats.Histograms
 
+	// Gauges records instantaneous levels (NVMe queue depth, busy dies,
+	// GC debt, port occupancy) for the telemetry sampler. Always non-nil
+	// and pre-wired into every component; mutations cost an int store
+	// until a sampler attaches to the registry.
+	Gauges *stats.Gauges
+
 	// Trace is the platform tracer; nil (the default) disables tracing
 	// everywhere at zero cost. Install with SetTracer.
 	Trace *trace.Tracer
@@ -171,7 +177,7 @@ func New(env *sim.Env, cfg Config) *Platform {
 // Fig. 1(b), where one server fronts several SSDs. Each platform still
 // gets its own PCIe link, media and device cores.
 func NewShared(env *sim.Env, cfg Config, hostCPU *cpu.CPU, hostMem *sim.SharedBW) *Platform {
-	p := &Platform{Env: env, Cfg: cfg, Ctrs: stats.NewCounters(), Hists: stats.NewHistograms()}
+	p := &Platform{Env: env, Cfg: cfg, Ctrs: stats.NewCounters(), Hists: stats.NewHistograms(), Gauges: stats.NewGauges()}
 	p.HostCPU = hostCPU
 	p.HostMem = hostMem
 	p.Array = nand.New(env, cfg.NAND)
@@ -197,6 +203,9 @@ func NewShared(env *sim.Env, cfg Config, hostCPU *cpu.CPU, hostMem *sim.SharedBW
 	p.FTL.SetHists(p.Hists)
 	p.FTL.SetCounters(p.Ctrs)
 	p.DevRT.SetHists(p.Hists)
+	p.HostIF.SetGauges(p.Gauges)
+	p.FTL.SetGauges(p.Gauges)
+	p.Array.SetGauges(p.Gauges)
 	dm, err := mem.NewDeviceMemory(cfg.SystemHeap, cfg.UserHeap)
 	if err != nil {
 		panic(err)

@@ -149,6 +149,10 @@ type FTL struct {
 	hists  *stats.Histograms
 	ctrs   *stats.Counters // platform mirror of RAIN/scrub counters
 
+	gFreeSB *stats.Gauge // free superblocks (nil = telemetry off)
+	gGCDebt *stats.Gauge // superblocks below the GC refill target
+	gScrub  *stats.Gauge // stripes patrolled by scrub (cumulative)
+
 	gcMoves  int64
 	gcRounds int64
 	reads    int64
@@ -275,6 +279,36 @@ func (f *FTL) SetCounters(c *stats.Counters) { f.ctrs = c }
 // SetHists installs the registry receiving the GC-round duration
 // distribution ("ftl.gc.round"). Nil disables.
 func (f *FTL) SetHists(h *stats.Histograms) { f.hists = h }
+
+// SetGauges installs the telemetry gauges: "ftl.free_sb" tracks the
+// free-superblock pool, "ftl.gc.debt" how far the pool sits below the
+// GC refill target (0 when healthy — the pressure that triggers
+// collection), and "ftl.scrub.stripes" the cumulative patrol-scrub
+// progress. Nil disables.
+func (f *FTL) SetGauges(g *stats.Gauges) {
+	if g == nil {
+		f.gFreeSB, f.gGCDebt, f.gScrub = nil, nil, nil
+		return
+	}
+	f.gFreeSB = g.G("ftl.free_sb")
+	f.gGCDebt = g.G("ftl.gc.debt")
+	f.gScrub = g.G("ftl.scrub.stripes")
+	f.sbGauges()
+}
+
+// sbGauges refreshes the free-pool gauges after freeSB changes.
+func (f *FTL) sbGauges() {
+	if f.gFreeSB == nil {
+		return
+	}
+	free := int64(len(f.freeSB))
+	f.gFreeSB.Set(free)
+	debt := int64(f.cfg.GCHighWater) - free
+	if debt < 0 {
+		debt = 0
+	}
+	f.gGCDebt.Set(debt)
+}
 
 // PageSize returns the logical (== physical) page size in bytes.
 func (f *FTL) PageSize() int { return f.arr.Config().PageSize }
@@ -493,6 +527,7 @@ func (f *FTL) openSuperblock(stream int) bool {
 	for len(f.freeSB) > 0 {
 		sb := f.freeSB[len(f.freeSB)-1]
 		f.freeSB = f.freeSB[:len(f.freeSB)-1]
+		f.sbGauges()
 		f.sbFree[sb] = false
 		usable := false
 		for _, d := range f.dies {
@@ -923,6 +958,7 @@ func (f *FTL) collect(p *sim.Proc) {
 			}
 			done.Wait(p)
 			f.freeSB = append(f.freeSB, victim)
+			f.sbGauges()
 			f.sbFree[victim] = true
 		}
 		sp.Arg("moves", moved).End()

@@ -709,6 +709,7 @@ func (f *FTL) ScrubStep(p *sim.Proc) bool {
 	pages, errs := f.readStripePages(p, srcs)
 	f.scrubStripes++
 	f.ctrs.Add("ftl.scrub.stripes", 1)
+	f.gScrub.Set(f.scrubStripes)
 	if f.stripes[sid] != st || st.seq != seq {
 		return true // mutated while reading; the next pass re-checks it
 	}

@@ -83,6 +83,9 @@ type Interface struct {
 	cmdTk trace.TrackID // async track carrying overlapping command spans
 	hists *stats.Histograms
 
+	gQD       *stats.Gauge // occupied NVMe queue slots (nil = telemetry off)
+	gInflight *stats.Gauge // host commands between issue and completion
+
 	cmds, bytesUp, bytesDown int64
 	timeouts, stalls, redos  int64
 }
@@ -124,6 +127,14 @@ func (i *Interface) SetTracer(tr *trace.Tracer) {
 // SetHists installs the registry receiving per-command latency
 // distributions ("hostif.read", "hostif.write"). Nil disables.
 func (i *Interface) SetHists(h *stats.Histograms) { i.hists = h }
+
+// SetGauges installs the telemetry gauges: "hostif.qd" tracks occupied
+// queue slots, "hostif.inflight" tracks host commands between issue and
+// completion (retries included). Nil disables.
+func (i *Interface) SetGauges(g *stats.Gauges) {
+	i.gQD = g.G("hostif.qd")
+	i.gInflight = g.G("hostif.inflight")
+}
 
 // stall models an injected backpressure hiccup on the host link: the
 // transfer holds for the plan's stall delay before data moves.
@@ -182,12 +193,14 @@ func (i *Interface) FaultStats() (timeouts, stalls, retries int64) {
 // fault.ErrTimeout for the retry policy to handle.
 func (i *Interface) submit(p *sim.Proc) error {
 	i.qd.Acquire(p)
+	i.gQD.Add(1)
 	i.hostCPU.Exec(p, i.cfg.HostSubmitCycles)
 	p.Sleep(i.cfg.DoorbellCost)
 	if i.inj.Timeout(func() string { return "hostif.submit" }) {
 		i.timeouts++
 		i.tr.Instant(i.cmdTk, "cmd.timeout")
 		p.Sleep(i.inj.Plan().TimeoutDelay)
+		i.gQD.Add(-1)
 		i.qd.Release()
 		return fmt.Errorf("hostif: %w", fault.ErrTimeout)
 	}
@@ -201,6 +214,7 @@ func (i *Interface) submit(p *sim.Proc) error {
 func (i *Interface) complete(p *sim.Proc) {
 	i.xferUp(p, int64(i.cfg.CommandBytes)) // CQ entry
 	i.hostCPU.Exec(p, i.cfg.HostCompleteCycles)
+	i.gQD.Add(-1)
 	i.qd.Release()
 }
 
@@ -233,9 +247,11 @@ func (i *Interface) retry(p *sim.Proc, what string, op func() error) error {
 // DMA to host, complete — reissued on failure per the retry policy.
 func (i *Interface) Read(p *sim.Proc, off int64, buf []byte) error {
 	sp := i.tr.BeginAsync(i.cmdTk, "nvme.read").Arg("off", off).Arg("bytes", int64(len(buf)))
+	i.gInflight.Add(1)
 	start := p.Now()
 	err := i.retry(p, "read", func() error { return i.readOnce(p, off, buf) })
 	i.hists.Observe("hostif.read", int64(p.Now()-start))
+	i.gInflight.Add(-1)
 	sp.End()
 	return err
 }
@@ -270,9 +286,11 @@ func (i *Interface) ReadAsync(p *sim.Proc, off int64, buf []byte) *sim.Completio
 // (rewriting the same logical pages is idempotent in a page-mapped FTL).
 func (i *Interface) Write(p *sim.Proc, off int64, data []byte) error {
 	sp := i.tr.BeginAsync(i.cmdTk, "nvme.write").Arg("off", off).Arg("bytes", int64(len(data)))
+	i.gInflight.Add(1)
 	start := p.Now()
 	err := i.retry(p, "write", func() error { return i.writeOnce(p, off, data) })
 	i.hists.Observe("hostif.write", int64(p.Now()-start))
+	i.gInflight.Add(-1)
 	sp.End()
 	return err
 }

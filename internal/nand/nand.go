@@ -15,6 +15,7 @@ import (
 
 	"biscuit/internal/fault"
 	"biscuit/internal/sim"
+	"biscuit/internal/stats"
 	"biscuit/internal/trace"
 )
 
@@ -119,6 +120,9 @@ type Array struct {
 	tr    *trace.Tracer   // nil = tracing disabled
 	dieTk []trace.TrackID // per-die trace tracks, nil when tr is nil
 
+	gBusy *stats.Gauge   // dies currently busy (nil = telemetry off)
+	gCh   []*stats.Gauge // busy ways per channel, nil when telemetry off
+
 	reads, programs, erases int64
 	bytesRead               int64
 }
@@ -169,6 +173,31 @@ func (a *Array) SetTracer(tr *trace.Tracer) {
 			a.dieTk[ch*a.cfg.WaysPerChannel+w] = tr.Track(fmt.Sprintf("nand/ch%d/w%d", ch, w))
 		}
 	}
+}
+
+// SetGauges installs the telemetry gauges: "nand.busy_dies" counts dies
+// holding their busy resource (the array's instantaneous parallelism)
+// and "nand.ch<i>.busy" counts busy ways per channel. Nil disables.
+func (a *Array) SetGauges(g *stats.Gauges) {
+	if g == nil {
+		a.gBusy, a.gCh = nil, nil
+		return
+	}
+	a.gBusy = g.G("nand.busy_dies")
+	a.gCh = make([]*stats.Gauge, a.cfg.Channels)
+	for ch := range a.gCh {
+		a.gCh[ch] = g.G(fmt.Sprintf("nand.ch%d.busy", ch))
+	}
+}
+
+// busyDelta moves the busy-die gauges when a die on channel ch acquires
+// or releases its busy resource.
+func (a *Array) busyDelta(ch int, d int64) {
+	if a.gCh == nil {
+		return
+	}
+	a.gBusy.Add(d)
+	a.gCh[ch].Add(d)
 }
 
 // dieTrack returns the trace track of addr's die (0 when untraced; a
@@ -265,6 +294,7 @@ func (a *Array) Read(p *sim.Proc, addr PPA, offset, length int) ([]byte, error) 
 	// freed for other ways the moment the transfer ends.
 	d := a.die(addr)
 	d.busy.Acquire(p)
+	a.busyDelta(addr.Channel, 1)
 	sp := a.tr.Begin(a.dieTrack(addr), "nand.read").Arg("bytes", int64(length))
 	p.Sleep(a.cfg.ReadLatency)
 	if dec.Correctable {
@@ -276,6 +306,7 @@ func (a *Array) Read(p *sim.Proc, addr PPA, offset, length int) ([]byte, error) 
 	p.Sleep(a.cfg.ChannelCmdCost + sim.TransferTime(int64(length), a.cfg.ChannelBW))
 	bus.Release()
 	sp.End()
+	a.busyDelta(addr.Channel, -1)
 	d.busy.Release()
 
 	a.reads++
@@ -320,6 +351,7 @@ func (a *Array) ReadThrough(p *sim.Proc, addr PPA, offset, length int, ipOverhea
 	dec := a.inj.Read(func() string { return "nand.readthrough " + addr.String() })
 	d := a.die(addr)
 	d.busy.Acquire(p)
+	a.busyDelta(addr.Channel, 1)
 	sp := a.tr.Begin(a.dieTrack(addr), "nand.readthrough").Arg("bytes", int64(length))
 	p.Sleep(a.cfg.ReadLatency)
 	if dec.Correctable {
@@ -331,6 +363,7 @@ func (a *Array) ReadThrough(p *sim.Proc, addr PPA, offset, length int, ipOverhea
 	p.Sleep(a.cfg.ChannelCmdCost + ipOverhead + sim.TransferTime(int64(length), a.cfg.ChannelBW))
 	bus.Release()
 	sp.End()
+	a.busyDelta(addr.Channel, -1)
 	d.busy.Release()
 
 	a.reads++
@@ -395,6 +428,7 @@ func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) error {
 	fail := a.inj.Program(func() string { return "nand.program " + addr.String() })
 
 	d.busy.Acquire(p)
+	a.busyDelta(addr.Channel, 1)
 	sp := a.tr.Begin(a.dieTrack(addr), "nand.program").Arg("bytes", int64(a.cfg.PageSize))
 	bus := a.channels[addr.Channel]
 	bus.Acquire(p)
@@ -402,6 +436,7 @@ func (a *Array) Program(p *sim.Proc, addr PPA, data []byte) error {
 	bus.Release()
 	p.Sleep(a.cfg.ProgramLatency)
 	sp.End()
+	a.busyDelta(addr.Channel, -1)
 	d.busy.Release()
 
 	st.programmed++
@@ -436,9 +471,11 @@ func (a *Array) Erase(p *sim.Proc, b BlockAddr) error {
 	fail := a.inj.Erase(func() string { return fmt.Sprintf("nand.erase ch%d/w%d/b%d", b.Channel, b.Way, b.Block) })
 	d := a.die(addr)
 	d.busy.Acquire(p)
+	a.busyDelta(addr.Channel, 1)
 	sp := a.tr.Begin(a.dieTrack(addr), "nand.erase").Arg("block", int64(b.Block))
 	p.Sleep(a.cfg.EraseLatency)
 	sp.End()
+	a.busyDelta(addr.Channel, -1)
 	d.busy.Release()
 	st := &d.blocks[b.Block]
 	if fail {

@@ -10,6 +10,7 @@ package ports
 
 import (
 	"biscuit/internal/sim"
+	"biscuit/internal/stats"
 	"biscuit/internal/trace"
 )
 
@@ -52,6 +53,7 @@ type Queue[T any] struct {
 
 	tr *trace.Tracer // nil = queue untraced
 	tk trace.TrackID
+	g  *stats.Gauge // occupancy gauge; nil = telemetry off
 }
 
 // NewQueue creates a bounded queue with the given capacity (>= 1).
@@ -80,6 +82,14 @@ func (q *Queue[T]) Instrument(tr *trace.Tracer, tk trace.TrackID) {
 	q.tk = tk
 }
 
+// InstrumentGauge mirrors the queue's occupancy onto g after every
+// element moved, so the telemetry sampler sees port depth over time. A
+// nil gauge (the default) reverts to unobserved.
+func (q *Queue[T]) InstrumentGauge(g *stats.Gauge) {
+	q.g = g
+	g.Set(int64(len(q.buf)))
+}
+
 func wakeOne(evs *[]*sim.Event) {
 	if len(*evs) > 0 {
 		(*evs)[0].Fire()
@@ -103,6 +113,7 @@ func (q *Queue[T]) Put(b Blocker, v T) bool {
 		return false
 	}
 	q.buf = append(q.buf, v)
+	q.g.Set(int64(len(q.buf)))
 	q.tr.Instant(q.tk, "put")
 	wakeOne(&q.getters)
 	return true
@@ -114,6 +125,7 @@ func (q *Queue[T]) TryPut(v T) bool {
 		return false
 	}
 	q.buf = append(q.buf, v)
+	q.g.Set(int64(len(q.buf)))
 	wakeOne(&q.getters)
 	return true
 }
@@ -138,6 +150,7 @@ func (q *Queue[T]) Get(b Blocker) (T, bool) {
 	v := q.buf[0]
 	q.buf[0] = zero
 	q.buf = q.buf[1:]
+	q.g.Set(int64(len(q.buf)))
 	q.tr.Instant(q.tk, "get")
 	wakeOne(&q.putters)
 	return v, true
@@ -152,6 +165,7 @@ func (q *Queue[T]) TryGet() (T, bool) {
 	v := q.buf[0]
 	q.buf[0] = zero
 	q.buf = q.buf[1:]
+	q.g.Set(int64(len(q.buf)))
 	wakeOne(&q.putters)
 	return v, true
 }

@@ -20,6 +20,25 @@ func newPolicy(name string) (policy, error) {
 	return nil, fmt.Errorf("serve: unknown policy %q (want wfq or edf)", name)
 }
 
+// checkedPick runs the policy and asserts the scheduling invariant
+// that a non-negative pick always names a backlogged tenant: the
+// dispatcher pops t.queue[0] unconditionally, so a policy that picked
+// an empty (or out-of-range) queue would otherwise surface as a
+// distant slice panic or a silent mis-dispatch. A violation is a
+// policy programming error, hence panic rather than error return.
+func checkedPick(p policy, s *Server) int {
+	ti := p.pick(s)
+	if ti >= 0 {
+		if ti >= len(s.tenants) {
+			panic(fmt.Sprintf("serve: policy %s picked tenant %d of %d", p.name(), ti, len(s.tenants)))
+		}
+		if len(s.tenants[ti].queue) == 0 {
+			panic(fmt.Sprintf("serve: policy %s picked tenant %s with an empty admitted queue", p.name(), s.tenants[ti].cfg.Name))
+		}
+	}
+	return ti
+}
+
 // wfqPolicy is weighted fair queueing over per-tenant virtual time:
 // each dispatch advances the tenant's virtual clock by 1/weight, and
 // the backlogged tenant with the smallest clock runs next, so over any
@@ -47,6 +66,7 @@ func (*wfqPolicy) pick(s *Server) int {
 		t := s.tenants[best]
 		s.virt = t.vt
 		t.vt += 1.0 / float64(t.cfg.Weight)
+		s.gVT.Set(int64(s.virt * 1e6))
 	}
 	return best
 }

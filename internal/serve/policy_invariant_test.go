@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"biscuit/internal/sim"
+)
+
+// The pick-invariant tests run the policies against synthetic
+// scheduler state: pick() only reads s.tenants/s.virt, so the
+// invariant coverage need not spin an array.
+
+func synthTenant(name string, weight int, vt float64, deadlines ...sim.Time) *tenant {
+	t := &tenant{cfg: TenantConfig{Name: name, Weight: weight}, vt: vt}
+	for _, d := range deadlines {
+		t.queue = append(t.queue, &request{t: t, deadline: d})
+	}
+	return t
+}
+
+// TestWFQNeverPicksEmptyQueue drains a 3-tenant mix through checkedPick
+// until idle; the checked wrapper panics on any empty-queue pick, so
+// completing the drain is the assertion.
+func TestWFQNeverPicksEmptyQueue(t *testing.T) {
+	s := &Server{policy: &wfqPolicy{}}
+	s.tenants = []*tenant{
+		synthTenant("a", 3, 0, 1, 2, 3, 4),
+		synthTenant("b", 1, 0, 1, 2),
+		synthTenant("idle", 2, 0), // backlogged never: must never be picked
+	}
+	picks := 0
+	for {
+		ti := checkedPick(s.policy, s)
+		if ti < 0 {
+			break
+		}
+		tn := s.tenants[ti]
+		tn.queue = tn.queue[1:]
+		picks++
+		if picks > 10 {
+			t.Fatal("pick never returned -1 on drained queues")
+		}
+	}
+	if picks != 6 {
+		t.Fatalf("drained %d requests, want 6", picks)
+	}
+}
+
+// TestWFQIdleCatchUp pins the no-banked-credit rule: a tenant that
+// idles while the global virtual time advances rejoins at the global
+// clock, not its stale (smaller) one — so it does not monopolize the
+// scheduler on wake-up.
+func TestWFQIdleCatchUp(t *testing.T) {
+	s := &Server{policy: &wfqPolicy{}, virt: 50}
+	woken := synthTenant("woken", 1, 2, 1) // stale vt=2, one queued request
+	busy := synthTenant("busy", 1, 50.5, 1, 1)
+	s.tenants = []*tenant{woken, busy}
+	ti := checkedPick(s.policy, s)
+	if ti != 0 {
+		t.Fatalf("pick = %d, want 0 (woken sorts first at the caught-up clock)", ti)
+	}
+	if woken.vt < 50 {
+		t.Fatalf("woken tenant vt %v banked credit below global virtual time 50", woken.vt)
+	}
+	// After its dispatch the woken tenant sits at 51 > busy's 50.5: one
+	// dispatch of catch-up, not a monopoly.
+	woken.queue = woken.queue[1:]
+	if ti := checkedPick(s.policy, s); ti != 1 {
+		t.Fatalf("second pick = %d, want 1 (no banked-credit monopoly)", ti)
+	}
+}
+
+// TestEDFPickOrder pins tight/loose deadline ordering and the
+// empty-queue skip: the nearest queue-head deadline runs first, ties
+// break to the lower tenant index, and drained tenants are skipped.
+func TestEDFPickOrder(t *testing.T) {
+	s := &Server{policy: &edfPolicy{}}
+	tight := synthTenant("tight", 1, 0, 10, 40)
+	loose := synthTenant("loose", 1, 0, 30)
+	empty := synthTenant("empty", 1, 0)
+	s.tenants = []*tenant{empty, loose, tight}
+	var order []string
+	for {
+		ti := checkedPick(s.policy, s)
+		if ti < 0 {
+			break
+		}
+		tn := s.tenants[ti]
+		order = append(order, tn.cfg.Name)
+		tn.queue = tn.queue[1:]
+	}
+	want := []string{"tight", "loose", "tight"} // deadlines 10 < 30 < 40
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("EDF order %v, want %v", order, want)
+	}
+}
+
+func TestEDFTieBreaksByTenantIndex(t *testing.T) {
+	s := &Server{policy: &edfPolicy{}}
+	s.tenants = []*tenant{
+		synthTenant("second", 1, 0, 20),
+		synthTenant("first", 1, 0, 20),
+	}
+	if ti := checkedPick(s.policy, s); ti != 0 {
+		t.Fatalf("deadline tie picked tenant %d, want 0 (lower index)", ti)
+	}
+}
+
+// badPolicy picks a backlog-free tenant, violating the scheduling
+// invariant checkedPick enforces.
+type badPolicy struct{ pickVal int }
+
+func (*badPolicy) name() string       { return "bad" }
+func (b *badPolicy) pick(*Server) int { return b.pickVal }
+
+func TestCheckedPickPanicsOnEmptyQueuePick(t *testing.T) {
+	s := &Server{tenants: []*tenant{synthTenant("drained", 1, 0)}}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("empty-queue pick did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "empty admitted queue") {
+			t.Fatalf("panic = %v, want empty-queue invariant message", r)
+		}
+	}()
+	checkedPick(&badPolicy{pickVal: 0}, s)
+}
+
+func TestCheckedPickPanicsOnOutOfRangePick(t *testing.T) {
+	s := &Server{tenants: []*tenant{synthTenant("only", 1, 0, 1)}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range pick did not panic")
+		}
+	}()
+	checkedPick(&badPolicy{pickVal: 5}, s)
+}
+
+func TestCheckedPickPassesValidAndIdle(t *testing.T) {
+	s := &Server{tenants: []*tenant{synthTenant("t", 1, 0, 1)}}
+	if ti := checkedPick(&badPolicy{pickVal: 0}, s); ti != 0 {
+		t.Fatalf("valid pick = %d, want 0", ti)
+	}
+	if ti := checkedPick(&badPolicy{pickVal: -1}, s); ti != -1 {
+		t.Fatalf("idle pick = %d, want -1", ti)
+	}
+}
+
+// telemetryWindow is a small sampled serving window for the
+// determinism pins below.
+func telemetryWindow() Config {
+	return Config{
+		SF:      0.002,
+		Devices: 2,
+		Policy:  "wfq",
+		Window:  60 * sim.Millisecond,
+		Seed:    23,
+		Tenants: []TenantConfig{
+			{Name: "acme", Workload: "q6", RateQPS: 150, Weight: 2, QueueCap: 16},
+			{Name: "bolt", Workload: "qpoint", RateQPS: 150, QueueCap: 16},
+		},
+	}
+}
+
+// TestServeTelemetryDeterministic pins the tentpole acceptance
+// criterion at the serving layer: two same-seed sampled windows yield
+// identical series summaries (digests included) and byte-identical
+// traces with the counter tracks merged in.
+func TestServeTelemetryDeterministic(t *testing.T) {
+	runOnce := func() (*Report, []byte) {
+		s, err := New(telemetryWindow())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := s.MS.NewTracer()
+		s.SetTracer(tr)
+		s.EnableTelemetry(0)
+		rep := s.Run()
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return rep, buf.Bytes()
+	}
+	repA, traceA := runOnce()
+	repB, traceB := runOnce()
+	if len(repA.Telemetry) == 0 {
+		t.Fatal("sampled window reported no telemetry series")
+	}
+	if !reflect.DeepEqual(repA.Telemetry, repB.Telemetry) {
+		t.Fatal("same-seed telemetry summaries differ")
+	}
+	if !bytes.Equal(traceA, traceB) {
+		t.Fatalf("same-seed sampled traces differ: %d vs %d bytes", len(traceA), len(traceB))
+	}
+	if !bytes.Contains(traceA, []byte(`"ph":"C"`)) {
+		t.Fatal("trace has no counter events despite telemetry")
+	}
+	// The serving layer's own gauges must be among the series, next to
+	// the per-device ones.
+	names := map[string]bool{}
+	for _, sum := range repA.Telemetry {
+		names[sum.Name] = true
+	}
+	for _, want := range []string{
+		"ssd0.hostif.qd", "ssd1.nand.busy_dies", "ssd0.ftl.free_sb",
+		"serve.inflight", "serve.wfq.vt", "tenant.acme.backlog", "tenant.bolt.backlog",
+	} {
+		if !names[want] {
+			t.Fatalf("telemetry misses series %q; have %v", want, keys(names))
+		}
+	}
+	// A sampled window must not perturb scheduling: the dispatch digest
+	// matches an unsampled same-seed window.
+	s2, err := New(telemetryWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := s2.Run()
+	if plain.DispatchDigest != repA.DispatchDigest {
+		t.Fatal("enabling telemetry changed the dispatch order")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

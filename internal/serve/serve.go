@@ -27,6 +27,7 @@ import (
 	"biscuit/internal/loadgen"
 	"biscuit/internal/sim"
 	"biscuit/internal/stats"
+	"biscuit/internal/telemetry"
 	"biscuit/internal/tpch"
 	"biscuit/internal/trace"
 )
@@ -95,17 +96,24 @@ type Config struct {
 // Server is a built array with shard-loaded data, ready to Run one
 // serving window.
 type Server struct {
-	Cfg   Config
-	MS    *biscuit.MultiSystem
-	DBs   []*db.Database
-	Datas []*tpch.Data
-	Ctrs  *stats.Counters
-	Hists *stats.Histograms
+	Cfg    Config
+	MS     *biscuit.MultiSystem
+	DBs    []*db.Database
+	Datas  []*tpch.Data
+	Ctrs   *stats.Counters
+	Hists  *stats.Histograms
+	Gauges *stats.Gauges
 
 	tr      *trace.Tracer
 	schedTk trace.TrackID
 	tenants []*tenant
 	policy  policy
+	sampler *telemetry.Sampler
+
+	// scheduler-level gauges (telemetry time series)
+	gInflight *stats.Gauge
+	gRejected *stats.Gauge
+	gVT       *stats.Gauge // WFQ global virtual time ×1e6 (nil under EDF)
 
 	// dispatcher state
 	wake      *sim.Event
@@ -150,10 +158,11 @@ type tenant struct {
 	queue []*request // admitted, FIFO per tenant
 	vt    float64    // WFQ per-tenant virtual time
 
-	ctrs  *stats.PrefixedCounters
-	lat   *stats.Histogram
-	track trace.TrackID
-	rows  hash64
+	ctrs     *stats.PrefixedCounters
+	lat      *stats.Histogram
+	gBacklog *stats.Gauge
+	track    trace.TrackID
+	rows     hash64
 
 	admitted, rejected, completed, misses int
 }
@@ -184,7 +193,13 @@ func New(cfg Config) (*Server, error) {
 		MS:     biscuit.NewMultiSystemConfigs(base, cfg.Devices, cfg.PerDevice),
 		Ctrs:   stats.NewCounters(),
 		Hists:  stats.NewHistograms(),
+		Gauges: stats.NewGauges(),
 		policy: pol,
+	}
+	s.gInflight = s.Gauges.G("serve.inflight")
+	s.gRejected = s.Gauges.G("serve.rejected")
+	if pol.name() == "wfq" {
+		s.gVT = s.Gauges.G("serve.wfq.vt")
 	}
 	s.DBs = make([]*db.Database, cfg.Devices)
 	for i, sys := range s.MS.Systems {
@@ -249,13 +264,14 @@ func (s *Server) buildTenants() error {
 			return fmt.Errorf("serve: tenant %s: %w", tc.Name, err)
 		}
 		t := &tenant{
-			cfg:     tc,
-			idx:     ti,
-			wl:      wl,
-			devices: devs,
-			ctrs:    s.Ctrs.Prefixed("tenant." + tc.Name + "."),
-			lat:     s.Hists.H("tenant." + tc.Name + ".sojourn_ns"),
-			rows:    newHash64(),
+			cfg:      tc,
+			idx:      ti,
+			wl:       wl,
+			devices:  devs,
+			ctrs:     s.Ctrs.Prefixed("tenant." + tc.Name + "."),
+			lat:      s.Hists.H("tenant." + tc.Name + ".sojourn_ns"),
+			gBacklog: s.Gauges.G("tenant." + tc.Name + ".backlog"),
+			rows:     newHash64(),
 		}
 		t.arrivals = loadgen.Arrivals(
 			loadgen.ArrivalSpec{RateQPS: tc.RateQPS, Deterministic: tc.Deterministic},
@@ -284,6 +300,22 @@ func (s *Server) SetTracer(tr *trace.Tracer) {
 	}
 }
 
+// EnableTelemetry samples every gauge registry of the serving stack —
+// each device platform under its "ssd<i>." namespace plus the serving
+// layer's own (tenant backlogs, in-flight, rejections, WFQ virtual
+// time) — at the given sim-time interval (<= 0 selects the default).
+// Call before Run; the report then carries per-series summaries, and a
+// tracer set via SetTracer additionally gains one Perfetto counter
+// track per series.
+func (s *Server) EnableTelemetry(interval sim.Time) *telemetry.Sampler {
+	s.sampler = telemetry.NewSampler(s.MS.Env, interval)
+	for i, sys := range s.MS.Systems {
+		s.sampler.Attach(sys.Plat.Gauges, fmt.Sprintf("ssd%d.", i))
+	}
+	s.sampler.Attach(s.Gauges, "")
+	return s.sampler
+}
+
 // Run executes the serving window to drain and reports it. Run
 // consumes the server: build a fresh one per window.
 func (s *Server) Run() *Report {
@@ -295,6 +327,8 @@ func (s *Server) Run() *Report {
 		}
 		s.dispatchLoop(h)
 	})
+	s.sampler.Flush()
+	s.sampler.ExportCounters(s.tr)
 	return s.report(took)
 }
 
@@ -310,12 +344,14 @@ func (s *Server) spawnArrivals(h *biscuit.MultiHost, t *tenant) {
 			if len(t.queue) >= t.cfg.QueueCap {
 				t.rejected++
 				s.rejected++
+				s.gRejected.Add(1)
 				t.ctrs.Add("rejected", 1)
 				s.tr.Instant(t.track, "reject").Arg("seq", int64(seq))
 			} else {
 				req := &request{t: t, seq: seq, arrive: p.Now(), deadline: p.Now() + t.cfg.SLO}
 				req.span = s.tr.BeginAsync(t.track, t.wl.name).Arg("seq", int64(seq))
 				t.queue = append(t.queue, req)
+				t.gBacklog.Add(1)
 				t.admitted++
 				t.ctrs.Add("admitted", 1)
 			}
@@ -330,13 +366,14 @@ func (s *Server) dispatchLoop(h *biscuit.MultiHost) {
 	p := h.Proc()
 	for s.completed+s.rejected < s.total {
 		for s.inFlight < s.Cfg.MaxInFlight {
-			ti := s.policy.pick(s)
+			ti := checkedPick(s.policy, s)
 			if ti < 0 {
 				break
 			}
 			t := s.tenants[ti]
 			req := t.queue[0]
 			t.queue = t.queue[1:]
+			t.gBacklog.Add(-1)
 			s.dispatch(h, req)
 		}
 		if s.completed+s.rejected >= s.total {
@@ -351,6 +388,7 @@ func (s *Server) dispatchLoop(h *biscuit.MultiHost) {
 func (s *Server) dispatch(h *biscuit.MultiHost, req *request) {
 	t := req.t
 	s.inFlight++
+	s.gInflight.Add(1)
 	tag := fmt.Sprintf("%s:%d", t.cfg.Name, req.seq)
 	s.dispatchHash.write(tag)
 	s.dispatchSeq = append(s.dispatchSeq, tag)
@@ -379,6 +417,7 @@ func (s *Server) dispatch(h *biscuit.MultiHost, req *request) {
 		t.lat.Record(int64(now - req.arrive))
 		req.span.End()
 		s.inFlight--
+		s.gInflight.Add(-1)
 		s.wake.Fire()
 	})
 }
@@ -452,6 +491,11 @@ type Report struct {
 	DispatchDigest   uint64         `json:"dispatch_digest"`
 	Tenants          []TenantReport `json:"tenants"`
 
+	// Telemetry carries one summary per sampled gauge series when
+	// EnableTelemetry was called — digests included, so the bench gate
+	// pins the continuous view of the window, not just its end state.
+	Telemetry []telemetry.SeriesSummary `json:"telemetry,omitempty"`
+
 	// DispatchOrder lists every dispatch as "tenant:seq" in scheduling
 	// order — the determinism tests' ground truth (not exported to
 	// bench JSON; the digest stands in for it there).
@@ -467,6 +511,9 @@ func (s *Server) report(took sim.Time) *Report {
 		Rejected:       s.rejected,
 		DispatchDigest: s.dispatchHash.h,
 		DispatchOrder:  s.dispatchSeq,
+	}
+	if s.sampler != nil {
+		rep.Telemetry = s.sampler.Summaries()
 	}
 	if took > 0 {
 		rep.AggThroughputQPS = float64(s.completed) / took.Seconds()

@@ -22,10 +22,18 @@ type Result struct {
 // the scan of the candidate table (the largest FROM table that has a
 // pushed-down filter) consults the Biscuit offload planner, mirroring
 // the paper's modified MariaDB.
+//
+// When the platform records a trace, the whole statement runs under a
+// "sql.query" span on the "host/query" track — the root span tracestat
+// anchors its critical-path and per-layer breakdown to.
 func Run(ex *db.Exec, d *db.Database, pl *planner.Planner, query string) (*Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
+	}
+	if tr := ex.H.System().Plat.Trace; tr != nil {
+		sp := tr.Begin(tr.Track("host/query"), "sql.query")
+		defer sp.End()
 	}
 	return runStmt(ex, d, pl, stmt)
 }

@@ -1,0 +1,187 @@
+package stats
+
+import "sort"
+
+// Gauge is a point-in-time level — queue depth, busy dies, backlog —
+// the instantaneous sibling of the monotonic Counters. Like the rest of
+// the stats family it is simulation-grade: no atomics (the sim kernel
+// serializes all processes) and nil-safe, so components mutate
+// unconditionally and a platform without telemetry pays only the nil
+// check (pinned at 0 allocs/op by TestGaugeDisabledAllocs).
+//
+// Gauges are only minted by a Gauges registry (G), never free-standing:
+// the registry owns the mutation hook that lets a telemetry sampler
+// observe every level at its pre-change value (the left limit) before
+// the change lands.
+type Gauge struct {
+	v   int64
+	reg *Gauges // owning registry; carries the sampler hook
+}
+
+// Set replaces the level. A nil gauge ignores the call.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	if h := g.reg.hook; h != nil {
+		h()
+	}
+	g.v = v
+}
+
+// Add moves the level by d (negative to decrease). A nil gauge ignores
+// the call.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	if h := g.reg.hook; h != nil {
+		h()
+	}
+	g.v += d
+}
+
+// Value reports the current level (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Gauges is the named-gauge registry. Unlike Counters it remembers
+// registration order — a telemetry sampler iterates gauges in that
+// order, so series order (and therefore every digest downstream) is
+// fixed by construction order, never map order. Snapshot stays
+// name-sorted like the other registries.
+type Gauges struct {
+	m     map[string]*Gauge
+	order []string // registration order == sampler series order
+	hook  func()   // invoked before every mutation (see OnChange)
+}
+
+// NewGauges returns an empty registry.
+func NewGauges() *Gauges { return &Gauges{m: map[string]*Gauge{}} }
+
+// G returns the named gauge, creating it at level 0 on first use, so
+// hot paths resolve the name once and Set/Add directly. A nil registry
+// returns nil (and a nil *Gauge ignores mutations), so callers need no
+// guard.
+func (gs *Gauges) G(name string) *Gauge {
+	if gs == nil {
+		return nil
+	}
+	g := gs.m[name]
+	if g == nil {
+		g = &Gauge{reg: gs}
+		gs.m[name] = g
+		gs.order = append(gs.order, name)
+	}
+	return g
+}
+
+// Set replaces the named gauge's level, creating it if needed.
+func (gs *Gauges) Set(name string, v int64) { gs.G(name).Set(v) }
+
+// Add moves the named gauge's level by d, creating it if needed.
+func (gs *Gauges) Add(name string, d int64) { gs.G(name).Add(d) }
+
+// Get reports the named gauge's level (0 if never registered).
+func (gs *Gauges) Get(name string) int64 {
+	if gs == nil {
+		return 0
+	}
+	return gs.m[name].Value()
+}
+
+// Len reports the number of registered gauges.
+func (gs *Gauges) Len() int {
+	if gs == nil {
+		return 0
+	}
+	return len(gs.order)
+}
+
+// Ith returns the i-th gauge in registration order; the telemetry
+// sampler walks the registry through it.
+func (gs *Gauges) Ith(i int) (string, *Gauge) {
+	name := gs.order[i]
+	return name, gs.m[name]
+}
+
+// OnChange installs fn to run immediately before any gauge of the
+// registry mutates — while every level still holds its pre-change
+// value. The telemetry sampler uses it to backfill elapsed sample
+// ticks with correct left-limit values without scheduling a single
+// simulation event. One hook per registry; nil uninstalls.
+func (gs *Gauges) OnChange(fn func()) {
+	if gs == nil {
+		return
+	}
+	gs.hook = fn
+}
+
+// NamedGauge is one (name, value) pair of a snapshot.
+type NamedGauge struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns all gauges sorted by name. The snapshot is a copy:
+// later mutations do not alter it.
+func (gs *Gauges) Snapshot() []NamedGauge {
+	if gs == nil {
+		return nil
+	}
+	out := make([]NamedGauge, 0, len(gs.m))
+	for k, v := range gs.m {
+		out = append(out, NamedGauge{k, v.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PrefixedGauges is the Gauges sibling of PrefixedCounters: a view that
+// prepends a fixed prefix (conventionally ending in ".") to every
+// name. A view of a nil registry is usable and inert.
+type PrefixedGauges struct {
+	gs     *Gauges
+	prefix string
+}
+
+// Prefixed returns a view of gs under prefix. Views nest by
+// concatenation, like PrefixedCounters.
+func (gs *Gauges) Prefixed(prefix string) *PrefixedGauges {
+	return &PrefixedGauges{gs: gs, prefix: prefix}
+}
+
+// Prefixed derives a nested view.
+func (p *PrefixedGauges) Prefixed(prefix string) *PrefixedGauges {
+	if p == nil {
+		return &PrefixedGauges{prefix: prefix}
+	}
+	return &PrefixedGauges{gs: p.gs, prefix: p.prefix + prefix}
+}
+
+// G returns the gauge registered under prefix+name (nil on a nil view
+// or registry).
+func (p *PrefixedGauges) G(name string) *Gauge {
+	if p == nil {
+		return nil
+	}
+	return p.gs.G(p.prefix + name)
+}
+
+// Set replaces prefix+name's level.
+func (p *PrefixedGauges) Set(name string, v int64) { p.G(name).Set(v) }
+
+// Add moves prefix+name's level by d.
+func (p *PrefixedGauges) Add(name string, d int64) { p.G(name).Add(d) }
+
+// Get reports prefix+name's level.
+func (p *PrefixedGauges) Get(name string) int64 {
+	if p == nil {
+		return 0
+	}
+	return p.gs.Get(p.prefix + name)
+}

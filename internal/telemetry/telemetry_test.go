@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"biscuit/internal/sim"
+	"biscuit/internal/stats"
+	"biscuit/internal/trace"
+)
+
+// run spins an env that mutates gauges at scripted (time, fn) points
+// and flushes the sampler at the end time.
+type step struct {
+	at sim.Time
+	fn func()
+}
+
+func script(env *sim.Env, steps []step) {
+	env.Spawn("script", func(p *sim.Proc) {
+		for _, st := range steps {
+			if d := st.at - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			st.fn()
+		}
+	})
+	env.Run()
+}
+
+func TestSamplerLeftLimitSampling(t *testing.T) {
+	env := sim.NewEnv()
+	gs := stats.NewGauges()
+	g := gs.G("hostif.qd")
+	s := NewSampler(env, 10)
+	s.Attach(gs, "")
+	script(env, []step{
+		{at: 5, fn: func() { g.Set(3) }},   // ticks 0 sampled pre-change: 0
+		{at: 25, fn: func() { g.Set(7) }},  // ticks 10,20 hold 3
+		{at: 40, fn: func() { g.Add(-7) }}, // ticks 30,40 hold 7 (40 is pre-change)
+		{at: 55, fn: func() {}},
+	})
+	s.Flush() // tick 50 holds 0
+	ser := s.Series()
+	if len(ser) != 1 || ser[0].Name != "hostif.qd" {
+		t.Fatalf("series = %+v", ser)
+	}
+	want := []int64{0, 3, 3, 7, 7, 0}
+	got := ser[0].Samples
+	if len(got) != len(want) {
+		t.Fatalf("samples = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample[%d] = %d, want %d (left-limit rule); all %v", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSamplerLateGaugeBackfill(t *testing.T) {
+	env := sim.NewEnv()
+	gs := stats.NewGauges()
+	early := gs.G("early")
+	s := NewSampler(env, 10)
+	s.Attach(gs, "")
+	script(env, []step{
+		{at: 15, fn: func() { early.Set(1) }},
+		// A gauge registered mid-run: its pre-existence ticks backfill
+		// with the value it holds when the sampler first sees it.
+		{at: 35, fn: func() { gs.G("late").Set(9) }},
+		{at: 45, fn: func() { early.Set(2) }},
+	})
+	s.Flush()
+	ser := s.Series()
+	if len(ser) != 2 {
+		t.Fatalf("want 2 series, got %+v", ser)
+	}
+	late := ser[1]
+	if late.Name != "late" {
+		t.Fatalf("series[1] = %q, want late (registration order)", late.Name)
+	}
+	// ticks 0..30 backfilled with 0 (creation-time level, set runs after
+	// the hook), tick 40 holds 9.
+	want := []int64{0, 0, 0, 0, 9}
+	if len(late.Samples) != len(want) {
+		t.Fatalf("late samples = %v, want %v", late.Samples, want)
+	}
+	for i := range want {
+		if late.Samples[i] != want[i] {
+			t.Fatalf("late sample[%d] = %d, want %d; all %v", i, late.Samples[i], want[i], late.Samples)
+		}
+	}
+}
+
+func TestSamplerMultiRegistryPrefixes(t *testing.T) {
+	env := sim.NewEnv()
+	a, b := stats.NewGauges(), stats.NewGauges()
+	ga, gb := a.G("hostif.qd"), b.G("hostif.qd")
+	s := NewSampler(env, 10)
+	s.Attach(a, "ssd0.")
+	s.Attach(b, "ssd1.")
+	script(env, []step{
+		{at: 15, fn: func() { ga.Set(1) }},
+		{at: 15, fn: func() { gb.Set(2) }},
+		{at: 25, fn: func() {}}, // run past tick 2 so it samples the new levels
+	})
+	s.Flush()
+	ser := s.Series()
+	if len(ser) != 2 || ser[0].Name != "ssd0.hostif.qd" || ser[1].Name != "ssd1.hostif.qd" {
+		t.Fatalf("series names = %q, %q", ser[0].Name, ser[1].Name)
+	}
+	if ser[0].Samples[2] != 1 || ser[1].Samples[2] != 2 {
+		t.Fatalf("prefixed registries mixed up: %v / %v", ser[0].Samples, ser[1].Samples)
+	}
+}
+
+func TestSamplerDeterministicDigests(t *testing.T) {
+	runOnce := func() []SeriesSummary {
+		env := sim.NewEnv()
+		gs := stats.NewGauges()
+		g := gs.G("nand.busy_dies")
+		h := gs.G("ftl.gc.debt")
+		s := NewSampler(env, 0) // default interval
+		s.Attach(gs, "")
+		script(env, []step{
+			{at: 50 * sim.Microsecond, fn: func() { g.Set(4) }},
+			{at: 250 * sim.Microsecond, fn: func() { h.Set(2) }},
+			{at: 900 * sim.Microsecond, fn: func() { g.Set(0) }},
+		})
+		return s.Summaries()
+	}
+	x, y := runOnce(), runOnce()
+	if len(x) != 2 || len(y) != 2 {
+		t.Fatalf("want 2 summaries, got %d/%d", len(x), len(y))
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("same-seed summaries differ: %+v vs %+v", x[i], y[i])
+		}
+		if x[i].Digest == "" || len(x[i].Digest) != 16 {
+			t.Fatalf("digest %q not 16 hex chars", x[i].Digest)
+		}
+	}
+	if x[0].Samples != x[1].Samples {
+		t.Fatalf("series lengths diverge within one run: %d vs %d", x[0].Samples, x[1].Samples)
+	}
+}
+
+func TestSamplerSummaryStats(t *testing.T) {
+	sum := summarize("x", 10, []int64{2, 8, 5})
+	if sum.Min != 2 || sum.Max != 8 || sum.Mean != 5 || sum.Samples != 3 || sum.IntervalNs != 10 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	empty := summarize("y", 10, nil)
+	if empty.Min != 0 || empty.Max != 0 || empty.Mean != 0 || empty.Samples != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+	if summarize("a", 10, []int64{1}).Digest == summarize("a", 10, []int64{2}).Digest {
+		t.Fatalf("digest ignores sample values")
+	}
+}
+
+func TestNilSamplerInert(t *testing.T) {
+	var s *Sampler
+	s.Attach(stats.NewGauges(), "x.")
+	s.Flush()
+	if s.Series() != nil || s.Summaries() != nil || s.Interval() != 0 {
+		t.Fatalf("nil sampler not inert")
+	}
+	s.ExportCounters(nil)
+}
+
+func TestExportCountersDeltaCompression(t *testing.T) {
+	env := sim.NewEnv()
+	gs := stats.NewGauges()
+	g := gs.G("hostif.qd")
+	s := NewSampler(env, 10)
+	s.Attach(gs, "")
+	script(env, []step{
+		{at: 15, fn: func() { g.Set(3) }},
+		{at: 45, fn: func() { g.Set(0) }},
+	})
+	s.Flush()
+	// samples: [0 0 3 3 3] — ticks 0..40, each the left limit.
+	tr := trace.New(env)
+	s.ExportCounters(tr)
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, `"ph":"C"`); n != 3 {
+		// emitted: k=0 (always), k=2 (0→3), k=4 (last tick)
+		t.Fatalf("counter events = %d, want 3 (delta compression)\n%s", n, out)
+	}
+	if !strings.Contains(out, `"args":{"name":"ctr/hostif.qd"}`) {
+		t.Fatalf("counter track not registered by name:\n%s", out)
+	}
+	if !strings.Contains(out, `"args":{"value":3}`) {
+		t.Fatalf("counter value arg missing:\n%s", out)
+	}
+}
+
+// TestSamplerZeroEvents pins the no-scheduling guarantee: attaching a
+// sampler must leave the event queue untouched, so env.Run() still
+// drains and event sequencing is unperturbed.
+func TestSamplerZeroEvents(t *testing.T) {
+	env := sim.NewEnv()
+	gs := stats.NewGauges()
+	s := NewSampler(env, 10)
+	s.Attach(gs, "")
+	gs.G("x").Set(1)
+	if !env.Idle() {
+		t.Fatalf("sampler scheduled a sim event")
+	}
+}
+
+// TestSamplerHookedAllocsSteadyState: once every series has grown past
+// its append-doubling phase, a gauge mutation between ticks (the hot
+// case: many mutations per sample interval) allocates nothing.
+func TestSamplerHookedAllocsSteadyState(t *testing.T) {
+	env := sim.NewEnv()
+	gs := stats.NewGauges()
+	g := gs.G("hot")
+	s := NewSampler(env, sim.Time(1<<40)) // one tick covers the whole test
+	s.Attach(gs, "")
+	g.Set(1) // records tick 0
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1) }); n != 0 {
+		t.Fatalf("between-tick mutation allocates %v/op, want 0", n)
+	}
+}

@@ -119,6 +119,13 @@ func (t *Tracer) writeEvent(b *bufio.Writer, ev *event, now sim.Time) {
 		b.WriteString(",\"dur\":")
 		writeMicros(b, dur)
 	}
+	if ev.phase == 'C' {
+		// A counter's value rides dur (see CounterAt); Perfetto reads it
+		// from args.value.
+		b.WriteString(",\"args\":{\"value\":")
+		b.WriteString(strconv.FormatInt(int64(ev.dur), 10))
+		b.WriteString("}")
+	}
 	if len(ev.args) > 0 {
 		b.WriteString(",\"args\":{")
 		for i, a := range ev.args {

@@ -38,10 +38,10 @@ type arg struct {
 
 type event struct {
 	name  string
-	phase byte // 'X' complete, 'i' instant, 'b'/'e' async pair
+	phase byte // 'X' complete, 'i' instant, 'b'/'e' async pair, 'C' counter
 	track TrackID
 	ts    sim.Time
-	dur   sim.Time // 'X' only; -1 while the span is open
+	dur   sim.Time // 'X': duration (-1 while the span is open); 'C': the sampled value
 	id    uint64   // 'b'/'e' pairing id
 	args  []arg
 }
@@ -198,6 +198,22 @@ func (s Span) End() {
 	case 'b':
 		st.events = append(st.events, event{name: ev.name, phase: 'e', track: ev.track, ts: st.env.Now(), id: ev.id})
 	}
+}
+
+// CounterAt records one Perfetto counter sample ('C' phase) of value v
+// on tk at the explicit virtual timestamp ts. Unlike spans, counter
+// events carry their own timestamp: the telemetry sampler appends a
+// whole recorded series at export time, after the simulated work it
+// measured. Within one (track, name) series callers must append in
+// non-decreasing ts order — the extended tracecheck rejects anything
+// else. The value rides the otherwise-unused dur field, so a sample
+// costs no arg allocation.
+func (t *Tracer) CounterAt(tk TrackID, name string, ts sim.Time, v int64) {
+	if t == nil {
+		return
+	}
+	st := t.st
+	st.events = append(st.events, event{name: name, phase: 'C', track: tk, ts: ts, dur: sim.Time(v)})
 }
 
 // Len reports the number of recorded events (0 on a nil tracer).

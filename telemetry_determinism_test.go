@@ -1,0 +1,127 @@
+package biscuit_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"biscuit"
+	"biscuit/internal/db"
+	"biscuit/internal/db/planner"
+	"biscuit/internal/sim"
+	"biscuit/internal/sql"
+	"biscuit/internal/telemetry"
+	"biscuit/internal/tpch"
+	"biscuit/internal/tracestat"
+)
+
+// sampledSQL runs query on a fresh traced system with the gauge
+// sampler attached for the whole run (load + query), and returns the
+// merged span+counter trace bytes plus the per-series summaries.
+func sampledSQL(t *testing.T, seed int64, query string) ([]byte, []telemetry.SeriesSummary) {
+	t.Helper()
+	sys := biscuit.NewSystem(biscuit.DefaultConfig())
+	tr := sys.NewTracer()
+	sampler := telemetry.NewSampler(sys.Env, telemetry.DefaultInterval)
+	sampler.Attach(sys.Plat.Gauges, "")
+	d := db.Open(sys)
+	sys.Run(func(h *biscuit.Host) {
+		if _, err := (tpch.Gen{SF: 0.001}).Load(h, d, biscuit.SeededRand(seed)); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+	})
+	sys.Run(func(h *biscuit.Host) {
+		ex := db.NewExec(h, d)
+		if _, err := sql.Run(ex, d, planner.Default(), query); err != nil {
+			t.Fatalf("query: %v", err)
+		}
+	})
+	sampler.Flush()
+	sampler.ExportCounters(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return buf.Bytes(), sampler.Summaries()
+}
+
+// TestTelemetryDeterministic extends the tracing contract to the
+// sampled time series: two identically-seeded runs must produce
+// byte-identical merged traces (spans AND counter tracks) and
+// reflect-equal series summaries, digests included. The sampler rides
+// the gauge registries' pre-mutation hooks and schedules no events of
+// its own, so any divergence here is sampling leaking into — or
+// nondeterminism leaking out of — the simulated schedule.
+func TestTelemetryDeterministic(t *testing.T) {
+	a, sa := sampledSQL(t, 7, q6)
+	b, sb := sampledSQL(t, 7, q6)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Errorf("same seed produced different series summaries:\n run1: %+v\n run2: %+v", sa, sb)
+	}
+	if !bytes.Equal(a, b) {
+		firstDiff(t, a, b)
+	}
+	if len(sa) == 0 {
+		t.Fatal("sampler recorded no series")
+	}
+	for _, want := range []string{`"ph":"C"`, "ctr/hostif.qd", "ctr/nand.busy_dies", "ctr/ftl.free_sb"} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("merged trace missing counter marker %q", want)
+		}
+	}
+}
+
+// TestTracestatAcceptance pins the offline analyzer's contract on a
+// real run: the critical-path window must not exceed the trace's
+// end-to-end sim time, the device-side share must fit inside it, and
+// both the per-layer and per-operator attributions must sum exactly
+// to the traced query span — the sweep assigns every instant of the
+// window to exactly one owner.
+func TestTracestatAcceptance(t *testing.T) {
+	raw, _ := sampledSQL(t, 7, q6)
+	tr, err := tracestat.Parse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// The Conv reference run's sql.query span precedes the Biscuit
+	// run's in the same trace; analyze the last (Biscuit) one.
+	b, err := tr.CriticalPathNth("sql.query", -1)
+	if err != nil {
+		t.Fatalf("critical path: %v", err)
+	}
+	if b.TotalNs <= 0 {
+		t.Fatalf("query window is empty: %+v", b)
+	}
+	if b.TotalNs > tr.End {
+		t.Errorf("critical-path window %v exceeds end-to-end sim time %v", sim.Time(b.TotalNs), sim.Time(tr.End))
+	}
+	if b.DeviceNs < 0 || b.DeviceNs > b.TotalNs {
+		t.Errorf("device-side share %v outside [0, %v]", sim.Time(b.DeviceNs), sim.Time(b.TotalNs))
+	}
+	var layerSum, opSum, chainSum int64
+	for _, l := range b.Layers {
+		layerSum += l.Ns
+	}
+	for _, op := range b.Operators {
+		opSum += op.Ns
+	}
+	for _, c := range b.Chain {
+		chainSum += c.Ns
+	}
+	if layerSum != b.TotalNs {
+		t.Errorf("layer attribution sums to %v, want the query span %v", sim.Time(layerSum), sim.Time(b.TotalNs))
+	}
+	if opSum != b.TotalNs {
+		t.Errorf("operator breakdown sums to %v, want the query span %v", sim.Time(opSum), sim.Time(b.TotalNs))
+	}
+	if chainSum != b.TotalNs {
+		t.Errorf("critical-path chain sums to %v, want the query span %v", sim.Time(chainSum), sim.Time(b.TotalNs))
+	}
+	if len(tr.Counters) == 0 {
+		t.Error("sampled run exported no counter series")
+	}
+	if got := tr.CounterStats(); len(got) != len(tr.Counters) {
+		t.Errorf("CounterStats returned %d entries for %d series", len(got), len(tr.Counters))
+	}
+}
