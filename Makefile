@@ -9,7 +9,7 @@ VETTOOL := bin/biscuitvet
 # dangerous kind.
 TIER1 := ./internal/ports/... ./internal/hostif/... ./internal/sim/...
 
-.PHONY: all build test race racefault vet vet-fix fmt check faulttest faultbench benchsmoke benchgate bless-bench servebench tracesmoke telemetrysmoke clean
+.PHONY: all build test race racefault vet vet-fix fmt check faulttest faultbench healtest healbench benchsmoke benchgate bless-bench servebench tracesmoke telemetrysmoke clean
 
 all: build
 
@@ -44,6 +44,27 @@ faulttest:
 	$(GO) test -count=2 ./internal/fault/...
 	$(GO) test -count=2 -run $(FAULTRUN) $(FAULTPKGS)
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault
+
+# Self-healing suite (DESIGN.md "Self-healing"): the health monitor's
+# unit tests plus every rebuild/migration/replica/health test across
+# the stack, run twice to catch schedule nondeterminism — the
+# transition log, rebuild page order and migration cutover points are
+# all part of the deterministic surface.
+HEALRUN := 'Health|Heal|Rebuild|Migrat|Replica|Shard'
+HEALPKGS := ./internal/ftl/... ./internal/serve/... ./internal/tpch/... \
+	./internal/weblog/...
+
+healtest:
+	$(GO) test -count=2 ./internal/health/...
+	$(GO) test -count=2 -run $(HEALRUN) $(HEALPKGS)
+
+# Heal bench (DESIGN.md "Self-healing"): the availability-vs-repair
+# curve — die failure time x rebuild pacing x migration on/off — as
+# BENCH_healcurve.json. Every field is simulated-time deterministic,
+# so benchgate compares it exactly against baselines/.
+healbench:
+	mkdir -p bench-out
+	$(GO) run ./cmd/biscuitbench -exp healcurve -json bench-out
 
 # Fault bench: the availability/latency-under-fault curve at reduced
 # size (3 sweep points, BENCH_faultcurve.json), traced; tracecheck then
@@ -87,7 +108,7 @@ servebench:
 # zero-alloc DES core from regressing silently.
 GATETOL ?= 0.10
 
-benchgate: benchsmoke servebench
+benchgate: benchsmoke servebench healbench
 	mkdir -p bench-out
 	$(GO) run ./cmd/biscuitbench -exp simcore,table3 -json bench-out
 	$(GO) run ./cmd/benchgate -walltol $(GATETOL) baselines bench-out
@@ -135,9 +156,9 @@ telemetrysmoke:
 	$(GO) run ./cmd/tracestat -crit -nth -1 trace-out/q6.telemetry.json
 
 # vet = stock go vet + the biscuitvet analyzer suite (arenaescape,
-# detrand, eventpurity, fiberyield, ndpframing, nogoroutine, portcheck,
-# simtimemix, spanbalance, statnames, walltime — see DESIGN.md
-# "Invariants").
+# detrand, eventpurity, fiberyield, healthstate, ndpframing,
+# nogoroutine, portcheck, simtimemix, spanbalance, statnames,
+# walltime — see DESIGN.md "Invariants").
 # biscuitvet runs
 # through the standard vettool protocol; waivers are either the legacy
 # //biscuitvet:<name>-ok directive or //biscuitvet:ignore <name>: <reason>

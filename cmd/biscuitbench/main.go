@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("exp", "all", "comma-separated experiments: simcore,table2,table3,fig7,table4,table5,fig8,fig9,fig10,faultcurve,servecurve")
+		exps     = flag.String("exp", "all", "comma-separated experiments: simcore,table2,table3,fig7,table4,table5,fig8,fig9,fig10,faultcurve,servecurve,healcurve")
 		sf       = flag.Float64("sf", 0, "TPC-H scale factor override for fig8/fig9/fig10")
 		joinbuf  = flag.Int("joinbuf", 0, "join buffer rows override for fig10")
 		quick    = flag.Bool("quick", false, "use reduced experiment sizes")
@@ -200,19 +200,23 @@ func main() {
 		fc := bench.RunFaultCurve(cfg)
 		writeJSON(*jsonDir, "faultcurve", fc)
 		fmt.Printf("Fault curve — Q6 availability and latency vs fault intensity (SF %.3f, %d queries/point)\n", fc.SF, cfg.FaultQueries)
-		fmt.Printf("  %-9s %-7s %-5s %-7s %-9s %-9s %-9s %-8s %-7s %-7s %-5s %s\n",
-			"intensity", "avail%", "ok", "conv", "p50(ms)", "p95(ms)", "p99(ms)", "ndp-fb", "reconst", "degradd", "scrub", "lost")
+		fmt.Printf("  %-9s %-5s %-7s %-5s %-7s %-9s %-9s %-9s %-8s %-7s %-7s %-5s %s\n",
+			"intensity", "W", "avail%", "ok", "conv", "p50(ms)", "p95(ms)", "p99(ms)", "ndp-fb", "reconst", "degradd", "scrub", "lost")
 		for _, pt := range fc.Points {
 			die := ""
 			if pt.DieFailed {
 				die = " +die"
 			}
-			fmt.Printf("  %-9g %-7.1f %-5d %-7d %-9.2f %-9.2f %-9.2f %-8d %-7d %-7d %-5d %d%s\n",
-				pt.Intensity, pt.Availability*100, pt.OK, pt.ConvReruns,
+			w := "auto"
+			if pt.Width > 0 {
+				w = fmt.Sprintf("%d", pt.Width)
+			}
+			fmt.Printf("  %-9g %-5s %-7.1f %-5d %-7d %-9.2f %-9.2f %-9.2f %-8d %-7d %-7d %-5d %d%s\n",
+				pt.Intensity, w, pt.Availability*100, pt.OK, pt.ConvReruns,
 				float64(pt.Lat.P50)/1e6, float64(pt.Lat.P95)/1e6, float64(pt.Lat.P99)/1e6,
 				pt.NDPFallbacks, pt.Reconstructs, pt.DegradedReads, pt.ScrubRepairs, pt.LostPages, die)
-			csvOut.WriteString(fmt.Sprintf("faultcurve,%g,%f,%d,%d,%d,%d,%d,%d,%d,%d\n",
-				pt.Intensity, pt.Availability, pt.OK, pt.ConvReruns,
+			csvOut.WriteString(fmt.Sprintf("faultcurve,%g,%d,%f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				pt.Intensity, pt.Width, pt.Availability, pt.OK, pt.ConvReruns,
 				pt.Lat.P50, pt.Lat.P95, pt.Lat.P99, pt.Reconstructs, pt.DegradedReads, pt.LostPages))
 		}
 		fmt.Println()
@@ -234,6 +238,29 @@ func main() {
 			fmt.Println(line)
 			csvOut.WriteString(fmt.Sprintf("servecurve,%d,%s,%g,%f,%d\n",
 				pt.Devices, pt.Policy, pt.OfferedQPS, r.AggThroughputQPS, r.Rejected))
+		}
+		fmt.Println()
+	}
+
+	if all || want["healcurve"] {
+		hc := bench.RunHealCurve(cfg)
+		writeJSON(*jsonDir, "healcurve", hc)
+		fmt.Printf("Heal curve — availability vs die-fail time × rebuild × migration (SF %.3f, %.0fms windows)\n",
+			hc.SF, float64(hc.WindowNs)/1e6)
+		fmt.Printf("  %-9s %-10s %-8s %-7s %-9s %-9s %-6s %-7s %-8s %s\n",
+			"fail-frac", "rebuild", "migrate", "avail%", "errors", "p99(ms)", "migr", "transit", "pages", "parity")
+		for _, pt := range hc.Points {
+			rb := "off"
+			if pt.RebuildNs >= 0 {
+				rb = fmt.Sprintf("%dus", pt.RebuildNs/1000)
+			}
+			fmt.Printf("  %-9g %-10s %-8v %-7.1f %-9d %-9.2f %-6d %-7d %-8d %d\n",
+				pt.FailFrac, rb, pt.Migrate, pt.Availability*100, pt.Errors,
+				float64(pt.WorstP99Ns)/1e6, pt.Migrations, pt.HealthTransitions,
+				pt.RebuildPages, pt.RebuildParity)
+			csvOut.WriteString(fmt.Sprintf("healcurve,%g,%d,%v,%f,%d,%d,%d,%d\n",
+				pt.FailFrac, pt.RebuildNs, pt.Migrate, pt.Availability, pt.Errors,
+				pt.WorstP99Ns, pt.Migrations, pt.RebuildPages))
 		}
 		fmt.Println()
 	}

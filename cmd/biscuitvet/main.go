@@ -52,6 +52,7 @@ import (
 	"biscuit/internal/analysis/eventpurity"
 	"biscuit/internal/analysis/fiberyield"
 	"biscuit/internal/analysis/framework"
+	"biscuit/internal/analysis/healthstate"
 	"biscuit/internal/analysis/ndpframing"
 	"biscuit/internal/analysis/nogoroutine"
 	"biscuit/internal/analysis/portcheck"
@@ -68,6 +69,7 @@ var analyzers = []*framework.Analyzer{
 	detrand.Analyzer,
 	eventpurity.Analyzer,
 	fiberyield.Analyzer,
+	healthstate.Analyzer,
 	ndpframing.Analyzer,
 	nogoroutine.Analyzer,
 	portcheck.Analyzer,

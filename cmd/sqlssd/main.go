@@ -52,11 +52,13 @@ func main() {
 		policy   = flag.String("policy", "wfq", "serving mode: scheduling policy, wfq or edf")
 		sampleUs = flag.Int64("sample", 0, "sample every gauge each N simulated microseconds; with -trace the series export as Perfetto counter tracks")
 		explain  = flag.Bool("explain", false, "print each Biscuit query's trace-derived per-layer/per-operator sim-time breakdown")
+		rainW    = flag.Int("rainW", 0, "RAIN stripe width W in data pages (0 = device default, Channels-1)")
+		heal     = flag.Bool("heal", false, "serving mode: enable the self-healing stack (health monitor, patrol scrub, proactive rebuild, tenant migration on >1 device) and kill a die partway through the window")
 	)
 	flag.Parse()
 
-	if *devices > 1 || *tenants > 0 {
-		serveMain(*devices, *tenants, *rate, *windowMs, *policy, *sf, *seed, *faultArg, *traceOut, *sampleUs)
+	if *devices > 1 || *tenants > 0 || *heal {
+		serveMain(*devices, *tenants, *rate, *windowMs, *policy, *sf, *seed, *faultArg, *traceOut, *sampleUs, *rainW, *heal)
 		return
 	}
 
@@ -86,6 +88,7 @@ func main() {
 	}
 
 	cfg := biscuit.DefaultConfig()
+	cfg.FTL.StripeDataPages = *rainW
 	if *faultArg != "" {
 		plan, err := fault.ParsePlan(*faultArg)
 		if err != nil {
@@ -215,8 +218,10 @@ func printTelemetry(sampler *telemetry.Sampler) {
 // serveMain runs one multi-tenant serving window on an N-device array.
 // Tenants are named t1..tM and cycle through the built-in workloads;
 // the total offered rate is split evenly. A -fault campaign arms on
-// every device of the array.
-func serveMain(devices, tenants int, rate float64, windowMs int, policy string, sf float64, seed int64, faultArg, traceOut string, sampleUs int64) {
+// every device of the array. With -heal the self-healing stack runs and
+// a die on device 0 dies at 40% of the window, so the health monitor,
+// rebuild fiber and (on >1 device) tenant migration all have work.
+func serveMain(devices, tenants int, rate float64, windowMs int, policy string, sf float64, seed int64, faultArg, traceOut string, sampleUs int64, rainW int, heal bool) {
 	if devices < 1 {
 		fmt.Fprintln(os.Stderr, "sqlssd: -devices must be >= 1")
 		os.Exit(2)
@@ -231,6 +236,20 @@ func serveMain(devices, tenants int, rate float64, windowMs int, policy string, 
 		Policy:  policy,
 		Window:  sim.Time(windowMs) * sim.Millisecond,
 		Seed:    seed,
+	}
+	if rainW > 0 {
+		base := biscuit.DefaultConfig()
+		base.NAND.BlocksPerDie = 256
+		base.NAND.PagesPerBlock = 64
+		base.FTL.StripeDataPages = rainW
+		cfg.Base = &base
+	}
+	if heal {
+		cfg.Heal = true
+		cfg.Migrate = devices > 1
+		cfg.FailAt = cfg.Window * 2 / 5
+		cfg.FailDevice = 0
+		cfg.FailDie = 1
 	}
 	if faultArg != "" {
 		plan, err := fault.ParsePlan(faultArg)
@@ -276,6 +295,23 @@ func serveMain(devices, tenants int, rate float64, windowMs int, policy string, 
 			t.Name, t.Workload, t.Offered, t.Admitted, t.Completed, t.DeadlineMisses,
 			time.Duration(t.Lat.P50), time.Duration(t.Lat.P95), time.Duration(t.Lat.P99),
 			t.ThroughputQPS, t.RowDigest)
+	}
+	if heal {
+		fmt.Printf("\n-- health: %d transitions, digest %016x\n", rep.HealthTransitions, rep.HealthDigest)
+		for d := 0; d < devices; d++ {
+			fmt.Printf("   ssd%d %s\n", d, s.Monitor.State(d))
+		}
+		var pages, parity int64
+		for _, sys := range s.MS.Systems {
+			rb := sys.Plat.FTL.Rebuild()
+			pages += rb.Pages
+			parity += rb.Parity
+		}
+		fmt.Printf("   rebuild: %d data pages re-striped, %d parity relocated\n", pages, parity)
+		for _, m := range rep.Migrations {
+			fmt.Printf("   migrate: %s shard %d ssd%d->ssd%d at %v (after %d dispatches)\n",
+				m.Tenant, m.Shard, m.FromDev, m.ToDev, time.Duration(m.AtNs), m.AfterSeq)
+		}
 	}
 	if len(rep.Telemetry) > 0 {
 		fmt.Println("\n-- telemetry")

@@ -1,0 +1,56 @@
+// Package healthstate keeps device-health transitions honest.
+//
+// The health monitor (internal/health) is the single source of truth
+// for a device's Healthy/Degraded/Critical classification: the serving
+// layer migrates tenants and the operators' dashboards read trends off
+// the transition log, so a state that was set by hand — rather than
+// scored from the device's live gauges and counters — silently
+// invalidates both. Monitor.Force exists for failure drills and tests
+// only.
+//
+// The analyzer flags every call to (*health.Monitor).Force outside
+// package health and outside _test.go files. A deliberate drill in
+// production code must carry a reasoned waiver:
+// //biscuitvet:ignore healthstate: <reason>.
+package healthstate
+
+import (
+	"go/ast"
+
+	"biscuit/internal/analysis/framework"
+)
+
+// healthPkg is the package whose Monitor owns health state.
+const healthPkg = "biscuit/internal/health"
+
+// Analyzer is the healthstate check.
+var Analyzer = &framework.Analyzer{
+	Name: "healthstate",
+	Doc:  "flag health.Monitor.Force calls outside package health and tests: state must flow from the monitor's own evaluation",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if framework.PkgPath(pass.Pkg) == healthPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.FuncFor(pass.TypesInfo, call.Fun)
+			if fn == nil || fn.Name() != "Force" ||
+				fn.Pkg() == nil || framework.PkgPath(fn.Pkg()) != healthPkg {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "health state forced outside the monitor: transitions must flow from the monitor's own evaluation (use gauges/counters the score consults, or suppress a drill with %s)", pass.Directive())
+			return true
+		})
+	}
+	return nil
+}

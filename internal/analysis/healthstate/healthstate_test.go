@@ -1,0 +1,12 @@
+package healthstate_test
+
+import (
+	"testing"
+
+	"biscuit/internal/analysis/analysistest"
+	"biscuit/internal/analysis/healthstate"
+)
+
+func TestHealthState(t *testing.T) {
+	analysistest.Run(t, "testdata", healthstate.Analyzer, "healuser")
+}

@@ -1,0 +1,22 @@
+// Package health is a stub of the device-health monitor, just deep
+// enough for analyzer testdata to import it by path.
+package health
+
+// State is a device's health classification.
+type State int
+
+// Classifications.
+const (
+	Healthy State = iota
+	Degraded
+	Critical
+)
+
+// Monitor classifies attached devices.
+type Monitor struct{ states []State }
+
+// State reports the device's current classification.
+func (m *Monitor) State(dev int) State { return m.states[dev] }
+
+// Force sets a device's state directly, bypassing the classifier.
+func (m *Monitor) Force(dev int, to State) { m.states[dev] = to }

@@ -1,0 +1,22 @@
+// Package healuser exercises the forced-health-transition check.
+package healuser
+
+import "biscuit/internal/health"
+
+func reading(m *health.Monitor) health.State {
+	return m.State(0) // reading state: fine
+}
+
+func forcing(m *health.Monitor) {
+	m.Force(0, health.Critical) // want `health state forced outside the monitor`
+}
+
+func forcingInClosure(m *health.Monitor) func() {
+	return func() {
+		m.Force(1, health.Degraded) // want `health state forced outside the monitor`
+	}
+}
+
+func waivedDrill(m *health.Monitor) {
+	m.Force(0, health.Degraded) //biscuitvet:ignore healthstate: quarterly failover drill exercises the migration path end to end
+}

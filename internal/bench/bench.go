@@ -35,9 +35,11 @@ type Config struct {
 	// moderate background fault plan (0 = fault-free baseline).
 	FaultIntensities []float64
 	// FaultQueries is how many Q6 repetitions each fault-curve point
-	// issues; FaultSF sizes its TPC-H load.
+	// issues; FaultSF sizes its TPC-H load. FaultWidths sweeps the RAIN
+	// stripe width (0 = the device default, Channels-1).
 	FaultQueries int
 	FaultSF      float64
+	FaultWidths  []int
 	// ServeSF / ServeWindow / ServeLoads / ServeDevices size the
 	// multi-tenant serving-curve grid: each device count is swept over
 	// both scheduling policies at each total offered load.
@@ -45,6 +47,16 @@ type Config struct {
 	ServeWindow  sim.Time
 	ServeLoads   []float64
 	ServeDevices []int
+	// HealSF / HealWindow / HealQPS size the self-healing curve;
+	// HealFracs are die-fail times as window fractions, HealRebuildNs
+	// the rebuild pacings swept (-1 = reconstruct-on-read only), and
+	// HealWeblogBytes the sharded web-log corpus the wlog tenant greps.
+	HealSF          float64
+	HealWindow      sim.Time
+	HealQPS         float64
+	HealFracs       []float64
+	HealRebuildNs   []int64
+	HealWeblogBytes int64
 	// Seed drives all generators.
 	Seed int64
 }
@@ -67,11 +79,19 @@ func DefaultConfig() Config {
 		FaultIntensities: []float64{0, 1, 4, 16},
 		FaultQueries:     12,
 		FaultSF:          0.004,
+		FaultWidths:      []int{0, 4},
 
 		ServeSF:      0.002,
 		ServeWindow:  250 * sim.Millisecond,
 		ServeLoads:   []float64{150, 700},
 		ServeDevices: []int{1, 2, 4},
+
+		HealSF:          0.002,
+		HealWindow:      250 * sim.Millisecond,
+		HealQPS:         300,
+		HealFracs:       []float64{0.2, 0.6},
+		HealRebuildNs:   []int64{-1, 500_000},
+		HealWeblogBytes: 2 << 20,
 
 		Seed: 1,
 	}
@@ -91,9 +111,15 @@ func QuickConfig() Config {
 	c.FaultIntensities = []float64{0, 2, 16}
 	c.FaultQueries = 4
 	c.FaultSF = 0.002
+	c.FaultWidths = []int{0}
 	c.ServeWindow = 150 * sim.Millisecond
 	c.ServeLoads = []float64{300}
 	c.ServeDevices = []int{1, 2}
+	c.HealWindow = 150 * sim.Millisecond
+	c.HealQPS = 200
+	c.HealFracs = []float64{0.3}
+	c.HealRebuildNs = []int64{-1, 500_000}
+	c.HealWeblogBytes = 1 << 20
 	return c
 }
 

@@ -61,6 +61,7 @@ const dieFailIntensity = 8
 // under-fault curve.
 type FaultCurvePoint struct {
 	Intensity float64
+	Width     int    // RAIN stripe width W (0 = device default, Channels-1)
 	Plan      string // canonical fault.Plan string, "" when fault-free
 	DieFailed bool   // campaign killed a die before the queries
 
@@ -90,15 +91,24 @@ type FaultCurve struct {
 	Lat []stats.NamedSummary `json:"lat"`
 }
 
-// RunFaultCurve sweeps cfg.FaultIntensities. Each point builds a fresh
-// platform with the scaled campaign, loads TPC-H at cfg.FaultSF, starts
-// the patrol scrub, and issues Q6 cfg.FaultQueries times.
+// RunFaultCurve sweeps cfg.FaultIntensities at every RAIN stripe width
+// in cfg.FaultWidths: a narrower stripe pays more parity overhead but
+// shrinks each reconstruction's read fan-in, which the curve makes
+// measurable. Each point builds a fresh platform with the scaled
+// campaign, loads TPC-H at cfg.FaultSF, starts the patrol scrub, and
+// issues Q6 cfg.FaultQueries times.
 func RunFaultCurve(cfg Config) FaultCurve {
 	out := FaultCurve{SF: cfg.FaultSF}
+	widths := cfg.FaultWidths
+	if len(widths) == 0 {
+		widths = []int{0}
+	}
 	var last *biscuit.System
-	for _, intensity := range cfg.FaultIntensities {
-		pt := runFaultPoint(cfg, intensity, &last)
-		out.Points = append(out.Points, pt)
+	for _, width := range widths {
+		for _, intensity := range cfg.FaultIntensities {
+			pt := runFaultPoint(cfg, intensity, width, &last)
+			out.Points = append(out.Points, pt)
+		}
 	}
 	if last != nil {
 		out.Lat = latencies(last)
@@ -106,11 +116,12 @@ func RunFaultCurve(cfg Config) FaultCurve {
 	return out
 }
 
-func runFaultPoint(cfg Config, intensity float64, last **biscuit.System) FaultCurvePoint {
+func runFaultPoint(cfg Config, intensity float64, width int, last **biscuit.System) FaultCurvePoint {
 	plan := faultPlanAt(cfg.Seed, intensity)
 	scfg := biscuit.DefaultConfig()
 	scfg.NAND.BlocksPerDie = 256
 	scfg.NAND.PagesPerBlock = 64
+	scfg.FTL.StripeDataPages = width
 	scfg.Fault = plan
 	sys := biscuit.NewSystem(scfg)
 	if OnSystem != nil {
@@ -118,7 +129,7 @@ func runFaultPoint(cfg Config, intensity float64, last **biscuit.System) FaultCu
 	}
 	*last = sys
 
-	pt := FaultCurvePoint{Intensity: intensity}
+	pt := FaultCurvePoint{Intensity: intensity, Width: width}
 	if plan.Enabled() {
 		pt.Plan = plan.String()
 	}

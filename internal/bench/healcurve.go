@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"biscuit/internal/serve"
+	"biscuit/internal/sim"
+	"biscuit/internal/telemetry"
+)
+
+// The heal-curve experiment measures the self-healing stack end to end:
+// each point serves one multi-tenant window on a two-device array, kills
+// a die on device 0 partway through, and varies what the array is
+// allowed to do about it — nothing beyond reconstruct-on-read (the
+// degraded baseline), proactive background rebuild, tenant migration
+// onto the replica shard, or both. The curve's claim is that availability
+// with rebuild+migration is at least the reconstruct-on-read baseline at
+// every fail time, and the clean tenant pinned to the healthy device
+// keeps a byte-identical row digest throughout.
+
+// HealPoint is one cell of the healing grid.
+type HealPoint struct {
+	// FailFrac places the die failure at this fraction of the window;
+	// 0 is the fault-free reference point.
+	FailFrac float64 `json:"fail_frac"`
+	// RebuildNs is the proactive-rebuild pacing (-1 = disabled,
+	// reconstruct-on-read only).
+	RebuildNs int64 `json:"rebuild_ns"`
+	// Migrate is whether degraded shards re-home tenants to replicas.
+	Migrate bool `json:"migrate"`
+
+	// Availability is error-free completions over offered queries,
+	// across all tenants (rejections and errored queries both count
+	// against it).
+	Availability float64 `json:"availability"`
+	Offered      int     `json:"offered"`
+	Completed    int     `json:"completed"`
+	Errors       int     `json:"errors"`
+	// WorstP99Ns is the worst tenant's p99 sojourn.
+	WorstP99Ns int64 `json:"worst_p99_ns"`
+
+	// Healing effort: shard-slot cutovers, monitor transitions, and the
+	// rebuild walker's page/parity relocations summed over devices.
+	Migrations        int    `json:"migrations"`
+	HealthTransitions int    `json:"health_transitions"`
+	HealthDigest      uint64 `json:"health_digest"`
+	RebuildPages      int64  `json:"rebuild_pages"`
+	RebuildParity     int64  `json:"rebuild_parity"`
+
+	Report *serve.Report `json:"report"`
+}
+
+// HealCurve is the full healing sweep (BENCH_healcurve.json).
+type HealCurve struct {
+	SF       float64     `json:"sf"`
+	WindowNs int64       `json:"window_ns"`
+	Points   []HealPoint `json:"points"`
+}
+
+// RunHealCurve sweeps fail time × rebuild pacing × migration. The
+// fault-free reference runs once; every fail fraction then runs the
+// four healing modes (neither, rebuild only, migrate only, both).
+func RunHealCurve(cfg Config) HealCurve {
+	out := HealCurve{SF: cfg.HealSF, WindowNs: int64(cfg.HealWindow)}
+	out.Points = append(out.Points, runHealPoint(cfg, 0, -1, false))
+	for _, frac := range cfg.HealFracs {
+		for _, rb := range cfg.HealRebuildNs {
+			for _, mig := range []bool{false, true} {
+				out.Points = append(out.Points, runHealPoint(cfg, frac, rb, mig))
+			}
+		}
+	}
+	return out
+}
+
+// runHealPoint serves one window: tenant "acme" (Q6) spans both
+// devices, "bolt" (point lookup) is pinned to the healthy device — the
+// clean tenant whose digest must not move — and "wisp" greps the
+// sharded web-log corpus through the pattern matcher.
+func runHealPoint(cfg Config, frac float64, rebuildNs int64, migrate bool) HealPoint {
+	hcfg := serve.Config{
+		SF:           cfg.HealSF,
+		Devices:      2,
+		Policy:       "wfq",
+		Window:       cfg.HealWindow,
+		Seed:         cfg.Seed,
+		Heal:         true,
+		Migrate:      migrate,
+		RebuildEvery: sim.Time(rebuildNs),
+		WeblogBytes:  cfg.HealWeblogBytes,
+		Tenants: []serve.TenantConfig{
+			{Name: "acme", Workload: "q6", RateQPS: 0.5 * cfg.HealQPS, Weight: 2, SLO: 50 * sim.Millisecond},
+			{Name: "bolt", Workload: "qpoint", RateQPS: 0.3 * cfg.HealQPS, SLO: 25 * sim.Millisecond, Devices: []int{1}},
+			{Name: "wisp", Workload: "wlog", RateQPS: 0.2 * cfg.HealQPS, SLO: 100 * sim.Millisecond},
+		},
+	}
+	if frac > 0 {
+		hcfg.FailAt = sim.Time(frac * float64(cfg.HealWindow))
+		hcfg.FailDevice = 0
+		hcfg.FailDie = 1
+	}
+	s, err := serve.New(hcfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: healcurve frac %g rebuild %d migrate %v: %v", frac, rebuildNs, migrate, err))
+	}
+	if OnServer != nil {
+		OnServer(s)
+	}
+	s.EnableTelemetry(telemetry.DefaultInterval)
+	rep := s.Run()
+
+	pt := HealPoint{
+		FailFrac:          frac,
+		RebuildNs:         rebuildNs,
+		Migrate:           migrate,
+		HealthTransitions: rep.HealthTransitions,
+		HealthDigest:      rep.HealthDigest,
+		Report:            rep,
+	}
+	for _, t := range rep.Tenants {
+		pt.Offered += t.Offered
+		pt.Completed += t.Completed
+		pt.Errors += t.Errors
+		pt.Migrations += t.Migrations
+		if t.Lat.P99 > pt.WorstP99Ns {
+			pt.WorstP99Ns = t.Lat.P99
+		}
+	}
+	if pt.Offered > 0 {
+		pt.Availability = float64(pt.Completed-pt.Errors) / float64(pt.Offered)
+	}
+	for _, sys := range s.MS.Systems {
+		rb := sys.Plat.FTL.Rebuild()
+		pt.RebuildPages += rb.Pages
+		pt.RebuildParity += rb.Parity
+	}
+	return pt
+}

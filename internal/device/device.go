@@ -161,8 +161,9 @@ type Platform struct {
 	// everywhere at zero cost. Install with SetTracer.
 	Trace *trace.Tracer
 
-	intTk   trace.TrackID // "dev/internal" track for SSDlet-issued reads
-	scrubOn bool          // patrol-scrub fiber running (StartScrub/StopScrub)
+	intTk     trace.TrackID // "dev/internal" track for SSDlet-issued reads
+	scrubOn   bool          // patrol-scrub fiber running (StartScrub/StopScrub)
+	rebuildOn bool          // rebuild fiber running (StartRebuild/StopRebuild)
 }
 
 // New builds a platform in env with the given configuration.
@@ -276,6 +277,42 @@ func (p *Platform) StartScrub(interval sim.Time) {
 // StopScrub asks the patrol-scrub fiber to exit; it notices at its next
 // wakeup (at most one interval of simulated time later).
 func (p *Platform) StopScrub() { p.scrubOn = false }
+
+// StartRebuild launches the proactive-rebuild fiber: every interval it
+// polls the array for dies the fault injector has killed, queues them
+// on the FTL's rebuild walker, and performs one unit of rebuild work
+// (ftl.RebuildStep — one page re-striped or one parity relocated).
+// The interval is the rebuild-rate knob: one page per interval bounds
+// how hard the rebuild competes with foreground traffic for channels
+// and frontier space. Like the patrol scrub it is an ordinary fiber on
+// the Biscuit runtime; call StopRebuild before the host program ends.
+func (p *Platform) StartRebuild(interval sim.Time) {
+	if p.rebuildOn {
+		return
+	}
+	p.rebuildOn = true
+	g := p.DevRT.NewGroup()
+	g.Go("rain-rebuild", func(fb *fibers.Fiber) {
+		for p.rebuildOn {
+			fb.Block(func(proc *sim.Proc) { proc.Sleep(interval) })
+			if !p.rebuildOn {
+				return
+			}
+			fb.Block(func(proc *sim.Proc) {
+				for d := 0; d < p.Cfg.NAND.Dies(); d++ {
+					if p.Array.DieDead(d) {
+						p.FTL.RebuildDie(d)
+					}
+				}
+				p.FTL.RebuildStep(proc)
+			})
+		}
+	})
+}
+
+// StopRebuild asks the rebuild fiber to exit; it notices at its next
+// wakeup (at most one interval of simulated time later).
+func (p *Platform) StopRebuild() { p.rebuildOn = false }
 
 // SetHostLoad sets the number of StreamBench-style background threads
 // contending for host memory bandwidth.

@@ -142,6 +142,14 @@ type FTL struct {
 	parityOf map[int]int // parity ppi -> stripe id
 	scrubCur int         // patrol-scrub cursor into stripes
 
+	// Proactive-rebuild state (rebuild.go): dies queued for background
+	// re-striping after a die-failure signal, plus the block-major page
+	// cursor into the die currently being drained.
+	rebuildQ    []int        // dies awaiting rebuild, FIFO
+	rebuildSeen map[int]bool // dies ever enqueued (dedupe; a die fails once)
+	rebuildCur  int          // die being rebuilt, -1 when idle
+	rebuildPos  int          // next page offset within rebuildCur's address space
+
 	tr     *trace.Tracer // nil = tracing disabled
 	gcTk   trace.TrackID // GC rounds (serialized by inGC, so spans nest)
 	fwTk   trace.TrackID // firmware fault-handling instants (retries, remaps)
@@ -149,9 +157,11 @@ type FTL struct {
 	hists  *stats.Histograms
 	ctrs   *stats.Counters // platform mirror of RAIN/scrub counters
 
-	gFreeSB *stats.Gauge // free superblocks (nil = telemetry off)
-	gGCDebt *stats.Gauge // superblocks below the GC refill target
-	gScrub  *stats.Gauge // stripes patrolled by scrub (cumulative)
+	gFreeSB       *stats.Gauge // free superblocks (nil = telemetry off)
+	gGCDebt       *stats.Gauge // superblocks below the GC refill target
+	gScrub        *stats.Gauge // stripes patrolled by scrub (cumulative)
+	gRebuildLeft  *stats.Gauge // dead-die pages not yet examined by the rebuild walker
+	gRebuildPages *stats.Gauge // cumulative pages re-striped by rebuild
 
 	gcMoves  int64
 	gcRounds int64
@@ -164,14 +174,21 @@ type FTL struct {
 	gcRecovers   int64 // GC relocations recovered through parity reconstruction
 	badBlocks    int64 // blocks retired for program/erase failures
 
-	stripeSeals      int64 // stripes closed with a parity page
-	stripeDrops      int64 // stripes released after their last live member died
-	stripeShrinks    int64 // stale members removed (parity narrowed) before erase
-	parityWrites     int64 // parity page programs (seals + relocations + rewrites)
-	parityFails      int64 // parity programs that failed, leaving members unprotected
-	reconstructs     int64 // pages rebuilt from surviving members + parity
-	reconstructFails int64 // rebuild attempts that failed (unstriped or second loss)
-	degradedReads    int64 // host/NDP reads served through reconstruction
+	stripeSeals          int64 // stripes closed with a parity page
+	stripeDrops          int64 // stripes released after their last live member died
+	stripeShrinks        int64 // stale members removed (parity narrowed) before erase
+	parityWrites         int64 // parity page programs (seals + relocations + rewrites)
+	parityFails          int64 // parity programs that failed, leaving members unprotected
+	reconstructs         int64 // pages rebuilt from surviving members + parity
+	reconstructFails     int64 // reconstructions that failed hard (second member lost)
+	reconstructUnstriped int64 // reconstruction requests for pages RAIN never covered (benign)
+	degradedReads        int64 // host/NDP reads served through reconstruction
+	rebuildPages         int64 // live data pages re-striped off dead dies
+	rebuildParityMoves   int64 // parity pages relocated off dead dies
+	rebuildSkips         int64 // dead-die pages found stale/superseded (free bookkeeping)
+	rebuildFails         int64 // rebuild units that failed (data beyond parity's reach)
+	rebuildDies          int64 // dies fully drained by the rebuild walker
+
 	scrubStripes     int64 // stripes examined by the patrol scrub
 	scrubRepairs     int64 // damaged members rewritten by scrub
 	scrubParityFixes int64 // parity pages rewritten by scrub
@@ -192,6 +209,7 @@ func New(env *sim.Env, arr *nand.Array, cfg Config) *FTL {
 		memberOf: make(map[int]int),
 		parityOf: make(map[int]int),
 	}
+	f.rebuildCur = -1
 	w := cfg.StripeDataPages
 	if w == 0 {
 		w = nc.Channels - 1
@@ -283,16 +301,21 @@ func (f *FTL) SetHists(h *stats.Histograms) { f.hists = h }
 // SetGauges installs the telemetry gauges: "ftl.free_sb" tracks the
 // free-superblock pool, "ftl.gc.debt" how far the pool sits below the
 // GC refill target (0 when healthy — the pressure that triggers
-// collection), and "ftl.scrub.stripes" the cumulative patrol-scrub
-// progress. Nil disables.
+// collection), "ftl.scrub.stripes" the cumulative patrol-scrub
+// progress, "ftl.rebuild.pending" the dead-die pages the proactive
+// rebuild has not yet examined, and "ftl.rebuild.pages" the cumulative
+// pages it has re-striped. Nil disables.
 func (f *FTL) SetGauges(g *stats.Gauges) {
 	if g == nil {
 		f.gFreeSB, f.gGCDebt, f.gScrub = nil, nil, nil
+		f.gRebuildLeft, f.gRebuildPages = nil, nil
 		return
 	}
 	f.gFreeSB = g.G("ftl.free_sb")
 	f.gGCDebt = g.G("ftl.gc.debt")
 	f.gScrub = g.G("ftl.scrub.stripes")
+	f.gRebuildLeft = g.G("ftl.rebuild.pending")
+	f.gRebuildPages = g.G("ftl.rebuild.pages")
 	f.sbGauges()
 }
 
@@ -343,6 +366,7 @@ type RainStats struct {
 	StripeSeals, StripeDrops, StripeShrinks       int64
 	ParityWrites, ParityFails                     int64
 	Reconstructs, ReconstructFails, DegradedReads int64
+	ReconstructUnstriped                          int64
 	ScrubStripes, ScrubRepairs, ScrubParityFixes  int64
 	ScrubLost                                     int64
 	LostPages                                     int64
@@ -354,7 +378,8 @@ func (f *FTL) Rain() RainStats {
 		StripeSeals: f.stripeSeals, StripeDrops: f.stripeDrops, StripeShrinks: f.stripeShrinks,
 		ParityWrites: f.parityWrites, ParityFails: f.parityFails,
 		Reconstructs: f.reconstructs, ReconstructFails: f.reconstructFails, DegradedReads: f.degradedReads,
-		ScrubStripes: f.scrubStripes, ScrubRepairs: f.scrubRepairs, ScrubParityFixes: f.scrubParityFixes,
+		ReconstructUnstriped: f.reconstructUnstriped,
+		ScrubStripes:         f.scrubStripes, ScrubRepairs: f.scrubRepairs, ScrubParityFixes: f.scrubParityFixes,
 		ScrubLost: f.scrubLost, LostPages: f.lostPages,
 	}
 }

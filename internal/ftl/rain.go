@@ -364,8 +364,11 @@ func (f *FTL) reconstruct(p *sim.Proc, ppi int) ([]byte, error) {
 		if st := f.openStripeOf(ppi); st != nil {
 			return f.reconstructOpen(p, st, ppi)
 		}
-		f.reconstructFails++
-		f.ctrs.Add("ftl.rain.reconstructfail", 1)
+		// An unstriped page is a benign miss (RAIN never covered it), not
+		// a protection failure: counted apart so the health monitor does
+		// not escalate on it.
+		f.reconstructUnstriped++
+		f.ctrs.Add("ftl.rain.unstriped", 1)
 		return nil, fmt.Errorf("ftl: page %v is not striped", f.ppa(ppi))
 	}
 	st := f.stripes[sid]

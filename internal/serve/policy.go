@@ -52,7 +52,7 @@ func (*wfqPolicy) name() string { return "wfq" }
 func (*wfqPolicy) pick(s *Server) int {
 	best := -1
 	for i, t := range s.tenants {
-		if len(t.queue) == 0 {
+		if len(t.queue) == 0 || t.hold {
 			continue
 		}
 		if t.vt < s.virt {
@@ -82,7 +82,7 @@ func (*edfPolicy) name() string { return "edf" }
 func (*edfPolicy) pick(s *Server) int {
 	best := -1
 	for i, t := range s.tenants {
-		if len(t.queue) == 0 {
+		if len(t.queue) == 0 || t.hold {
 			continue
 		}
 		if best < 0 || t.queue[0].deadline < s.tenants[best].queue[0].deadline {

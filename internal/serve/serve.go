@@ -24,12 +24,14 @@ import (
 
 	"biscuit"
 	"biscuit/internal/db"
+	"biscuit/internal/health"
 	"biscuit/internal/loadgen"
 	"biscuit/internal/sim"
 	"biscuit/internal/stats"
 	"biscuit/internal/telemetry"
 	"biscuit/internal/tpch"
 	"biscuit/internal/trace"
+	"biscuit/internal/weblog"
 )
 
 // DefaultSLO is the per-query deadline when a tenant does not set one.
@@ -91,6 +93,34 @@ type Config struct {
 	// PerDevice optionally rewrites the config per device — fault plans
 	// on a shard subset in particular.
 	PerDevice func(i int, cfg biscuit.Config) biscuit.Config
+
+	// Heal enables the self-healing stack: a health.Monitor classifying
+	// every device from its live gauges and counters, plus patrol-scrub
+	// and proactive-rebuild fibers on each device.
+	Heal bool
+	// Migrate (requires Heal and at least two devices) loads one-hop
+	// fact-table replicas at build time and re-homes tenants' shard
+	// slots to the successor device when the monitor marks a device
+	// Degraded or worse.
+	Migrate bool
+	// HealthInterval overrides the monitor's evaluation tick (default
+	// health.DefaultConfig().Interval).
+	HealthInterval sim.Time
+	// ScrubEvery paces the patrol-scrub fiber under Heal (default 2ms).
+	ScrubEvery sim.Time
+	// RebuildEvery paces the proactive-rebuild fiber under Heal: 0
+	// selects the 500µs default, < 0 disables proactive rebuild so dead
+	// dies are repaired only by reconstruct-on-read and scrub — the
+	// healcurve bench's degraded baseline.
+	RebuildEvery sim.Time
+	// WeblogBytes, when > 0, additionally shard-loads a web-log corpus
+	// of this total size so tenants may run the "wlog" workload.
+	WeblogBytes int64
+	// FailAt, when > 0, kills die FailDie of device FailDevice that
+	// long after the serving window starts — the fault the healing
+	// stack is measured against.
+	FailAt              sim.Time
+	FailDevice, FailDie int
 }
 
 // Server is a built array with shard-loaded data, ready to Run one
@@ -103,6 +133,11 @@ type Server struct {
 	Ctrs   *stats.Counters
 	Hists  *stats.Histograms
 	Gauges *stats.Gauges
+
+	// Monitor is the device-health classifier, non-nil under Cfg.Heal.
+	Monitor *health.Monitor
+
+	replicas []*tpch.Data // per-device replica views (Cfg.Migrate)
 
 	tr      *trace.Tracer
 	schedTk trace.TrackID
@@ -125,6 +160,21 @@ type Server struct {
 
 	dispatchHash hash64
 	dispatchSeq  []string // per-dispatch "tenant:seq", for determinism tests
+
+	migrations        []MigrationRecord
+	healthTransitions int
+}
+
+// MigrationRecord pins one shard-slot cutover: which tenant slot moved
+// where, at what sim time, and after how many dispatches — the last
+// field is what the determinism tests compare across seeds and runs.
+type MigrationRecord struct {
+	Tenant   string `json:"tenant"`
+	Shard    int    `json:"shard"` // slot index within the tenant's device list
+	FromDev  int    `json:"from_dev"`
+	ToDev    int    `json:"to_dev"`
+	AtNs     int64  `json:"at_ns"`
+	AfterSeq int    `json:"after_seq"` // dispatches issued before the cutover
 }
 
 // hash64 is the running FNV-1a digest the reports embed.
@@ -158,6 +208,19 @@ type tenant struct {
 	queue []*request // admitted, FIFO per tenant
 	vt    float64    // WFQ per-tenant virtual time
 
+	// Self-healing state: shardDev maps each shard slot to the device
+	// currently serving it (starts as a copy of devices); shardRepl
+	// marks slots serving from the successor's replica tables after a
+	// migration. hold gates the tenant out of scheduling while pending
+	// slots wait for in-flight queries to drain before cutover.
+	shardDev   []int
+	shardRepl  []bool
+	pending    []int
+	hold       bool
+	inflight   int
+	migrations int
+	errors     int
+
 	ctrs     *stats.PrefixedCounters
 	lat      *stats.Histogram
 	gBacklog *stats.Gauge
@@ -188,9 +251,38 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Migrate && !cfg.Heal {
+		return nil, fmt.Errorf("serve: Migrate requires Heal")
+	}
+	if cfg.Migrate && cfg.Devices < 2 {
+		return nil, fmt.Errorf("serve: Migrate needs at least two devices")
+	}
+	per := cfg.PerDevice
+	if cfg.FailAt > 0 {
+		if cfg.FailDevice < 0 || cfg.FailDevice >= cfg.Devices {
+			return nil, fmt.Errorf("serve: FailDevice %d of %d", cfg.FailDevice, cfg.Devices)
+		}
+		if cfg.FailDie < 0 || cfg.FailDie >= base.NAND.Dies() {
+			return nil, fmt.Errorf("serve: FailDie %d of %d", cfg.FailDie, base.NAND.Dies())
+		}
+		// Arm the fault plan so the device builds an injector, but push
+		// the plan's own trigger past any horizon: the die dies when the
+		// window's diefail thread calls Injector.FailDie, not before.
+		inner := per
+		per = func(i int, c biscuit.Config) biscuit.Config {
+			if inner != nil {
+				c = inner(i, c)
+			}
+			if i == cfg.FailDevice {
+				c.Fault.DieFailMask |= 1 << uint(cfg.FailDie)
+				c.Fault.DieFailAfter = sim.Time(1) << 60
+			}
+			return c
+		}
+	}
 	s := &Server{
 		Cfg:    cfg,
-		MS:     biscuit.NewMultiSystemConfigs(base, cfg.Devices, cfg.PerDevice),
+		MS:     biscuit.NewMultiSystemConfigs(base, cfg.Devices, per),
 		Ctrs:   stats.NewCounters(),
 		Hists:  stats.NewHistograms(),
 		Gauges: stats.NewGauges(),
@@ -211,7 +303,16 @@ func New(cfg Config) (*Server, error) {
 		for i := range hosts {
 			hosts[i] = h.Unit(i)
 		}
-		s.Datas, loadErr = tpch.Gen{SF: cfg.SF}.LoadShards(hosts, s.DBs, biscuit.SeededRand(cfg.Seed))
+		g := tpch.Gen{SF: cfg.SF}
+		if cfg.Migrate {
+			s.Datas, s.replicas, loadErr = g.LoadShardsReplica(hosts, s.DBs, biscuit.SeededRand(cfg.Seed))
+		} else {
+			s.Datas, loadErr = g.LoadShards(hosts, s.DBs, biscuit.SeededRand(cfg.Seed))
+		}
+		if loadErr == nil && cfg.WeblogBytes > 0 {
+			_, _, loadErr = weblog.GenerateShards(hosts, cfg.WeblogBytes,
+				wlogNeedle, 50, biscuit.SeededRand(cfg.Seed+77), cfg.Migrate)
+		}
 	})
 	if loadErr != nil {
 		return nil, loadErr
@@ -219,7 +320,75 @@ func New(cfg Config) (*Server, error) {
 	if err := s.buildTenants(); err != nil {
 		return nil, err
 	}
+	if cfg.Heal {
+		s.buildMonitor()
+	}
 	return s, nil
+}
+
+// buildMonitor attaches every device's gauge/counter stack to a fresh
+// health monitor and routes its transitions into the scheduler.
+func (s *Server) buildMonitor() {
+	hcfg := health.DefaultConfig()
+	if s.Cfg.HealthInterval > 0 {
+		hcfg.Interval = s.Cfg.HealthInterval
+	}
+	s.Monitor = health.NewMonitor(s.MS.Env, hcfg)
+	for i, sys := range s.MS.Systems {
+		arr := sys.Plat.Array
+		dies := sys.Plat.Cfg.NAND.Dies()
+		s.Monitor.Attach(fmt.Sprintf("ssd%d", i), health.Probe{
+			Gauges: sys.Plat.Gauges,
+			Ctrs:   sys.Plat.Ctrs,
+			DeadDies: func() int {
+				n := 0
+				for d := 0; d < dies; d++ {
+					if arr.DieDead(d) {
+						n++
+					}
+				}
+				return n
+			},
+		})
+	}
+	s.Monitor.OnTransition(s.onHealth)
+}
+
+// onHealth runs inside the monitor's evaluation (ultimately a gauge
+// pre-mutation hook), so it is pure bookkeeping plus event firing. A
+// device reaching Degraded marks every tenant shard slot it serves for
+// migration; the dispatcher performs the cutover once the tenant's
+// in-flight queries drain.
+func (s *Server) onHealth(dev int, from, to health.State) {
+	s.healthTransitions++
+	s.Ctrs.Add("serve.health.transitions", 1)
+	if to < health.Degraded || !s.Cfg.Migrate {
+		return
+	}
+	for _, t := range s.tenants {
+		marked := false
+		for k, d := range t.shardDev {
+			if d == dev && !t.shardRepl[k] && !containsInt(t.pending, k) {
+				t.pending = append(t.pending, k)
+				marked = true
+			}
+		}
+		if marked {
+			t.hold = true
+		}
+	}
+	if s.wake != nil {
+		s.wake.Fire()
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 func defaultBase() biscuit.Config {
@@ -263,6 +432,9 @@ func (s *Server) buildTenants() error {
 		if err != nil {
 			return fmt.Errorf("serve: tenant %s: %w", tc.Name, err)
 		}
+		if tc.Workload == "wlog" && s.Cfg.WeblogBytes <= 0 {
+			return fmt.Errorf("serve: tenant %s runs wlog but Config.WeblogBytes is unset", tc.Name)
+		}
 		t := &tenant{
 			cfg:      tc,
 			idx:      ti,
@@ -273,6 +445,8 @@ func (s *Server) buildTenants() error {
 			gBacklog: s.Gauges.G("tenant." + tc.Name + ".backlog"),
 			rows:     newHash64(),
 		}
+		t.shardDev = append([]int(nil), devs...)
+		t.shardRepl = make([]bool, len(devs))
 		t.arrivals = loadgen.Arrivals(
 			loadgen.ArrivalSpec{RateQPS: tc.RateQPS, Deterministic: tc.Deterministic},
 			s.Cfg.Window, tenantRand(s.Cfg.Seed, ti))
@@ -298,6 +472,9 @@ func (s *Server) SetTracer(tr *trace.Tracer) {
 	for _, t := range s.tenants {
 		t.track = tr.Track("tenant/" + t.cfg.Name)
 	}
+	if s.Monitor != nil {
+		s.Monitor.SetTracer(tr)
+	}
 }
 
 // EnableTelemetry samples every gauge registry of the serving stack —
@@ -320,16 +497,56 @@ func (s *Server) EnableTelemetry(interval sim.Time) *telemetry.Sampler {
 // consumes the server: build a fresh one per window.
 func (s *Server) Run() *Report {
 	s.dispatchHash = newHash64()
+	if s.Cfg.Heal {
+		scrub := s.Cfg.ScrubEvery
+		if scrub <= 0 {
+			scrub = 2 * sim.Millisecond
+		}
+		rebuild := s.Cfg.RebuildEvery
+		if rebuild == 0 {
+			rebuild = 500 * sim.Microsecond
+		}
+		for _, sys := range s.MS.Systems {
+			sys.Plat.StartScrub(scrub)
+			if rebuild > 0 {
+				sys.Plat.StartRebuild(rebuild)
+			}
+		}
+	}
 	took := s.MS.Run(func(h *biscuit.MultiHost) {
 		s.wake = h.Proc().Env().NewEvent()
+		if s.Cfg.FailAt > 0 {
+			s.spawnDieFail(h)
+		}
 		for _, t := range s.tenants {
 			s.spawnArrivals(h, t)
 		}
 		s.dispatchLoop(h)
+		// Release the maintenance fibers inside the program so the env
+		// can drain; each notices within one interval of its pacing.
+		for _, sys := range s.MS.Systems {
+			sys.Plat.StopScrub()
+			sys.Plat.StopRebuild()
+		}
 	})
+	if s.Monitor != nil {
+		s.Monitor.Advance()
+	}
 	s.sampler.Flush()
 	s.sampler.ExportCounters(s.tr)
 	return s.report(took)
+}
+
+// spawnDieFail kills the configured die partway into the serving
+// window — the failure the healing stack is measured against.
+func (s *Server) spawnDieFail(h *biscuit.MultiHost) {
+	h.Go("diefail", func(h2 *biscuit.MultiHost) {
+		h2.Proc().Sleep(s.Cfg.FailAt)
+		s.MS.Systems[s.Cfg.FailDevice].Plat.Inj.FailDie(s.Cfg.FailDie)
+		s.Ctrs.Add("serve.diefail", 1)
+		s.tr.Instant(s.schedTk, "diefail").
+			Arg("dev", int64(s.Cfg.FailDevice)).Arg("die", int64(s.Cfg.FailDie))
+	})
 }
 
 // spawnArrivals runs one tenant's open-loop arrival process: sleep to
@@ -365,6 +582,11 @@ func (s *Server) spawnArrivals(h *biscuit.MultiHost, t *tenant) {
 func (s *Server) dispatchLoop(h *biscuit.MultiHost) {
 	p := h.Proc()
 	for s.completed+s.rejected < s.total {
+		for _, t := range s.tenants {
+			if t.hold && t.inflight == 0 {
+				s.cutover(p, t)
+			}
+		}
 		for s.inFlight < s.Cfg.MaxInFlight {
 			ti := checkedPick(s.policy, s)
 			if ti < 0 {
@@ -384,10 +606,42 @@ func (s *Server) dispatchLoop(h *biscuit.MultiHost) {
 	}
 }
 
+// cutover re-homes a drained tenant's pending shard slots to each
+// slot's successor device, which holds the one-hop replica of the
+// slot's fact partition. Nothing of the tenant's is in flight, so the
+// switch is the NDP→Conv batch-boundary fallback primitive applied at
+// query granularity: every future query of the slot runs whole on the
+// replica, and no query ever straddles both copies.
+func (s *Server) cutover(p *sim.Proc, t *tenant) {
+	for _, k := range t.pending {
+		if t.shardRepl[k] {
+			continue
+		}
+		from := t.shardDev[k]
+		to := (from + 1) % s.Cfg.Devices
+		if s.Monitor != nil && s.Monitor.State(to) >= health.Degraded {
+			continue // the successor is no better off; stay put
+		}
+		t.shardDev[k] = to
+		t.shardRepl[k] = true
+		t.migrations++
+		t.ctrs.Add("migrations", 1)
+		s.Ctrs.Add("serve.migrations", 1)
+		s.migrations = append(s.migrations, MigrationRecord{
+			Tenant: t.cfg.Name, Shard: k, FromDev: from, ToDev: to,
+			AtNs: int64(p.Now()), AfterSeq: len(s.dispatchSeq),
+		})
+		s.tr.Instant(t.track, "migrate").Arg("shard", int64(k)).Arg("to", int64(to))
+	}
+	t.pending = nil
+	t.hold = false
+}
+
 // dispatch starts one admitted query on its own host thread.
 func (s *Server) dispatch(h *biscuit.MultiHost, req *request) {
 	t := req.t
 	s.inFlight++
+	t.inflight++
 	s.gInflight.Add(1)
 	tag := fmt.Sprintf("%s:%d", t.cfg.Name, req.seq)
 	s.dispatchHash.write(tag)
@@ -400,6 +654,7 @@ func (s *Server) dispatch(h *biscuit.MultiHost, req *request) {
 		s.completed++
 		t.ctrs.Add("completed", 1)
 		if err != nil {
+			t.errors++
 			t.ctrs.Add("errors", 1)
 			t.rows.write("error:" + err.Error())
 		} else {
@@ -417,6 +672,7 @@ func (s *Server) dispatch(h *biscuit.MultiHost, req *request) {
 		t.lat.Record(int64(now - req.arrive))
 		req.span.End()
 		s.inFlight--
+		t.inflight--
 		s.gInflight.Add(-1)
 		s.wake.Fire()
 	})
@@ -429,17 +685,21 @@ func (s *Server) dispatch(h *biscuit.MultiHost, req *request) {
 // error without sinking the other shards' work.
 func (s *Server) runQuery(h *biscuit.MultiHost, req *request) ([]db.Row, error) {
 	t := req.t
-	partials := make([][]db.Row, len(t.devices))
-	errs := make([]error, len(t.devices))
-	if len(t.devices) == 1 {
-		dev := t.devices[0]
-		partials[0], errs[0] = s.runShard(h, req, dev)
+	// Snapshot the slot placement at dispatch: a cutover can only land
+	// between queries (the dispatcher drains the tenant first), but the
+	// snapshot makes the whole-query placement explicit.
+	devs := append([]int(nil), t.shardDev...)
+	repl := append([]bool(nil), t.shardRepl...)
+	partials := make([][]db.Row, len(devs))
+	errs := make([]error, len(devs))
+	if len(devs) == 1 {
+		partials[0], errs[0] = s.runShard(h, req, devs[0], repl[0])
 	} else {
-		evs := make([]*sim.Event, len(t.devices))
-		for k, dev := range t.devices {
+		evs := make([]*sim.Event, len(devs))
+		for k, dev := range devs {
 			k, dev := k, dev
 			evs[k] = h.Go(fmt.Sprintf("q.%s.%d.s%d", t.cfg.Name, req.seq, dev), func(h3 *biscuit.MultiHost) {
-				partials[k], errs[k] = s.runShard(h3, req, dev)
+				partials[k], errs[k] = s.runShard(h3, req, dev, repl[k])
 			})
 		}
 		h.Proc().WaitAll(evs...)
@@ -452,14 +712,22 @@ func (s *Server) runQuery(h *biscuit.MultiHost, req *request) ([]db.Row, error) 
 	return t.wl.merge(partials), nil
 }
 
-// runShard executes the per-shard partial plan on device dev. The
-// planner probe re-samples per request with a stream derived from
-// (seed, tenant, seq, shard) so planning stays reproducible under any
+// runShard executes the per-shard partial plan on device dev, against
+// the replica tables when the slot has migrated there. The planner
+// probe re-samples per request with a stream derived from (seed,
+// tenant, seq, shard) so planning stays reproducible under any
 // interleaving.
-func (s *Server) runShard(h *biscuit.MultiHost, req *request, dev int) ([]db.Row, error) {
+func (s *Server) runShard(h *biscuit.MultiHost, req *request, dev int, replica bool) ([]db.Row, error) {
+	data := s.Datas[dev]
+	if replica {
+		data = s.replicas[dev]
+	}
 	ex := db.NewExec(h.Unit(dev), s.DBs[dev])
 	rng := biscuit.SeededRand(s.Cfg.Seed ^ int64(req.t.idx+1)<<40 ^ int64(req.seq+1)<<8 ^ int64(dev+1))
-	return req.t.wl.runShard(ex, s.Datas[dev], rng)
+	return req.t.wl.runShard(&shardCtx{
+		host: h.Unit(dev), ex: ex, data: data, rng: rng,
+		replica: replica, ctrs: req.t.ctrs,
+	})
 }
 
 // TenantReport is one tenant's serving-window outcome. All fields are
@@ -474,6 +742,8 @@ type TenantReport struct {
 	Rejected       int                  `json:"rejected"`
 	Completed      int                  `json:"completed"`
 	DeadlineMisses int                  `json:"deadline_misses"`
+	Errors         int                  `json:"errors"`
+	Migrations     int                  `json:"migrations"`
 	SLONs          int64                `json:"slo_ns"`
 	Lat            stats.LatencySummary `json:"lat"`
 	ThroughputQPS  float64              `json:"throughput_qps"`
@@ -490,6 +760,14 @@ type Report struct {
 	AggThroughputQPS float64        `json:"agg_throughput_qps"`
 	DispatchDigest   uint64         `json:"dispatch_digest"`
 	Tenants          []TenantReport `json:"tenants"`
+
+	// Self-healing outcome (zero values when Heal is off): every
+	// recorded shard-slot cutover, the count of monitor transitions, and
+	// the monitor's transition-log digest — the cross-run determinism
+	// witness.
+	Migrations        []MigrationRecord `json:"migrations,omitempty"`
+	HealthTransitions int               `json:"health_transitions,omitempty"`
+	HealthDigest      uint64            `json:"health_digest,omitempty"`
 
 	// Telemetry carries one summary per sampled gauge series when
 	// EnableTelemetry was called — digests included, so the bench gate
@@ -512,6 +790,11 @@ func (s *Server) report(took sim.Time) *Report {
 		DispatchDigest: s.dispatchHash.h,
 		DispatchOrder:  s.dispatchSeq,
 	}
+	rep.Migrations = s.migrations
+	rep.HealthTransitions = s.healthTransitions
+	if s.Monitor != nil {
+		rep.HealthDigest = s.Monitor.Signature()
+	}
 	if s.sampler != nil {
 		rep.Telemetry = s.sampler.Summaries()
 	}
@@ -529,6 +812,8 @@ func (s *Server) report(took sim.Time) *Report {
 			Rejected:       t.rejected,
 			Completed:      t.completed,
 			DeadlineMisses: t.misses,
+			Errors:         t.errors,
+			Migrations:     t.migrations,
 			SLONs:          int64(t.cfg.SLO),
 			Lat:            t.lat.Summary(),
 			RowDigest:      t.rows.h,

@@ -5,17 +5,33 @@ import (
 	"math/rand"
 	"sort"
 
+	"biscuit"
 	"biscuit/internal/db"
 	"biscuit/internal/db/planner"
+	"biscuit/internal/stats"
 	"biscuit/internal/tpch"
+	"biscuit/internal/weblog"
 )
+
+// shardCtx is everything a per-shard partial plan may touch: the shard's
+// host view and executor, the shard's table views — the replica tables
+// when the slot has migrated — the per-request planner stream, and the
+// tenant's counters.
+type shardCtx struct {
+	host    *biscuit.Host
+	ex      *db.Exec
+	data    *tpch.Data
+	rng     *rand.Rand
+	replica bool // serving from the replica copy after migration
+	ctrs    *stats.PrefixedCounters
+}
 
 // workload is one servable query: a per-shard partial plan plus the
 // host-side gather. Plans are built once per server against the shard
 // schemas (identical on every shard).
 type workload struct {
 	name     string
-	runShard func(ex *db.Exec, d *tpch.Data, rng *rand.Rand) ([]db.Row, error)
+	runShard func(c *shardCtx) ([]db.Row, error)
 	merge    func(partials [][]db.Row) []db.Row
 }
 
@@ -29,8 +45,10 @@ func newWorkload(name string, ref *tpch.Data) (*workload, error) {
 		return q1Workload(ref)
 	case "qpoint":
 		return qpointWorkload(ref)
+	case "wlog":
+		return wlogWorkload()
 	}
-	return nil, fmt.Errorf("unknown workload %q (want q6, q1 or qpoint)", name)
+	return nil, fmt.Errorf("unknown workload %q (want q6, q1, qpoint or wlog)", name)
 }
 
 // plannedScan consults the offload planner for the shard scan, seeding
@@ -59,8 +77,8 @@ func q6Workload(ref *tpch.Data) (*workload, error) {
 	}
 	return &workload{
 		name: "q6",
-		runShard: func(ex *db.Exec, d *tpch.Data, rng *rand.Rand) ([]db.Row, error) {
-			return db.Collect(plan.ShardOp(ex, plannedScan(ex, d.Lineitem, pred, rng)))
+		runShard: func(c *shardCtx) ([]db.Row, error) {
+			return db.Collect(plan.ShardOp(c.ex, plannedScan(c.ex, c.data.Lineitem, pred, c.rng)))
 		},
 		merge: plan.Merge,
 	}, nil
@@ -94,8 +112,8 @@ func q1Workload(ref *tpch.Data) (*workload, error) {
 	}
 	return &workload{
 		name: "q1",
-		runShard: func(ex *db.Exec, d *tpch.Data, rng *rand.Rand) ([]db.Row, error) {
-			return db.Collect(plan.ShardOp(ex, plannedScan(ex, d.Lineitem, pred, rng)))
+		runShard: func(c *shardCtx) ([]db.Row, error) {
+			return db.Collect(plan.ShardOp(c.ex, plannedScan(c.ex, c.data.Lineitem, pred, c.rng)))
 		},
 		merge: plan.Merge,
 	}, nil
@@ -110,8 +128,8 @@ func qpointWorkload(ref *tpch.Data) (*workload, error) {
 	okey, oline := ls.Col("l_orderkey"), ls.Col("l_linenumber")
 	return &workload{
 		name: "qpoint",
-		runShard: func(ex *db.Exec, d *tpch.Data, rng *rand.Rand) ([]db.Row, error) {
-			return db.Collect(plannedScan(ex, d.Lineitem, pred, rng))
+		runShard: func(c *shardCtx) ([]db.Row, error) {
+			return db.Collect(plannedScan(c.ex, c.data.Lineitem, pred, c.rng))
 		},
 		merge: func(partials [][]db.Row) []db.Row {
 			var out []db.Row
@@ -125,6 +143,45 @@ func qpointWorkload(ref *tpch.Data) (*workload, error) {
 				return out[i][oline].I < out[j][oline].I
 			})
 			return out
+		},
+	}, nil
+}
+
+// wlogNeedle is the needle GenerateShards plants and wlog queries count.
+const wlogNeedle = "NeedleBot/9.9"
+
+// wlogWorkload is the paper's string-search application served as a
+// tenant workload: each shard counts needle hits in its slice of the
+// sharded web-log corpus with the hardware pattern matcher, falling
+// back to the host grep path if the NDP path faults (the same
+// batch-aligned degradation the db scans use). A migrated slot searches
+// the successor device's replica corpus file. Counts merge by addition,
+// so the total is shard-placement invariant.
+func wlogWorkload() (*workload, error) {
+	return &workload{
+		name: "wlog",
+		runShard: func(c *shardCtx) ([]db.Row, error) {
+			file := weblog.LogFile
+			if c.replica {
+				file = weblog.ReplicaFile
+			}
+			n, err := weblog.SearchNDPIn(c.host, file, wlogNeedle)
+			if err != nil {
+				c.ctrs.Add("wlog_fallbacks", 1)
+				if n, err = weblog.SearchConvIn(c.host, file, wlogNeedle); err != nil {
+					return nil, err
+				}
+			}
+			return []db.Row{{db.Int(n)}}, nil
+		},
+		merge: func(partials [][]db.Row) []db.Row {
+			var total int64
+			for _, p := range partials {
+				for _, r := range p {
+					total += r[0].I
+				}
+			}
+			return []db.Row{{db.Int(total)}}
 		},
 	}, nil
 }

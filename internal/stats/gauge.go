@@ -23,7 +23,7 @@ func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
 	}
-	if h := g.reg.hook; h != nil {
+	for _, h := range g.reg.hooks {
 		h()
 	}
 	g.v = v
@@ -35,7 +35,7 @@ func (g *Gauge) Add(d int64) {
 	if g == nil {
 		return
 	}
-	if h := g.reg.hook; h != nil {
+	for _, h := range g.reg.hooks {
 		h()
 	}
 	g.v += d
@@ -57,7 +57,7 @@ func (g *Gauge) Value() int64 {
 type Gauges struct {
 	m     map[string]*Gauge
 	order []string // registration order == sampler series order
-	hook  func()   // invoked before every mutation (see OnChange)
+	hooks []func() // invoked in install order before every mutation (see OnChange)
 }
 
 // NewGauges returns an empty registry.
@@ -113,12 +113,19 @@ func (gs *Gauges) Ith(i int) (string, *Gauge) {
 // registry mutates — while every level still holds its pre-change
 // value. The telemetry sampler uses it to backfill elapsed sample
 // ticks with correct left-limit values without scheduling a single
-// simulation event. One hook per registry; nil uninstalls.
+// simulation event; the health monitor chains a second hook the same
+// way. Hooks run in install order and must tolerate re-entrancy (a
+// hook mutating a gauge of the same registry fires the chain again).
+// Each call appends; nil uninstalls every hook.
 func (gs *Gauges) OnChange(fn func()) {
 	if gs == nil {
 		return
 	}
-	gs.hook = fn
+	if fn == nil {
+		gs.hooks = nil
+		return
+	}
+	gs.hooks = append(gs.hooks, fn)
 }
 
 // NamedGauge is one (name, value) pair of a snapshot.

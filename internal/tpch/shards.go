@@ -47,6 +47,57 @@ func (g Gen) LoadShards(hosts []*biscuit.Host, dbs []*db.Database, rng *rand.Ran
 	return out, nil
 }
 
+// LoadShardsReplica is LoadShards plus fact-table replication for
+// tenant migration: shard k's partition of orders/lineitem is
+// additionally written to shard (k+1)%N under "orders_r"/"lineitem_r",
+// so when device k degrades its tenants re-home to the next device and
+// scan the replica tables there. The generation pass and rng draw
+// order are identical to LoadShards — routing consumes no randomness —
+// so every primary shard is byte-identical to what LoadShards builds.
+// It returns the primary shard views and, per device, the replica view
+// (dimension tables shared, fact tables pointing at the "_r" copies of
+// the previous device's partition).
+func (g Gen) LoadShardsReplica(hosts []*biscuit.Host, dbs []*db.Database, rng *rand.Rand) ([]*Data, []*Data, error) {
+	if len(dbs) == 0 || len(hosts) != len(dbs) {
+		return nil, nil, fmt.Errorf("tpch: LoadShardsReplica needs one host per database, got %d hosts / %d dbs", len(hosts), len(dbs))
+	}
+	mk := func(name string, sch *db.Schema, batchPages int) (rowSink, error) {
+		ws := make([]*db.Loader, len(dbs))
+		for i := range dbs {
+			w, err := dbs[i].NewLoader(hosts[i], name, sch, batchPages)
+			if err != nil {
+				return nil, err
+			}
+			ws[i] = w
+		}
+		if name != "orders" && name != "lineitem" {
+			return &broadcastSink{ws: ws}, nil
+		}
+		rs := make([]*db.Loader, len(dbs))
+		for i := range dbs {
+			w, err := dbs[i].NewLoader(hosts[i], name+"_r", sch, batchPages)
+			if err != nil {
+				return nil, err
+			}
+			rs[i] = w
+		}
+		return &replicaSink{ws: ws, rs: rs}, nil
+	}
+	if err := g.generate(mk, rng); err != nil {
+		return nil, nil, err
+	}
+	prim := make([]*Data, len(dbs))
+	repl := make([]*Data, len(dbs))
+	for i, d := range dbs {
+		prim[i] = tablesOf(d)
+		r := tablesOf(d)
+		r.Orders = d.Table("orders_r")
+		r.Lineitem = d.Table("lineitem_r")
+		repl[i] = r
+	}
+	return prim, repl, nil
+}
+
 // broadcastSink replicates every row to all shards (dimension tables).
 type broadcastSink struct {
 	ws []*db.Loader
@@ -83,6 +134,37 @@ func (s *partitionSink) Add(r db.Row) error {
 
 func (s *partitionSink) Close() error {
 	for _, w := range s.ws {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicaSink partitions like partitionSink and additionally writes
+// each row to the next shard's replica loader — one-hop chained
+// replication, enough for the serving layer to migrate any single
+// degraded device's tenants.
+type replicaSink struct {
+	ws []*db.Loader // primary partitions
+	rs []*db.Loader // replica tables ("orders_r"/"lineitem_r")
+}
+
+func (s *replicaSink) Add(r db.Row) error {
+	k := r[0].I % int64(len(s.ws))
+	if err := s.ws[k].Add(r); err != nil {
+		return err
+	}
+	return s.rs[(k+1)%int64(len(s.rs))].Add(r)
+}
+
+func (s *replicaSink) Close() error {
+	for _, w := range s.ws {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	for _, w := range s.rs {
 		if err := w.Close(); err != nil {
 			return err
 		}

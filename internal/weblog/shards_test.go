@@ -1,0 +1,90 @@
+package weblog
+
+import (
+	"testing"
+
+	"biscuit"
+)
+
+func TestGenerateShardsPartitionsAndReplicates(t *testing.T) {
+	// Three shards so the planted lines (every 50th) hit every shard —
+	// with two, 49+50k is always odd and needles alias onto one shard.
+	const needle = "XNEEDLEX"
+	const n = 3
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 256
+	cfg.NAND.PagesPerBlock = 64
+	ms := biscuit.NewMultiSystem(cfg, n)
+	var planted int64
+	shard := make([]int64, n)
+	replica := make([]int64, n)
+	ms.Run(func(h *biscuit.MultiHost) {
+		hosts := make([]*biscuit.Host, n)
+		for i := range hosts {
+			hosts[i] = h.Unit(i)
+		}
+		var err error
+		_, planted, err = GenerateShards(hosts, 1<<20, needle, 50, biscuit.SeededRand(5), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if shard[i], err = SearchNDPIn(hosts[i], LogFile, needle); err != nil {
+				t.Fatal(err)
+			}
+			if replica[i], err = SearchConvIn(hosts[i], ReplicaFile, needle); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if planted == 0 {
+		t.Fatal("no needles planted")
+	}
+	var sum int64
+	for i := 0; i < n; i++ {
+		if shard[i] == 0 {
+			t.Fatalf("shard %d got no needles; round-robin striping broken", i)
+		}
+		sum += shard[i]
+		// Device (i+1)%n's replica file mirrors shard i's slice exactly.
+		if replica[(i+1)%n] != shard[i] {
+			t.Fatalf("replica of shard %d counts %d needles, shard holds %d",
+				i, replica[(i+1)%n], shard[i])
+		}
+	}
+	if sum != planted {
+		t.Fatalf("shard counts sum to %d, planted %d", sum, planted)
+	}
+}
+
+func TestGenerateShardsMatchesGenerateDraws(t *testing.T) {
+	// The shard writer draws from the rng exactly like Generate —
+	// routing consumes no randomness — so the same seed and size must
+	// plant the same number of needles as the single-device corpus.
+	const needle = "XNEEDLEX"
+	sys := newSys()
+	var single int64
+	sys.Run(func(h *biscuit.Host) {
+		var err error
+		_, single, err = Generate(h, 1<<20, needle, 50, biscuit.SeededRand(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	cfg := biscuit.DefaultConfig()
+	cfg.NAND.BlocksPerDie = 256
+	cfg.NAND.PagesPerBlock = 64
+	ms := biscuit.NewMultiSystem(cfg, 3)
+	var sharded int64
+	ms.Run(func(h *biscuit.MultiHost) {
+		hosts := []*biscuit.Host{h.Unit(0), h.Unit(1), h.Unit(2)}
+		var err error
+		_, sharded, err = GenerateShards(hosts, 1<<20, needle, 50, biscuit.SeededRand(5), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if single == 0 || single != sharded {
+		t.Fatalf("single-device corpus planted %d, sharded %d", single, sharded)
+	}
+}

@@ -22,6 +22,11 @@ import (
 // LogFile is the corpus file name.
 const LogFile = "web/access.log"
 
+// ReplicaFile is where GenerateShards mirrors the previous shard's
+// slice when replication is on, so a degraded shard's search traffic
+// can re-home to its successor device.
+const ReplicaFile = "web/access_r.log"
+
 // grepCyclesPerByte models single-threaded Boyer–Moore over cached
 // pages: calibrated so an unloaded host scans ~0.64 GB/s, matching the
 // paper's 7.8 GiB / 12.2 s Conv measurement.
@@ -82,11 +87,108 @@ func Generate(h *biscuit.Host, size int64, needle string, needleEvery int, rng *
 	return off, planted, nil
 }
 
+// GenerateShards writes one corpus of approximately size bytes total,
+// striped line-round-robin across the hosts' devices (line i goes to
+// shard i%N under LogFile). With replicate set, each line is also
+// mirrored to the next shard's ReplicaFile, giving the serving layer a
+// one-hop fallback copy for tenant migration. The rng draw order per
+// line is identical to Generate — routing consumes no randomness — so
+// a 1-way non-replicated GenerateShards equals Generate byte for byte.
+func GenerateShards(hosts []*biscuit.Host, size int64, needle string, needleEvery int, rng *rand.Rand, replicate bool) (int64, int64, error) {
+	n := len(hosts)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("weblog: GenerateShards needs at least one host")
+	}
+	type sink struct {
+		h   *biscuit.Host
+		f   *biscuit.File
+		off int64
+		buf []byte
+	}
+	open := func(name string) ([]*sink, error) {
+		ss := make([]*sink, n)
+		for i, h := range hosts {
+			f, err := h.SSD().CreateFile(name)
+			if err != nil {
+				return nil, err
+			}
+			ss[i] = &sink{h: h, f: f, buf: make([]byte, 0, 1<<20)}
+		}
+		return ss, nil
+	}
+	flush := func(s *sink) error {
+		if len(s.buf) == 0 {
+			return nil
+		}
+		if err := s.f.Write(s.h.Proc(), s.off, s.buf); err != nil {
+			return err
+		}
+		s.off += int64(len(s.buf))
+		s.buf = s.buf[:0]
+		return s.f.Flush(s.h.Proc())
+	}
+	prim, err := open(LogFile)
+	if err != nil {
+		return 0, 0, err
+	}
+	var repl []*sink
+	if replicate {
+		if repl, err = open(ReplicaFile); err != nil {
+			return 0, 0, err
+		}
+	}
+	var total, planted int64
+	line := 0
+	for total < size {
+		ua := agents[rng.Intn(len(agents))]
+		if needleEvery > 0 && line%needleEvery == needleEvery-1 {
+			ua = needle
+			planted++
+		}
+		rec := fmt.Sprintf("10.%d.%d.%d - - [%02d/Jul/1995:%02d:%02d:%02d] \"%s %s HTTP/1.0\" %d %d \"%s\"\n",
+			rng.Intn(256), rng.Intn(256), rng.Intn(256),
+			1+rng.Intn(28), rng.Intn(24), rng.Intn(60), rng.Intn(60),
+			methods[rng.Intn(len(methods))], paths[rng.Intn(len(paths))],
+			200+rng.Intn(4)*100, rng.Intn(100000), ua)
+		k := line % n
+		targets := []*sink{prim[k]}
+		if replicate {
+			targets = append(targets, repl[(k+1)%n])
+		}
+		for _, s := range targets {
+			s.buf = append(s.buf, rec...)
+			if len(s.buf) >= 1<<20 {
+				if err := flush(s); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		total += int64(len(rec))
+		line++
+	}
+	for _, s := range prim {
+		if err := flush(s); err != nil {
+			return 0, 0, err
+		}
+	}
+	for _, s := range repl {
+		if err := flush(s); err != nil {
+			return 0, 0, err
+		}
+	}
+	return total, planted, nil
+}
+
 // SearchConv scans the corpus on the host like grep: chunked
 // conventional reads at queue depth, then Boyer–Moore over each chunk
 // through the contended memory system. Returns the match count.
 func SearchConv(h *biscuit.Host, needle string) (int64, error) {
-	f, err := h.SSD().OpenFile(LogFile, true)
+	return SearchConvIn(h, LogFile, needle)
+}
+
+// SearchConvIn is SearchConv over an arbitrary corpus file.
+func SearchConvIn(h *biscuit.Host, file, needle string) (int64, error) {
+	f, err := h.SSD().OpenFile(file, true)
 	if err != nil {
 		return 0, err
 	}
@@ -128,6 +230,11 @@ func SearchConv(h *biscuit.Host, needle string) (int64, error) {
 // SearchNDP scans the corpus with the hardware pattern matcher via the
 // built-in scanner SSDlet and returns the match count.
 func SearchNDP(h *biscuit.Host, needles ...string) (int64, error) {
+	return SearchNDPIn(h, LogFile, needles...)
+}
+
+// SearchNDPIn is SearchNDP over an arbitrary corpus file.
+func SearchNDPIn(h *biscuit.Host, file string, needles ...string) (int64, error) {
 	ssd := h.SSD()
 	m, err := ssd.LoadModule(biscuit.BuiltinModule)
 	if err != nil {
@@ -135,7 +242,7 @@ func SearchNDP(h *biscuit.Host, needles ...string) (int64, error) {
 	}
 	defer func() { _ = ssd.UnloadModule(m) }() // best-effort teardown
 	app := ssd.NewApplication()
-	let, err := app.NewSSDLet(m, biscuit.ScannerID, biscuit.ScanArgs{File: LogFile, Keys: needles, Mode: biscuit.ScanCount})
+	let, err := app.NewSSDLet(m, biscuit.ScannerID, biscuit.ScanArgs{File: file, Keys: needles, Mode: biscuit.ScanCount})
 	if err != nil {
 		return 0, err
 	}
